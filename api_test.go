@@ -1,0 +1,96 @@
+package verifiabledp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCountTrustedCurator(t *testing.T) {
+	bits := []bool{true, false, true, true, false, true}
+	res, err := Count(bits, Options{Coins: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 0 {
+		t.Errorf("unexpected rejections: %v", res.Rejected)
+	}
+	// Raw ∈ [4, 4+32]; estimate within 6σ of 4.
+	if res.Release.Raw[0] < 4 || res.Release.Raw[0] > 36 {
+		t.Errorf("raw %d out of envelope", res.Release.Raw[0])
+	}
+	if math.Abs(res.Release.Estimate[0]-4) > 6*res.Release.Stddev {
+		t.Errorf("estimate %v too far from 4", res.Release.Estimate[0])
+	}
+	if err := Audit(res.Public, res.Transcript); err != nil {
+		t.Errorf("audit failed: %v", err)
+	}
+}
+
+func TestCountWithCalibratedParams(t *testing.T) {
+	bits := make([]bool, 10)
+	res, err := Count(bits, Options{Epsilon: 5, Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Public.Coins() < 31 {
+		t.Errorf("calibrated coins %d below Lemma 2.1 floor", res.Public.Coins())
+	}
+}
+
+func TestCountValidation(t *testing.T) {
+	if _, err := Count(nil, Options{Coins: 32}); !errors.Is(err, ErrBadConfig) {
+		t.Error("accepted empty input")
+	}
+	if _, err := Count([]bool{true}, Options{}); !errors.Is(err, ErrBadConfig) {
+		t.Error("accepted zero epsilon without coin override")
+	}
+}
+
+func TestHistogramMPC(t *testing.T) {
+	choices := []int{0, 1, 1, 2, 2, 2}
+	res, err := Histogram(choices, 3, Options{Servers: 2, Coins: 8, Group: GroupSchnorr2048()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3}
+	for j, w := range want {
+		if res.Release.Raw[j] < w || res.Release.Raw[j] > w+16 {
+			t.Errorf("bin %d raw %d outside [%d, %d]", j, res.Release.Raw[j], w, w+16)
+		}
+	}
+	if err := Audit(res.Public, res.Transcript); err != nil {
+		t.Errorf("audit failed: %v", err)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := Histogram(nil, 3, Options{Coins: 8}); !errors.Is(err, ErrBadConfig) {
+		t.Error("accepted empty input")
+	}
+	if _, err := Histogram([]int{0}, 1, Options{Coins: 8}); !errors.Is(err, ErrBadConfig) {
+		t.Error("accepted 1-bin histogram")
+	}
+}
+
+func TestGroupSelectors(t *testing.T) {
+	if GroupP256().Name() != "p256" {
+		t.Error("GroupP256 name")
+	}
+	if GroupSchnorr2048().Name() != "schnorr2048" {
+		t.Error("GroupSchnorr2048 name")
+	}
+}
+
+// TestMaliceSurfacedThroughPublicAPI: the re-exported Run/Malice layer
+// detects a cheating prover.
+func TestMaliceSurfacedThroughPublicAPI(t *testing.T) {
+	pub, err := Setup(Config{Provers: 2, Bins: 1, Coins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(pub, []int{1, 0}, &RunOptions{Malice: map[int]Malice{0: {OutputBias: 2}}})
+	if !errors.Is(err, ErrProverCheat) {
+		t.Errorf("cheat not detected through public API: %v", err)
+	}
+}

@@ -1,0 +1,151 @@
+package verifiabledp
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, driving the experiment implementations in
+// internal/experiments at Quick scale so `go test -bench=.` terminates in
+// minutes. Run `go run ./cmd/vdpbench -scale standard` (or -scale paper)
+// for the larger workloads; EXPERIMENTS.md records measured-vs-paper.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/vdp"
+)
+
+// BenchmarkTable1 regenerates Table 1: per-stage latency of ΠBin
+// (Σ-proof, Σ-verification, Morra, Aggregation, Check).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1AtScale(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: Σ-OR proof creation/verification
+// cost as a function of ε (nb ∝ 1/ε²).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3AtScale(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: per-client one-hot validation
+// cost vs dimension M, Σ-OR against the PRIO/Poplar sketch baseline.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4AtScale(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the executable property matrix of Table 2
+// (attack scenarios run against each protocol).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkMicroExp regenerates the §6 microbenchmark: one exponentiation
+// in the finite-field vs elliptic-curve commitment group.
+func BenchmarkMicroExp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Microbench()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkDPError regenerates the §7 error series: central O(1) error vs
+// local O(√n).
+func BenchmarkDPError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DPErrorAtScale(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}
+
+// BenchmarkEndToEndCount measures a complete verifiable count (clients,
+// curator, verifier, Morra, audit) at a small deployment size.
+func BenchmarkEndToEndCount(b *testing.B) {
+	bits := make([]bool, 16)
+	for i := range bits {
+		bits[i] = i%2 == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Count(bits, Options{Coins: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Audit(res.Public, res.Transcript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndMPCHistogram measures a 2-server, 3-bin verifiable
+// histogram end to end.
+func BenchmarkEndToEndMPCHistogram(b *testing.B) {
+	choices := []int{0, 1, 2, 2, 1, 0, 2, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Histogram(choices, 3, Options{Servers: 2, Coins: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Audit(res.Public, res.Transcript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheatDetection measures how quickly the verifier catches a
+// biased-output prover — the cost of the security guarantee.
+func BenchmarkCheatDetection(b *testing.B) {
+	pub, err := Setup(Config{Provers: 2, Bins: 1, Coins: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	choices := []int{1, 0, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Run(pub, choices, &RunOptions{Malice: map[int]Malice{1: {OutputBias: 5}}})
+		if !errors.Is(err, vdp.ErrProverCheat) {
+			b.Fatal("cheat not detected")
+		}
+	}
+}

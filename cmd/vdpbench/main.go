@@ -1,0 +1,75 @@
+// Command vdpbench regenerates the paper's evaluation tables and figures
+// from the reimplemented system.
+//
+// Usage:
+//
+//	vdpbench [-scale quick|standard|paper] [-only table1,figure3,figure4,table2,micro,dperror]
+//
+// The default runs every experiment at quick scale (seconds). Standard
+// scale takes minutes; paper scale uses the paper's literal workload sizes
+// (n = 10^6 clients, nb = 262144 coins) and can take hours with math/big
+// arithmetic — see EXPERIMENTS.md for recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick|standard|paper")
+	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	type experiment struct {
+		name string
+		run  func() (interface{ Format() string }, error)
+	}
+	exps := []experiment{
+		{"table1", func() (interface{ Format() string }, error) { return experiments.Table1AtScale(scale) }},
+		{"figure3", func() (interface{ Format() string }, error) { return experiments.Figure3AtScale(scale) }},
+		{"figure4", func() (interface{ Format() string }, error) { return experiments.Figure4AtScale(scale) }},
+		{"table2", func() (interface{ Format() string }, error) { return experiments.Table2() }},
+		{"micro", func() (interface{ Format() string }, error) { return experiments.Microbench() }},
+		{"dperror", func() (interface{ Format() string }, error) { return experiments.DPErrorAtScale(scale) }},
+	}
+
+	fmt.Printf("verifiable-dp benchmark suite (scale=%s)\n", scale)
+	fmt.Println(strings.Repeat("=", 72))
+	failed := false
+	for _, e := range exps {
+		if !selected(e.name) {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "[%s] FAILED: %v\n", e.name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("\n[%s] (took %v)\n%s\n", e.name, time.Since(start).Round(time.Millisecond), res.Format())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

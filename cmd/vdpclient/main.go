@@ -1,0 +1,75 @@
+// Command vdpclient submits one client input to a vdpserver curator: it
+// secret-shares the input (trivially, for K = 1), commits to the shares,
+// attaches the zero-knowledge legality proof, and sends the bundle over
+// TCP. The deployment flags must match the server's.
+//
+// Example:
+//
+//	vdpclient -addr 127.0.0.1:7001 -id 0 -choice 1 -bins 2 -coins 32
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/group"
+	"repro/internal/transport"
+	"repro/internal/vdp"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7001", "server address")
+		id     = flag.Int("id", 0, "client ID (unique per deployment)")
+		choice = flag.Int("choice", 0, "input: the bit for -bins 1, else the bin index")
+		bins   = flag.Int("bins", 1, "histogram bins (must match server)")
+		coins  = flag.Int("coins", 64, "noise coins (must match server)")
+		eps    = flag.Float64("eps", 1.0, "epsilon (must match server when -coins 0)")
+		delta  = flag.Float64("delta", 1e-6, "delta (must match server when -coins 0)")
+		grp    = flag.String("group", "p256", "commitment group (must match server)")
+	)
+	flag.Parse()
+
+	g, err := group.ByName(*grp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pub, err := vdp.Setup(vdp.Config{Group: g, Provers: 1, Bins: *bins, Coins: *coins, Epsilon: *eps, Delta: *delta})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := pub.NewClientSubmission(*id, *choice, nil)
+	if err != nil {
+		log.Fatalf("building submission: %v", err)
+	}
+
+	pubEnc := pub.EncodeClientPublic(sub.Public)
+	plEnc := pub.EncodeClientPayload(sub.Payloads[0])
+	payload := make([]byte, 4, 4+len(pubEnc)+len(plEnc))
+	binary.BigEndian.PutUint32(payload, uint32(len(pubEnc)))
+	payload = append(payload, pubEnc...)
+	payload = append(payload, plEnc...)
+
+	conn, err := transport.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	if err := transport.WriteFrame(conn, &transport.Frame{Kind: "submit", Sender: *id, Payload: payload}); err != nil {
+		log.Fatal(err)
+	}
+	reply, err := transport.ReadFrame(conn)
+	if err != nil {
+		log.Fatalf("reading server reply: %v", err)
+	}
+	switch reply.Kind {
+	case "ack":
+		fmt.Printf("client %d: submission accepted (%s)\n", *id, reply.Payload)
+	case "error":
+		log.Fatalf("client %d: server rejected submission: %s", *id, reply.Payload)
+	default:
+		log.Fatalf("client %d: unexpected reply %q", *id, reply.Kind)
+	}
+}

@@ -1,0 +1,135 @@
+// Command vdpserver runs a verifiable-DP aggregation service in the
+// trusted-curator model: it accepts client submissions over TCP, and once
+// the expected number have arrived it executes ΠBin (validating every
+// client proof, generating verifiable Binomial noise, producing the audit
+// transcript) and prints the verified release.
+//
+// The deployment configuration flags must match the ones clients use, since
+// the Σ-proof session context binds submissions to the exact deployment.
+//
+// Example (two shells):
+//
+//	vdpserver -addr 127.0.0.1:7001 -clients 3 -bins 2 -coins 32
+//	for i in 0 1 2; do vdpclient -addr 127.0.0.1:7001 -id $i -choice 1 -bins 2 -coins 32; done
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+
+	"repro/internal/group"
+	"repro/internal/transport"
+	"repro/internal/vdp"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7001", "listen address")
+		clients = flag.Int("clients", 3, "number of client submissions to wait for")
+		bins    = flag.Int("bins", 1, "histogram bins (1 = counting query)")
+		coins   = flag.Int("coins", 64, "noise coins nb (0 = calibrate from -eps/-delta)")
+		eps     = flag.Float64("eps", 1.0, "epsilon (used when -coins 0)")
+		delta   = flag.Float64("delta", 1e-6, "delta (used when -coins 0)")
+		grp     = flag.String("group", "p256", "commitment group: p256|schnorr2048")
+	)
+	flag.Parse()
+
+	pub, err := setupFromFlags(*grp, *bins, *coins, *eps, *delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		mu       sync.Mutex
+		publics  []*vdp.ClientPublic
+		payloads = map[int][]*vdp.ClientPayload{}
+		done     = make(chan struct{})
+	)
+
+	handler := func(f *transport.Frame) ([]*transport.Frame, error) {
+		if f.Kind != "submit" {
+			return nil, fmt.Errorf("unexpected frame kind %q", f.Kind)
+		}
+		cp, pl, err := decodeSubmission(pub, f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		// Validate eagerly so the client learns its fate immediately.
+		if err := pub.VerifyClient(cp); err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := payloads[cp.ID]; dup {
+			return nil, fmt.Errorf("duplicate submission from client %d", cp.ID)
+		}
+		publics = append(publics, cp)
+		payloads[cp.ID] = []*vdp.ClientPayload{pl}
+		log.Printf("accepted client %d (%d/%d)", cp.ID, len(publics), *clients)
+		if len(publics) == *clients {
+			close(done)
+		}
+		return []*transport.Frame{{Kind: "ack", Payload: []byte("accepted")}}, nil
+	}
+
+	srv, err := transport.Listen(*addr, handler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("verifiable-dp curator listening on %s (K=1, M=%d, nb=%d, group=%s)",
+		srv.Addr(), pub.Bins(), pub.Coins(), *grp)
+
+	<-done
+	_ = srv.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	res, err := vdp.RunWithSubmissions(pub, publics, payloads, nil)
+	if err != nil {
+		log.Fatalf("protocol run failed: %v", err)
+	}
+	fmt.Println("verified release:")
+	for j, raw := range res.Release.Raw {
+		fmt.Printf("  bin %d: raw=%d estimate=%.1f (±%.1f)\n", j, raw, res.Release.Estimate[j], res.Release.Stddev)
+	}
+	if err := vdp.Audit(pub, res.Transcript); err != nil {
+		log.Fatalf("self-audit failed: %v", err)
+	}
+	fmt.Println("transcript audit: PASSED")
+	os.Exit(0)
+}
+
+func setupFromFlags(grpName string, bins, coins int, eps, delta float64) (*vdp.Public, error) {
+	g, err := group.ByName(grpName)
+	if err != nil {
+		return nil, err
+	}
+	return vdp.Setup(vdp.Config{Group: g, Provers: 1, Bins: bins, Coins: coins, Epsilon: eps, Delta: delta})
+}
+
+// decodeSubmission splits a submit payload: u32 publicLen | public | payload.
+func decodeSubmission(pub *vdp.Public, b []byte) (*vdp.ClientPublic, *vdp.ClientPayload, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("short submission")
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	if int(n) > len(b)-4 {
+		return nil, nil, fmt.Errorf("submission length field out of range")
+	}
+	cp, err := pub.DecodeClientPublic(b[4 : 4+n])
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := pub.DecodeClientPayload(b[4+n:])
+	if err != nil {
+		return nil, nil, err
+	}
+	if pl.ClientID != cp.ID || pl.Prover != 0 {
+		return nil, nil, fmt.Errorf("submission parts disagree on identity")
+	}
+	return cp, pl, nil
+}

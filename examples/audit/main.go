@@ -1,0 +1,63 @@
+// Audit: a third-party auditor re-verifies a published release from its
+// public transcript alone — and catches a forged one.
+//
+// The verifier in ΠBin is public: every message it consumes is on the
+// bulletin board, so "the verifier accepted" is a claim anyone can recheck.
+// This example plays the role of a newspaper fact-checking a government
+// statistics release (the paper's census motivation, including the Alabama
+// v. Department of Commerce dispute over DP noise).
+//
+// Run with: go run ./examples/audit
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	verifiabledp "repro"
+)
+
+func main() {
+	// The statistics bureau releases a count over 80 records.
+	bits := make([]bool, 80)
+	for i := range bits {
+		bits[i] = i%4 == 0 // 20 true
+	}
+	res, err := verifiabledp.Count(bits, verifiabledp.Options{Coins: 64, Servers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bureau publishes: raw=%d estimate=%.1f (true count withheld)\n",
+		res.Release.Raw[0], res.Release.Estimate[0])
+
+	// --- The auditor's side ----------------------------------------------
+	// The auditor has: the public parameters (reconstructible from the
+	// deployment config) and the transcript. No client data, no noise bits.
+	auditorView, err := verifiabledp.Setup(res.Public.Config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := verifiabledp.Audit(auditorView, res.Transcript); err != nil {
+		log.Fatalf("auditor rejects the release: %v", err)
+	}
+	fmt.Println("independent audit: PASSED — every proof, coin and aggregate checks out")
+
+	// --- A forged release ---------------------------------------------
+	// Someone republishes the transcript with the headline number bumped
+	// by 10 ("it's just DP noise"). The audit pins the lie immediately.
+	forged := *res.Transcript
+	rel := *forged.Release
+	raw := append([]int64{}, rel.Raw...)
+	raw[0] += 10
+	rel.Raw = raw
+	forged.Release = &rel
+
+	err = verifiabledp.Audit(auditorView, &forged)
+	if errors.Is(err, verifiabledp.ErrAuditFail) {
+		fmt.Printf("forged release: REJECTED (%v)\n", err)
+		fmt.Println("the discrepancy cannot be blamed on DP randomness — the transcript proves it")
+	} else {
+		log.Fatalf("BUG: forged release passed the audit (err=%v)", err)
+	}
+}

@@ -1,0 +1,96 @@
+// Election: a verifiable DP plurality vote in the two-server MPC model,
+// including a corrupted-server run that the public verifier catches.
+//
+// This is the paper's motivating scenario: clients vote for 1 of M
+// candidates ("which topping people prefer on their pizza"); a corrupted
+// aggregator wants to bias the tally toward pineapple and blame the
+// distortion on DP noise. With ΠBin the bias is detected and publicly
+// attributed.
+//
+// Run with: go run ./examples/election
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	verifiabledp "repro"
+)
+
+var candidates = []string{"margherita", "quattro formaggi", "pineapple"}
+
+func main() {
+	// 150 voters: margherita is winning honestly.
+	var votes []int
+	for i := 0; i < 150; i++ {
+		switch {
+		case i%10 < 5:
+			votes = append(votes, 0) // 50% margherita
+		case i%10 < 8:
+			votes = append(votes, 1) // 30% quattro formaggi
+		default:
+			votes = append(votes, 2) // 20% pineapple
+		}
+	}
+
+	// --- Honest run: two mutually distrusting servers -------------------
+	pub, err := verifiabledp.Setup(verifiabledp.Config{
+		Group:   verifiabledp.GroupSchnorr2048(),
+		Provers: 2,
+		Bins:    len(candidates),
+		Coins:   64, // small demo noise; production would calibrate via ε, δ
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := verifiabledp.Run(pub, votes, nil)
+	if err != nil {
+		log.Fatalf("honest election failed: %v", err)
+	}
+	fmt.Println("Honest two-server election (each server adds its own noise):")
+	winner := 0
+	for j, name := range candidates {
+		fmt.Printf("  %-18s raw=%4d  estimate=%6.1f\n", name, res.Release.Raw[j], res.Release.Estimate[j])
+		if res.Release.Estimate[j] > res.Release.Estimate[winner] {
+			winner = j
+		}
+	}
+	fmt.Printf("  winner: %s\n", candidates[winner])
+	if err := verifiabledp.Audit(pub, res.Transcript); err != nil {
+		log.Fatalf("audit failed: %v", err)
+	}
+	fmt.Println("  public audit: PASSED")
+
+	// --- Corrupted server run -------------------------------------------
+	// Server 1 tries to stuff 40 phantom votes for pineapple by inflating
+	// its reported aggregate. Without verifiability this is
+	// indistinguishable from unlucky noise; with ΠBin the final
+	// commitment-product check fails and server 1 is publicly identified.
+	fmt.Println("\nCorrupted server tries to stuff 40 pineapple votes:")
+	_, err = verifiabledp.Run(pub, votes, &verifiabledp.RunOptions{
+		Malice: map[int]verifiabledp.Malice{1: {OutputBias: 40}},
+	})
+	switch {
+	case errors.Is(err, verifiabledp.ErrProverCheat):
+		fmt.Printf("  DETECTED: %v\n", err)
+		fmt.Println("  the tally is rejected; server 1 cannot blame DP randomness")
+	case err == nil:
+		log.Fatal("BUG: the biased tally went undetected")
+	default:
+		log.Fatalf("unexpected failure: %v", err)
+	}
+
+	// A server silently dropping an honest voter is caught the same way
+	// (the Figure 1(a) exclusion attack, impossible here because the
+	// valid-voter roster is public).
+	fmt.Println("\nCorrupted server tries to silently drop voter #7:")
+	_, err = verifiabledp.Run(pub, votes, &verifiabledp.RunOptions{
+		Malice: map[int]verifiabledp.Malice{0: {DropClient: true, DropClientID: 7}},
+	})
+	if errors.Is(err, verifiabledp.ErrProverCheat) {
+		fmt.Printf("  DETECTED: %v\n", err)
+	} else {
+		log.Fatalf("BUG: exclusion attack went undetected (err=%v)", err)
+	}
+}

@@ -1,0 +1,100 @@
+// Telemetry: a PRIO-style browser telemetry deployment — which of M
+// homepage layouts do users run? — contrasting the sketch-based client
+// validation used by PRIO/Poplar with this paper's Σ-OR validation.
+//
+// The example shows (1) an honest verifiable DP histogram over secret-
+// shared telemetry, (2) a malformed client being rejected with a public,
+// attributable reason, and (3) the two Figure 1 attacks succeeding against
+// the sketch baseline while being impossible here.
+//
+// Run with: go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+
+	verifiabledp "repro"
+	"repro/internal/field"
+	"repro/internal/sketch"
+	"repro/internal/vdp"
+)
+
+const layouts = 4
+
+func main() {
+	// 120 browsers report their layout; layout 2 dominates.
+	var reports []int
+	for i := 0; i < 120; i++ {
+		reports = append(reports, []int{0, 2, 2, 1, 2, 3, 2, 0, 2, 1}[i%10])
+	}
+
+	pub, err := verifiabledp.Setup(verifiabledp.Config{
+		Provers: 2,
+		Bins:    layouts,
+		Coins:   32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Honest collection with a malformed client ----------------------
+	// Build real submissions, then corrupt client 5's proof the way a
+	// buggy or malicious extension would.
+	publics := make([]*verifiabledp.ClientPublic, len(reports))
+	payloads := make(map[int][]*verifiabledp.ClientPayload, len(reports))
+	for i, layout := range reports {
+		sub, err := pub.NewClientSubmission(i, layout, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		publics[i] = sub.Public
+		payloads[i] = sub.Payloads
+	}
+	publics[5].OneHotProof = publics[6].OneHotProof // transplanted proof
+
+	res, err := vdp.RunWithSubmissions(pub, publics, payloads, nil)
+	if err != nil {
+		log.Fatalf("telemetry run failed: %v", err)
+	}
+	fmt.Println("Verifiable DP telemetry histogram (2 servers, 4 layouts):")
+	for j := 0; j < layouts; j++ {
+		fmt.Printf("  layout %d: raw=%3d estimate=%6.1f\n", j, res.Release.Raw[j], res.Release.Estimate[j])
+	}
+	fmt.Printf("rejected clients: %d\n", len(res.RejectedClients))
+	for id, reason := range res.RejectedClients {
+		fmt.Printf("  client %d: %v\n", id, reason)
+	}
+	if err := verifiabledp.Audit(pub, res.Transcript); err != nil {
+		log.Fatalf("audit failed: %v", err)
+	}
+	fmt.Println("public audit: PASSED (rejection is publicly attributable — no server can fake it)")
+
+	// --- The sketch baseline's attack surface ---------------------------
+	fmt.Println("\nPRIO/Poplar sketch baseline under the Figure 1 attacks:")
+	f := pub.Field()
+	p := sketch.Params{F: f, M: layouts}
+
+	honest, err := sketch.ShareOneHot(p, 2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accepted, err := sketch.ExclusionAttack(p, honest, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  (a) corrupted server garbles an honest client's share: client accepted=%v\n", accepted)
+	fmt.Println("      → honest client silently excluded; no evidence against the server")
+
+	illegal := make([]*field.Element, layouts)
+	for j := range illegal {
+		illegal[j] = f.Zero()
+	}
+	illegal[3] = f.FromInt64(500) // 500 phantom reports for layout 3
+	admitted, err := sketch.CollusionAttack(p, illegal, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  (b) client-server coalition injects 500 phantom reports: input admitted=%v\n", admitted)
+	fmt.Println("      → with ΠBin both attacks fail: the roster and every aggregate are publicly checked")
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/field"
+	"repro/internal/group"
+	"repro/internal/pedersen"
+	"repro/internal/sigma"
+)
+
+// Figure3Config sets the ε sweep for the Figure 3 reproduction: the cost of
+// creating and verifying the prover's Σ-OR bit proofs as the privacy
+// parameter varies. Smaller ε ⇒ more private coins (nb ∝ 1/ε², Lemma 2.1)
+// ⇒ proportionally more proof work.
+type Figure3Config struct {
+	Epsilons []float64
+	Delta    float64
+	// SampleCap bounds how many proofs are actually timed per point; the
+	// per-proof cost is constant, so the total for nb proofs is
+	// extrapolated linearly when nb exceeds the cap. Zero means no cap.
+	SampleCap int
+	Groups    []group.Group
+}
+
+func figure3ConfigFor(s Scale) Figure3Config {
+	cfg := Figure3Config{
+		Epsilons: []float64{2.5, 2.0, 1.5, 1.0, 0.75, 0.5},
+		Delta:    1e-6,
+		Groups:   []group.Group{group.Schnorr2048(), group.P256()},
+	}
+	switch s {
+	case Paper:
+		cfg.SampleCap = 0 // time every proof
+	case Standard:
+		cfg.SampleCap = 512
+	default:
+		cfg.SampleCap = 48
+		cfg.Groups = []group.Group{group.Schnorr2048()}
+	}
+	return cfg
+}
+
+// Figure3Point is one sweep point for one group.
+type Figure3Point struct {
+	Group   string
+	Epsilon float64
+	Coins   int // nb from the Lemma 2.1 calibration
+	// Prove and Verify are the (possibly extrapolated) totals for all nb
+	// proofs; PerProof are the measured unit costs.
+	Prove          time.Duration
+	Verify         time.Duration
+	PerProofProve  time.Duration
+	PerProofVerify time.Duration
+	Sampled        int // how many proofs were actually timed
+}
+
+// Figure3Result is the full sweep.
+type Figure3Result struct {
+	Config Figure3Config
+	Points []Figure3Point
+}
+
+// Figure3 sweeps ε and measures Σ-OR proof creation and verification cost,
+// reproducing the four panels of Figure 3 (prove/verify × two groups).
+func Figure3(cfg Figure3Config) (*Figure3Result, error) {
+	if len(cfg.Epsilons) == 0 {
+		return nil, fmt.Errorf("experiments: empty epsilon sweep")
+	}
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("experiments: no groups selected")
+	}
+	res := &Figure3Result{Config: cfg}
+	ctx := []byte("figure3")
+	for _, g := range cfg.Groups {
+		pp := pedersen.Setup(g)
+		f := pp.ScalarField()
+		for _, eps := range cfg.Epsilons {
+			nb, err := dp.Params{Epsilon: eps, Delta: cfg.Delta}.Coins()
+			if err != nil {
+				return nil, err
+			}
+			sample := nb
+			if cfg.SampleCap > 0 && sample > cfg.SampleCap {
+				sample = cfg.SampleCap
+			}
+			// Prepare `sample` committed bits.
+			coms := make([]*pedersen.Commitment, sample)
+			bits := make([]*field.Element, sample)
+			rands := make([]*field.Element, sample)
+			for l := 0; l < sample; l++ {
+				bit := f.Zero()
+				if l%2 == 1 {
+					bit = f.One()
+				}
+				r := f.MustRand(nil)
+				bits[l] = bit
+				rands[l] = r
+				coms[l] = pp.CommitWith(bit, r)
+			}
+			proofs := make([]*sigma.BitProof, sample)
+			tProve, err := timeIt(func() error {
+				for l := 0; l < sample; l++ {
+					p, err := sigma.ProveBit(pp, coms[l], bits[l], rands[l], ctx, nil)
+					if err != nil {
+						return err
+					}
+					proofs[l] = p
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			tVerify, err := timeIt(func() error {
+				return sigma.VerifyBits(pp, coms, proofs, ctx)
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt := Figure3Point{
+				Group:          g.Name(),
+				Epsilon:        eps,
+				Coins:          nb,
+				PerProofProve:  tProve / time.Duration(sample),
+				PerProofVerify: tVerify / time.Duration(sample),
+				Sampled:        sample,
+			}
+			pt.Prove = pt.PerProofProve * time.Duration(nb)
+			pt.Verify = pt.PerProofVerify * time.Duration(nb)
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// Figure3AtScale runs the sweep at a named scale.
+func Figure3AtScale(s Scale) (*Figure3Result, error) {
+	return Figure3(figure3ConfigFor(s))
+}
+
+// Format renders the sweep as the table behind Figure 3's curves.
+func (r *Figure3Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: Σ-OR proof cost vs privacy parameter ε (δ=%g, nb=100·ln(2/δ)/ε²)\n", r.Config.Delta)
+	fmt.Fprintf(&b, "%-12s %-8s %-9s %-14s %-14s %-12s %-12s\n",
+		"group", "ε", "nb", "prove(total)", "verify(total)", "prove/proof", "verify/proof")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s %-8.2f %-9d %-14s %-14s %-12s %-12s\n",
+			p.Group, p.Epsilon, p.Coins, fmtDuration(p.Prove), fmtDuration(p.Verify),
+			fmtDuration(p.PerProofProve), fmtDuration(p.PerProofVerify))
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/group"
+	"repro/internal/pedersen"
+	"repro/internal/sigma"
+	"repro/internal/sketch"
+)
+
+// Figure4Config sets the dimension sweep for the Figure 4 reproduction:
+// per-client one-hot validation cost as the input dimension M grows, for
+// the paper's Σ-OR approach (robust to malicious servers) and the
+// PRIO/Poplar sketching baseline (fast but attackable per Figure 1).
+type Figure4Config struct {
+	Dimensions []int
+	Group      group.Group // for the Σ-OR side; defaults to Schnorr2048
+	// Trials averages the sketch timings, which are too fast to measure
+	// reliably in one shot.
+	Trials int
+}
+
+func figure4ConfigFor(s Scale) Figure4Config {
+	cfg := Figure4Config{Trials: 16}
+	switch s {
+	case Paper:
+		cfg.Dimensions = []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	case Standard:
+		cfg.Dimensions = []int{2, 4, 8, 16, 32, 64, 128}
+	default:
+		cfg.Dimensions = []int{2, 4, 8, 16}
+	}
+	return cfg
+}
+
+// Figure4Point is one dimension's measurements.
+type Figure4Point struct {
+	M int
+	// Σ-OR side: client proof generation and server verification.
+	SigmaProve  time.Duration
+	SigmaVerify time.Duration
+	// Sketch side: full two-server validation (challenge + sketches +
+	// check).
+	Sketch time.Duration
+	// Ratio of Σ-OR verification to sketch validation — the paper reports
+	// "approximately an order of magnitude".
+	Ratio float64
+}
+
+// Figure4Result is the full sweep.
+type Figure4Result struct {
+	Config Figure4Config
+	Points []Figure4Point
+}
+
+// Figure4 measures per-client validation cost vs dimension, reproducing
+// Figure 4's comparison between the Σ-OR proof and sketching.
+func Figure4(cfg Figure4Config) (*Figure4Result, error) {
+	if cfg.Group == nil {
+		cfg.Group = group.Schnorr2048()
+	}
+	if cfg.Trials < 1 {
+		cfg.Trials = 1
+	}
+	if len(cfg.Dimensions) == 0 {
+		return nil, fmt.Errorf("experiments: empty dimension sweep")
+	}
+	pp := pedersen.Setup(cfg.Group)
+	f := pp.ScalarField()
+	skParams := func(m int) sketch.Params { return sketch.Params{F: f, M: m} }
+	res := &Figure4Result{Config: cfg}
+	ctx := []byte("figure4")
+
+	for _, m := range cfg.Dimensions {
+		// One-hot input with the 1 in the middle.
+		vec := make([]*field.Element, m)
+		for j := range vec {
+			vec[j] = f.Zero()
+		}
+		vec[m/2] = f.One()
+		cs, os, err := pp.VectorCommit(vec, nil)
+		if err != nil {
+			return nil, err
+		}
+		var proof *sigma.OneHotProof
+		tProve, err := timeIt(func() error {
+			p, err := sigma.ProveOneHot(pp, cs, os, ctx, nil)
+			proof = p
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		tVerify, err := timeIt(func() error {
+			return sigma.VerifyOneHot(pp, cs, proof, ctx)
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		shares, err := sketch.ShareOneHot(skParams(m), m/2, nil)
+		if err != nil {
+			return nil, err
+		}
+		tSketch, err := timeIt(func() error {
+			for tr := 0; tr < cfg.Trials; tr++ {
+				ok, err := sketch.ValidateClient(skParams(m), shares, nil)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("experiments: sketch rejected an honest client")
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tSketch /= time.Duration(cfg.Trials)
+
+		pt := Figure4Point{M: m, SigmaProve: tProve, SigmaVerify: tVerify, Sketch: tSketch}
+		if tSketch > 0 {
+			pt.Ratio = float64(tVerify) / float64(tSketch)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Figure4AtScale runs the sweep at a named scale.
+func Figure4AtScale(s Scale) (*Figure4Result, error) {
+	return Figure4(figure4ConfigFor(s))
+}
+
+// Format renders the sweep as the table behind Figure 4's curves.
+func (r *Figure4Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: per-client one-hot validation cost vs dimension M (group=%s)\n", r.Config.Group.Name())
+	fmt.Fprintf(&b, "%-8s %-14s %-14s %-14s %-10s\n", "M", "Σ-OR prove", "Σ-OR verify", "sketch", "Σ/sketch")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-8d %-14s %-14s %-14s %-10s\n",
+			p.M, fmtDuration(p.SigmaProve), fmtDuration(p.SigmaVerify), fmtDuration(p.Sketch),
+			fmt.Sprintf("%.0fx", p.Ratio))
+	}
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/group"
+	"repro/internal/morra"
+	"repro/internal/pedersen"
+	"repro/internal/sigma"
+)
+
+// Table1Config sets the workload for the Table 1 reproduction: a single-
+// dimension counting query with n clients and nb private coins. The paper
+// runs n = 10^6, nb = 262144 (ε = 1.25 headline, δ = 2^-10) on the
+// finite-field group.
+type Table1Config struct {
+	N     int         // number of clients
+	Coins int         // nb
+	Group group.Group // defaults to Schnorr2048 (the paper's headline group)
+}
+
+// table1ConfigFor returns the workload at a given scale.
+func table1ConfigFor(s Scale) Table1Config {
+	switch s {
+	case Paper:
+		return Table1Config{N: 1_000_000, Coins: 262_144}
+	case Standard:
+		return Table1Config{N: 100_000, Coins: 4096}
+	default:
+		return Table1Config{N: 10_000, Coins: 128}
+	}
+}
+
+// Table1Result holds the measured stage latencies.
+type Table1Result struct {
+	Config Table1Config
+	// Stage durations, matching the paper's columns.
+	SigmaProof  time.Duration // prover creates nb Σ-OR proofs
+	SigmaVerify time.Duration // verifier checks nb Σ-OR proofs
+	Morra       time.Duration // nb public coins via 2-party Πmorra
+	Aggregation time.Duration // prover sums n+nb field elements
+	Check       time.Duration // verifier folds n+nb commitments and opens
+}
+
+// Table1 measures the latency of each stage of ΠBin in the trusted-curator
+// configuration, reproducing Table 1. The client commitments are
+// synthesised with shared randomness so that the *measured* stages dominate
+// (generating 10^6 independent client commitments is client-side work that
+// the paper's table excludes).
+func Table1(cfg Table1Config) (*Table1Result, error) {
+	if cfg.Group == nil {
+		cfg.Group = group.Schnorr2048()
+	}
+	if cfg.N < 1 || cfg.Coins < 1 {
+		return nil, fmt.Errorf("experiments: invalid Table 1 config %+v", cfg)
+	}
+	pp := pedersen.Setup(cfg.Group)
+	f := pp.ScalarField()
+	res := &Table1Result{Config: cfg}
+	ctx := []byte("table1")
+
+	// --- Synthetic client data -------------------------------------------
+	// n bits with constant commitment randomness: two distinct commitment
+	// values cover all clients, so setup is O(1) group exponentiations while
+	// the measured aggregation/check loops still touch n terms.
+	rShared := f.MustRand(nil)
+	cZero := pp.CommitWith(f.Zero(), rShared)
+	cOne := pp.CommitWith(f.One(), rShared)
+	clientBits := make([]*field.Element, cfg.N)
+	clientComs := make([]*pedersen.Commitment, cfg.N)
+	for i := range clientBits {
+		if i%3 == 0 {
+			clientBits[i] = f.One()
+			clientComs[i] = cOne
+		} else {
+			clientBits[i] = f.Zero()
+			clientComs[i] = cZero
+		}
+	}
+
+	// --- Prover private coins + Σ-proofs (Line 4-5) ----------------------
+	coins := make([]*field.Element, cfg.Coins)
+	coinRand := make([]*field.Element, cfg.Coins)
+	coinComs := make([]*pedersen.Commitment, cfg.Coins)
+	for l := range coins {
+		bit := f.Zero()
+		if l%2 == 1 {
+			bit = f.One()
+		}
+		coins[l] = bit
+		coinRand[l] = f.MustRand(nil)
+		coinComs[l] = pp.CommitWith(bit, coinRand[l])
+	}
+	proofs := make([]*sigma.BitProof, cfg.Coins)
+	var err error
+	res.SigmaProof, err = timeIt(func() error {
+		for l := range coins {
+			p, err := sigma.ProveBit(pp, coinComs[l], coins[l], coinRand[l], ctx, nil)
+			if err != nil {
+				return err
+			}
+			proofs[l] = p
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Σ-verification (Line 6) -----------------------------------------
+	res.SigmaVerify, err = timeIt(func() error {
+		return sigma.VerifyBits(pp, coinComs, proofs, ctx)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Morra (Lines 7-8) ------------------------------------------------
+	var publicBits []byte
+	res.Morra, err = timeIt(func() error {
+		bits, err := morra.RunBits(pp, 2, cfg.Coins, nil)
+		publicBits = bits
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Aggregation (Lines 9-11) ----------------------------------------
+	var y, z *field.Element
+	res.Aggregation, err = timeIt(func() error {
+		y = f.Zero()
+		z = f.Zero()
+		for _, b := range clientBits {
+			y = y.Add(b)
+		}
+		z = rShared.Mul(f.FromInt64(int64(cfg.N))) // Σ of the shared randomness
+		for l, v := range coins {
+			if publicBits[l] == 1 {
+				y = y.Add(f.One().Sub(v))
+				z = z.Sub(coinRand[l])
+			} else {
+				y = y.Add(v)
+				z = z.Add(coinRand[l])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Check (Lines 12-13) ----------------------------------------------
+	one := pp.OneNoRandomness()
+	res.Check, err = timeIt(func() error {
+		expected := pp.Zero()
+		for _, c := range clientComs {
+			expected = expected.Add(c)
+		}
+		for l, c := range coinComs {
+			if publicBits[l] == 1 {
+				expected = expected.Add(one.Sub(c))
+			} else {
+				expected = expected.Add(c)
+			}
+		}
+		if !pp.Verify(expected, y, z) {
+			return fmt.Errorf("experiments: Table 1 final check failed — protocol bug")
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Format renders the result like the paper's Table 1.
+func (r *Table1Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: ΠBin stage latency (n=%d, nb=%d, group=%s)\n",
+		r.Config.N, r.Config.Coins, r.Config.Group.Name())
+	fmt.Fprintf(&b, "%-16s %-16s %-12s %-14s %-10s\n", "Σ-proof", "Σ-verification", "Morra", "Aggregation", "Check")
+	fmt.Fprintf(&b, "%-16s %-16s %-12s %-14s %-10s\n",
+		fmtDuration(r.SigmaProof), fmtDuration(r.SigmaVerify), fmtDuration(r.Morra),
+		fmtDuration(r.Aggregation), fmtDuration(r.Check))
+	return b.String()
+}
+
+// Table1AtScale runs the experiment at a named scale.
+func Table1AtScale(s Scale) (*Table1Result, error) {
+	return Table1(table1ConfigFor(s))
+}

@@ -1,0 +1,426 @@
+// Package hybrid composes the paper's verifiable-noise machinery with a
+// PRIO-style aggregation pipeline, implementing the paper's contribution
+// (3): "our protocol ΠBin, for verifiable DP counting, can be combined with
+// existing (non-verifiable) DP-MPC protocols, such as PRIO and Poplar, to
+// enforce verifiability."
+//
+// Deployment shape (two servers, as in PRIO):
+//
+//  1. Clients send additive shares of one-hot vectors — no public-key
+//     work, exactly PRIO's cheap client path.
+//  2. Servers validate clients with the BGI16 sketch (internal/sketch) —
+//     fast, information-theoretically private, but only semi-honest-secure.
+//  3. Each server commits to its per-bin aggregate share, then runs the
+//     ΠBin noise layer verbatim: nb committed noise bits with Σ-OR proofs,
+//     public Morra coins, homomorphic flip, and the final product check
+//     Com(aggregate) ⊗ Π ĉ' = Com(y, z).
+//
+// What this buys: the *noise* is provably honest and the published output
+// is provably consistent with the committed aggregates — a malicious
+// server can no longer bias the release after committing and blame DP
+// randomness. What it deliberately does not buy (the trade-off the paper's
+// Figure 4 prices): client-level verifiability. A server that lies about
+// its aggregate *before* committing is caught only by the full ΠBin
+// protocol with per-client commitments. The tests demonstrate both sides
+// of this boundary.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/field"
+	"repro/internal/morra"
+	"repro/internal/pedersen"
+	"repro/internal/sigma"
+	"repro/internal/sketch"
+)
+
+// ErrCheat wraps all detected server deviations.
+var ErrCheat = errors.New("hybrid: server misbehaviour detected")
+
+// Config parameterizes a hybrid deployment. Two servers, as in PRIO.
+type Config struct {
+	Params *pedersen.Params
+	Bins   int
+	Coins  int // nb noise bits per server per bin
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Params == nil {
+		return errors.New("hybrid: nil commitment params")
+	}
+	if c.Bins < 1 {
+		return fmt.Errorf("hybrid: need at least 1 bin, got %d", c.Bins)
+	}
+	if c.Coins < 1 {
+		return fmt.Errorf("hybrid: need at least 1 noise coin, got %d", c.Coins)
+	}
+	return nil
+}
+
+// ServerMalice configures deviations for the Table-2-style boundary tests.
+type ServerMalice struct {
+	// BiasAggregateBeforeCommit adds this to the server's bin-0 aggregate
+	// BEFORE committing. This is the attack the hybrid mode does NOT
+	// detect (PRIO's residual trust assumption) — the test asserts it goes
+	// through, documenting the boundary.
+	BiasAggregateBeforeCommit int64
+	// BiasOutputAfterCommit adds this to the reported y after the
+	// aggregate commitment is fixed. The product check catches it.
+	BiasOutputAfterCommit int64
+	// SkipNoise publishes the committed aggregate without noise. Caught.
+	SkipNoise bool
+}
+
+// noiseCoin is one committed noise bit.
+type noiseCoin struct {
+	v, s *field.Element
+}
+
+// Server is one of the two hybrid aggregation servers.
+type Server struct {
+	cfg    Config
+	index  int
+	malice ServerMalice
+
+	agg []*field.Element // per-bin aggregate of accepted client shares
+
+	aggCom  []*pedersen.Commitment // commitments to agg
+	aggRand []*field.Element
+
+	coins  [][]*noiseCoin // [bins][nb]
+	public [][]byte       // Morra bits
+}
+
+// NewServer creates server index ∈ {0, 1}.
+func NewServer(cfg Config, index int) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if index != 0 && index != 1 {
+		return nil, fmt.Errorf("hybrid: server index must be 0 or 1, got %d", index)
+	}
+	agg := make([]*field.Element, cfg.Bins)
+	f := cfg.Params.ScalarField()
+	for j := range agg {
+		agg[j] = f.Zero()
+	}
+	return &Server{cfg: cfg, index: index, agg: agg}, nil
+}
+
+// SetMalice installs deviations (tests only).
+func (s *Server) SetMalice(m ServerMalice) { s.malice = m }
+
+// Absorb adds an accepted client's share vector to the running aggregate.
+func (s *Server) Absorb(shares []*field.Element) error {
+	if len(shares) != s.cfg.Bins {
+		return fmt.Errorf("hybrid: share vector has %d bins, want %d", len(shares), s.cfg.Bins)
+	}
+	for j, sh := range shares {
+		s.agg[j] = s.agg[j].Add(sh)
+	}
+	return nil
+}
+
+// AggregateMsg is a server's public commitment to its aggregate shares —
+// the point after which the server can no longer change its claimed inputs.
+type AggregateMsg struct {
+	Server      int
+	Commitments []*pedersen.Commitment // per bin
+}
+
+// CommitAggregate publishes commitments to the per-bin aggregates.
+func (s *Server) CommitAggregate(rnd io.Reader) (*AggregateMsg, error) {
+	if s.aggCom != nil {
+		return nil, errors.New("hybrid: CommitAggregate called twice")
+	}
+	f := s.cfg.Params.ScalarField()
+	if s.malice.BiasAggregateBeforeCommit != 0 {
+		s.agg[0] = s.agg[0].Add(f.FromInt64(s.malice.BiasAggregateBeforeCommit))
+	}
+	msg := &AggregateMsg{Server: s.index, Commitments: make([]*pedersen.Commitment, s.cfg.Bins)}
+	s.aggCom = msg.Commitments
+	s.aggRand = make([]*field.Element, s.cfg.Bins)
+	for j := 0; j < s.cfg.Bins; j++ {
+		c, r, err := s.cfg.Params.Commit(s.agg[j], rnd)
+		if err != nil {
+			return nil, err
+		}
+		msg.Commitments[j] = c
+		s.aggRand[j] = r
+	}
+	return msg, nil
+}
+
+// CoinMsg carries the server's committed noise bits and their Σ-OR proofs
+// (Lines 4-5 of ΠBin, reused verbatim).
+type CoinMsg struct {
+	Server      int
+	Commitments [][]*pedersen.Commitment
+	Proofs      [][]*sigma.BitProof
+}
+
+func (s *Server) coinCtx(bin int) []byte {
+	return []byte(fmt.Sprintf("hybrid/v1|server=%d|bin=%d", s.index, bin))
+}
+
+// coinCtxAt derives the per-coin context with an explicit copy, so repeated
+// derivations never share append backing arrays.
+func coinCtxAt(ctx []byte, l int) []byte {
+	out := make([]byte, 0, len(ctx)+2)
+	out = append(out, ctx...)
+	return append(out, byte(l>>8), byte(l))
+}
+
+// CommitCoins samples and proves the private noise bits.
+func (s *Server) CommitCoins(rnd io.Reader) (*CoinMsg, error) {
+	if s.coins != nil {
+		return nil, errors.New("hybrid: CommitCoins called twice")
+	}
+	f := s.cfg.Params.ScalarField()
+	msg := &CoinMsg{
+		Server:      s.index,
+		Commitments: make([][]*pedersen.Commitment, s.cfg.Bins),
+		Proofs:      make([][]*sigma.BitProof, s.cfg.Bins),
+	}
+	s.coins = make([][]*noiseCoin, s.cfg.Bins)
+	for j := 0; j < s.cfg.Bins; j++ {
+		s.coins[j] = make([]*noiseCoin, s.cfg.Coins)
+		msg.Commitments[j] = make([]*pedersen.Commitment, s.cfg.Coins)
+		msg.Proofs[j] = make([]*sigma.BitProof, s.cfg.Coins)
+		ctx := s.coinCtx(j)
+		for l := 0; l < s.cfg.Coins; l++ {
+			e, err := f.Rand(rnd)
+			if err != nil {
+				return nil, err
+			}
+			v := f.FromInt64(int64(e.Bit(0)))
+			c, sr, err := s.cfg.Params.Commit(v, rnd)
+			if err != nil {
+				return nil, err
+			}
+			s.coins[j][l] = &noiseCoin{v: v, s: sr}
+			msg.Commitments[j][l] = c
+			p, err := sigma.ProveBit(s.cfg.Params, c, v, sr, coinCtxAt(ctx, l), rnd)
+			if err != nil {
+				return nil, err
+			}
+			msg.Proofs[j][l] = p
+		}
+	}
+	return msg, nil
+}
+
+// SetPublicCoins installs the Morra bits.
+func (s *Server) SetPublicCoins(bits [][]byte) error {
+	if s.coins == nil {
+		return errors.New("hybrid: SetPublicCoins before CommitCoins")
+	}
+	if len(bits) != s.cfg.Bins {
+		return fmt.Errorf("hybrid: public coins cover %d bins, want %d", len(bits), s.cfg.Bins)
+	}
+	for j, row := range bits {
+		if len(row) != s.cfg.Coins {
+			return fmt.Errorf("hybrid: bin %d has %d coins, want %d", j, len(row), s.cfg.Coins)
+		}
+	}
+	s.public = bits
+	return nil
+}
+
+// Output is the server's final (y, z) per bin.
+type Output struct {
+	Server int
+	Y, Z   []*field.Element
+}
+
+// Finalize computes y_j = agg_j + Σ v̂ and z_j = R_j + Σ±s.
+func (s *Server) Finalize() (*Output, error) {
+	if s.public == nil {
+		return nil, errors.New("hybrid: Finalize before SetPublicCoins")
+	}
+	f := s.cfg.Params.ScalarField()
+	out := &Output{Server: s.index, Y: make([]*field.Element, s.cfg.Bins), Z: make([]*field.Element, s.cfg.Bins)}
+	for j := 0; j < s.cfg.Bins; j++ {
+		y := s.agg[j]
+		z := s.aggRand[j]
+		if !s.malice.SkipNoise {
+			for l, cn := range s.coins[j] {
+				if s.public[j][l] == 1 {
+					y = y.Add(f.One().Sub(cn.v))
+					z = z.Sub(cn.s)
+				} else {
+					y = y.Add(cn.v)
+					z = z.Add(cn.s)
+				}
+			}
+		}
+		if s.malice.BiasOutputAfterCommit != 0 {
+			y = y.Add(f.FromInt64(s.malice.BiasOutputAfterCommit))
+		}
+		out.Y[j] = y
+		out.Z[j] = z
+	}
+	return out, nil
+}
+
+// VerifyServer replays the public checks for one server: Σ-OR proofs on
+// every noise coin and the product equation
+// aggCom_j ⊗ Π ĉ'_{j,l} = Com(y_j, z_j).
+func VerifyServer(cfg Config, aggMsg *AggregateMsg, coinMsg *CoinMsg, publicBits [][]byte, out *Output) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if aggMsg == nil || coinMsg == nil || out == nil {
+		return fmt.Errorf("%w: missing messages", ErrCheat)
+	}
+	if aggMsg.Server != coinMsg.Server || aggMsg.Server != out.Server {
+		return fmt.Errorf("%w: message/server mismatch", ErrCheat)
+	}
+	if len(aggMsg.Commitments) != cfg.Bins || len(coinMsg.Commitments) != cfg.Bins ||
+		len(out.Y) != cfg.Bins || len(out.Z) != cfg.Bins || len(publicBits) != cfg.Bins {
+		return fmt.Errorf("%w: bin count mismatch", ErrCheat)
+	}
+	one := cfg.Params.OneNoRandomness()
+	for j := 0; j < cfg.Bins; j++ {
+		if len(coinMsg.Commitments[j]) != cfg.Coins || len(coinMsg.Proofs[j]) != cfg.Coins || len(publicBits[j]) != cfg.Coins {
+			return fmt.Errorf("%w: coin count mismatch in bin %d", ErrCheat, j)
+		}
+		ctx := []byte(fmt.Sprintf("hybrid/v1|server=%d|bin=%d", aggMsg.Server, j))
+		err := sigma.VerifyBitsBatchCtx(cfg.Params, coinMsg.Commitments[j], coinMsg.Proofs[j],
+			func(l int) []byte { return coinCtxAt(ctx, l) }, nil)
+		if err != nil {
+			return fmt.Errorf("%w: server %d bin %d noise proofs: %v", ErrCheat, aggMsg.Server, j, err)
+		}
+		expected := aggMsg.Commitments[j]
+		for l := 0; l < cfg.Coins; l++ {
+			c := coinMsg.Commitments[j][l]
+			if publicBits[j][l] == 1 {
+				expected = expected.Add(one.Sub(c))
+			} else {
+				expected = expected.Add(c)
+			}
+		}
+		if !cfg.Params.Verify(expected, out.Y[j], out.Z[j]) {
+			return fmt.Errorf("%w: server %d bin %d: product does not open to reported (y, z)", ErrCheat, aggMsg.Server, j)
+		}
+	}
+	return nil
+}
+
+// Release is the hybrid protocol's verified output.
+type Release struct {
+	Raw      []int64
+	Estimate []float64
+}
+
+// Run executes the full hybrid pipeline over the given client choices:
+// sketch-validated share submission, aggregate commitment, verifiable
+// noise, and the public product check on both servers. malice configures
+// per-server deviations (nil = honest).
+func Run(cfg Config, choices []int, malice map[int]ServerMalice, rnd io.Reader) (*Release, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := cfg.Params.ScalarField()
+	skp := sketch.Params{F: f, M: cfg.Bins}
+
+	servers := [2]*Server{}
+	for i := range servers {
+		srv, err := NewServer(cfg, i)
+		if err != nil {
+			return nil, err
+		}
+		if malice != nil {
+			if m, ok := malice[i]; ok {
+				srv.SetMalice(m)
+			}
+		}
+		servers[i] = srv
+	}
+
+	// Client submission + sketch validation (PRIO path).
+	for i, choice := range choices {
+		var cs *sketch.ClientShares
+		var err error
+		if cfg.Bins == 1 {
+			// A 1-bin "one-hot" degenerates to a bit; share it directly.
+			v := f.Zero()
+			if choice != 0 {
+				v = f.One()
+			}
+			cs, err = sketch.ShareVector(skp, []*field.Element{v}, rnd)
+		} else {
+			cs, err = sketch.ShareOneHot(skp, choice, rnd)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("client %d: %w", i, err)
+		}
+		if cfg.Bins > 1 {
+			ok, err := sketch.ValidateClient(skp, cs, rnd)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue // invalid client dropped (silently, as in PRIO)
+			}
+		}
+		for s := range servers {
+			if err := servers[s].Absorb(cs.Shares[s]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Verifiable layer: aggregate commitments, noise, Morra, product check.
+	sums := make([]*field.Element, cfg.Bins)
+	for j := range sums {
+		sums[j] = f.Zero()
+	}
+	for _, srv := range servers {
+		aggMsg, err := srv.CommitAggregate(rnd)
+		if err != nil {
+			return nil, err
+		}
+		coinMsg, err := srv.CommitCoins(rnd)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := morra.RunBits(cfg.Params, 2, cfg.Bins*cfg.Coins, rnd)
+		if err != nil {
+			return nil, err
+		}
+		bits := make([][]byte, cfg.Bins)
+		for j := 0; j < cfg.Bins; j++ {
+			bits[j] = flat[j*cfg.Coins : (j+1)*cfg.Coins]
+		}
+		if err := srv.SetPublicCoins(bits); err != nil {
+			return nil, err
+		}
+		out, err := srv.Finalize()
+		if err != nil {
+			return nil, err
+		}
+		if err := VerifyServer(cfg, aggMsg, coinMsg, bits, out); err != nil {
+			return nil, err
+		}
+		for j := 0; j < cfg.Bins; j++ {
+			sums[j] = sums[j].Add(out.Y[j])
+		}
+	}
+
+	rel := &Release{Raw: make([]int64, cfg.Bins), Estimate: make([]float64, cfg.Bins)}
+	mean := float64(2*cfg.Coins) / 2 // two servers' Binomial(nb, ½) noises
+	for j := 0; j < cfg.Bins; j++ {
+		raw, ok := sums[j].Int64()
+		if !ok {
+			return nil, fmt.Errorf("hybrid: bin %d aggregate does not fit in int64", j)
+		}
+		rel.Raw[j] = raw
+		rel.Estimate[j] = float64(raw) - mean
+	}
+	return rel, nil
+}

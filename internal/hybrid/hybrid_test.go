@@ -1,0 +1,144 @@
+package hybrid
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/group"
+	"repro/internal/pedersen"
+)
+
+func testConfig(bins, coins int) Config {
+	return Config{Params: pedersen.Setup(group.P256()), Bins: bins, Coins: coins}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{Params: nil, Bins: 1, Coins: 8}).Validate() == nil {
+		t.Error("accepted nil params")
+	}
+	if testConfigMut(func(c *Config) { c.Bins = 0 }).Validate() == nil {
+		t.Error("accepted zero bins")
+	}
+	if testConfigMut(func(c *Config) { c.Coins = 0 }).Validate() == nil {
+		t.Error("accepted zero coins")
+	}
+}
+
+func testConfigMut(mut func(*Config)) Config {
+	c := testConfig(1, 8)
+	mut(&c)
+	return c
+}
+
+func TestNewServerValidation(t *testing.T) {
+	cfg := testConfig(1, 8)
+	if _, err := NewServer(cfg, 2); err == nil {
+		t.Error("accepted server index 2")
+	}
+	if _, err := NewServer(cfg, -1); err == nil {
+		t.Error("accepted negative index")
+	}
+}
+
+func TestHonestCount(t *testing.T) {
+	cfg := testConfig(1, 16)
+	choices := []int{1, 0, 1, 1, 0, 1} // 4 ones
+	rel, err := Run(cfg, choices, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw = 4 + 2×Bin(16, ½) ∈ [4, 36].
+	if rel.Raw[0] < 4 || rel.Raw[0] > 36 {
+		t.Errorf("raw %d outside noise envelope", rel.Raw[0])
+	}
+}
+
+func TestHonestHistogram(t *testing.T) {
+	cfg := testConfig(3, 8)
+	choices := []int{0, 1, 1, 2, 2, 2}
+	rel, err := Run(cfg, choices, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3}
+	for j, w := range want {
+		if rel.Raw[j] < w || rel.Raw[j] > w+16 {
+			t.Errorf("bin %d: raw %d outside [%d, %d]", j, rel.Raw[j], w, w+16)
+		}
+	}
+}
+
+// TestPostCommitBiasDetected: once the aggregate commitment is fixed, the
+// server cannot change the output — the verifiable-noise layer catches it.
+// This is the guarantee the hybrid mode adds on top of PRIO.
+func TestPostCommitBiasDetected(t *testing.T) {
+	cfg := testConfig(1, 8)
+	_, err := Run(cfg, []int{1, 1, 0}, map[int]ServerMalice{1: {BiasOutputAfterCommit: 9}}, nil)
+	if !errors.Is(err, ErrCheat) {
+		t.Errorf("post-commit bias not detected: %v", err)
+	}
+}
+
+func TestSkipNoiseDetected(t *testing.T) {
+	cfg := testConfig(1, 8)
+	_, err := Run(cfg, []int{1, 0}, map[int]ServerMalice{0: {SkipNoise: true}}, nil)
+	if !errors.Is(err, ErrCheat) {
+		t.Errorf("skipped noise not detected: %v", err)
+	}
+}
+
+// TestPreCommitBiasNotDetected documents the boundary of the hybrid mode:
+// a server that lies about its aggregate BEFORE committing is not caught,
+// because the clients' inputs are not individually committed (PRIO's
+// residual trust assumption). The full ΠBin protocol (internal/vdp) closes
+// exactly this gap at the Figure 4 cost.
+func TestPreCommitBiasNotDetected(t *testing.T) {
+	cfg := testConfig(1, 8)
+	rel, err := Run(cfg, []int{1, 1, 1}, map[int]ServerMalice{0: {BiasAggregateBeforeCommit: 50}}, nil)
+	if err != nil {
+		t.Fatalf("pre-commit bias unexpectedly detected (the hybrid mode cannot see it): %v", err)
+	}
+	// The bias flows into the release: raw = 3 + 50 + noise.
+	if rel.Raw[0] < 53 {
+		t.Errorf("expected the pre-commit bias to pass through, raw = %d", rel.Raw[0])
+	}
+}
+
+func TestServerStateMachineDiscipline(t *testing.T) {
+	cfg := testConfig(1, 4)
+	srv, err := NewServer(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Absorb(nil); err == nil {
+		t.Error("accepted wrong-width share vector")
+	}
+	if _, err := srv.Finalize(); err == nil {
+		t.Error("Finalize before coins accepted")
+	}
+	if err := srv.SetPublicCoins(nil); err == nil {
+		t.Error("SetPublicCoins before CommitCoins accepted")
+	}
+	if _, err := srv.CommitAggregate(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CommitAggregate(nil); err == nil {
+		t.Error("double CommitAggregate accepted")
+	}
+	if _, err := srv.CommitCoins(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CommitCoins(nil); err == nil {
+		t.Error("double CommitCoins accepted")
+	}
+	if err := srv.SetPublicCoins([][]byte{{0, 1}}); err == nil {
+		t.Error("wrong coin count accepted")
+	}
+}
+
+func TestVerifyServerValidation(t *testing.T) {
+	cfg := testConfig(1, 4)
+	if err := VerifyServer(cfg, nil, nil, nil, nil); !errors.Is(err, ErrCheat) {
+		t.Error("nil messages accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package pedersen
+
+import (
+	"sync"
+
+	"repro/internal/field"
+	"repro/internal/group"
+)
+
+// Fixed-base acceleration: commitments always exponentiate the two public
+// generators, so per-group precomputed tables turn Com(x, r) from two full
+// exponentiations into ~64 group operations (see group.Precomp). Tables are
+// built lazily on first use and shared across all Params instances over the
+// same group — generators are deterministic per group, so the cache key is
+// the group itself.
+
+type generatorTables struct {
+	g *group.Precomp
+	h *group.Precomp
+}
+
+var (
+	precompMu    sync.Mutex
+	precompCache = map[group.Group]*generatorTables{}
+)
+
+// tables returns (building if needed) the fixed-base tables for p's group.
+func (p *Params) tables() *generatorTables {
+	precompMu.Lock()
+	defer precompMu.Unlock()
+	if t, ok := precompCache[p.grp]; ok {
+		return t
+	}
+	t := &generatorTables{
+		g: group.NewPrecomp(p.grp, p.grp.Generator()),
+		h: group.NewPrecomp(p.grp, p.grp.AltGenerator()),
+	}
+	precompCache[p.grp] = t
+	return t
+}
+
+// CommitWithFast is CommitWith using the fixed-base tables. It is the
+// default inside this package; the slow path remains exported for
+// cross-checking in tests.
+func (p *Params) commitElement(x, rx *field.Element) group.Element {
+	t := p.tables()
+	return group.Exp2Precomp(t.g, x, t.h, rx)
+}
+
+// ExpG returns g^k via the fixed-base table. Σ-protocol code uses this for
+// announcements and verification equations over the message generator.
+func (p *Params) ExpG(k *field.Element) group.Element { return p.tables().g.Exp(k) }
+
+// ExpH returns h^k via the fixed-base table — the hottest operation in
+// Σ-OR proving and verification, where every equation is a power of h.
+func (p *Params) ExpH(k *field.Element) group.Element { return p.tables().h.Exp(k) }

@@ -1,0 +1,202 @@
+package sigma
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/field"
+	"repro/internal/group"
+	"repro/internal/pedersen"
+	"repro/internal/transcript"
+)
+
+// BitProof is the Cramer-Damgård-Schoenmakers Σ-OR proof (Appendix C,
+// Figures 5 and 6 of the paper) that a Pedersen commitment c lies in
+//
+//	L_Bit = { c : x ∈ {0,1} ∧ c = Com(x, r) }   (equation (3))
+//
+// without revealing which bit. The two disjuncts are Schnorr statements over
+// base h:
+//
+//	branch 0:  c       = h^r   (x = 0)
+//	branch 1:  c ⊘ g   = h^r   (x = 1)
+//
+// The prover runs the real protocol on the true branch and the simulator on
+// the false one, splitting the challenge e = e0 + e1.
+type BitProof struct {
+	A0, A1 group.Element  // announcements d0, d1
+	E0, E1 *field.Element // challenge shares, e0+e1 = e
+	Z0, Z1 *field.Element // responses v0, v1 in the paper's notation
+}
+
+func bitTranscript(pp *pedersen.Params, c *pedersen.Commitment) *transcript.Transcript {
+	g := pp.Group()
+	tr := transcript.New("sigma-or-bit/" + g.Name())
+	tr.Append("g", g.Encode(pp.G()))
+	tr.Append("h", g.Encode(pp.H()))
+	tr.Append("C", c.Bytes())
+	return tr
+}
+
+// bitStatements returns the two disjunct statements (X0, X1) for commitment
+// c: X0 = c and X1 = c ⊘ g, both claimed to be powers of h.
+func bitStatements(pp *pedersen.Params, c *pedersen.Commitment) (x0, x1 group.Element) {
+	g := pp.Group()
+	return c.Element(), g.Op(c.Element(), g.Inv(pp.G()))
+}
+
+// ProveBit produces a non-interactive Σ-OR proof that c = Com(x, r) with
+// x ∈ {0,1}. It returns an error for x outside {0,1}: an honest caller never
+// does this, and refusing early avoids emitting a proof that cannot verify.
+// ctx binds the proof to an enclosing session.
+func ProveBit(pp *pedersen.Params, c *pedersen.Commitment, x, r *field.Element, ctx []byte, rnd io.Reader) (*BitProof, error) {
+	f := pp.ScalarField()
+	var bit int
+	switch {
+	case x.IsZero():
+		bit = 0
+	case x.IsOne():
+		bit = 1
+	default:
+		return nil, fmt.Errorf("sigma: ProveBit called with non-bit value %v", x)
+	}
+	g := pp.Group()
+	x0, x1 := bitStatements(pp, c)
+	stmts := [2]group.Element{x0, x1}
+
+	// Simulate the false branch: pick (eFalse, zFalse) at random and solve
+	// for the announcement aFalse = h^zFalse ∘ XFalse^{-eFalse}.
+	eFalse, err := f.Rand(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("sigma: %w", err)
+	}
+	zFalse, err := f.Rand(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("sigma: %w", err)
+	}
+	// Real branch announcement: a = h^t.
+	t, err := f.Rand(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("sigma: %w", err)
+	}
+
+	falseBranch := 1 - bit
+	aFalse := g.Op(pp.ExpH(zFalse), g.Inv(g.Exp(stmts[falseBranch], eFalse)))
+	aTrue := pp.ExpH(t)
+
+	var a0, a1 group.Element
+	if bit == 0 {
+		a0, a1 = aTrue, aFalse
+	} else {
+		a0, a1 = aFalse, aTrue
+	}
+
+	tr := bitTranscript(pp, c)
+	tr.Append("ctx", ctx)
+	tr.Append("A0", g.Encode(a0))
+	tr.Append("A1", g.Encode(a1))
+	e := tr.Challenge("e", f)
+
+	eTrue := e.Sub(eFalse)
+	zTrue := t.Add(eTrue.Mul(r))
+
+	p := &BitProof{A0: a0, A1: a1}
+	if bit == 0 {
+		p.E0, p.Z0 = eTrue, zTrue
+		p.E1, p.Z1 = eFalse, zFalse
+	} else {
+		p.E0, p.Z0 = eFalse, zFalse
+		p.E1, p.Z1 = eTrue, zTrue
+	}
+	return p, nil
+}
+
+// VerifyBit checks a Σ-OR bit proof: e0+e1 must equal the Fiat-Shamir
+// challenge, and both branch verification equations must hold
+// (h^z0 = A0 ∘ c^e0 and h^z1 = A1 ∘ (c⊘g)^e1, Line 9 of Figures 5-6).
+func VerifyBit(pp *pedersen.Params, c *pedersen.Commitment, p *BitProof, ctx []byte) error {
+	if p == nil || p.A0 == nil || p.A1 == nil || p.E0 == nil || p.E1 == nil || p.Z0 == nil || p.Z1 == nil {
+		return fmt.Errorf("%w: incomplete bit proof", ErrVerify)
+	}
+	g := pp.Group()
+	f := pp.ScalarField()
+	tr := bitTranscript(pp, c)
+	tr.Append("ctx", ctx)
+	tr.Append("A0", g.Encode(p.A0))
+	tr.Append("A1", g.Encode(p.A1))
+	e := tr.Challenge("e", f)
+	if !p.E0.Add(p.E1).Equal(e) {
+		return fmt.Errorf("%w: challenge split does not sum to e", ErrVerify)
+	}
+	x0, x1 := bitStatements(pp, c)
+	if !g.Equal(pp.ExpH(p.Z0), g.Op(p.A0, g.Exp(x0, p.E0))) {
+		return fmt.Errorf("%w: branch-0 equation", ErrVerify)
+	}
+	if !g.Equal(pp.ExpH(p.Z1), g.Op(p.A1, g.Exp(x1, p.E1))) {
+		return fmt.Errorf("%w: branch-1 equation", ErrVerify)
+	}
+	return nil
+}
+
+// VerifyBits checks a batch of bit proofs for distinct commitments,
+// returning the index of the first failure. This is the verifier's
+// Σ-verification stage in Table 1 of the paper; proofs are independent so
+// the work is embarrassingly parallel (the experiments package measures the
+// sequential cost, matching the paper's single-core accounting).
+func VerifyBits(pp *pedersen.Params, cs []*pedersen.Commitment, ps []*BitProof, ctx []byte) error {
+	if len(cs) != len(ps) {
+		return fmt.Errorf("%w: %d commitments but %d proofs", ErrVerify, len(cs), len(ps))
+	}
+	for i := range cs {
+		if err := VerifyBit(pp, cs[i], ps[i], ctx); err != nil {
+			return fmt.Errorf("index %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SimulateBit produces, for ANY commitment c (even one not in L_Bit), a
+// proof-shaped transcript that verifies against a programmed challenge.
+// It is the zero-knowledge simulator of the OR proof, used by tests to
+// establish that transcripts reveal nothing about the witness. The returned
+// proof verifies iff the Fiat-Shamir challenge happens to equal e0+e1, so
+// callers must use SimulateBitWithChallenge for interactive-style checks.
+func SimulateBitWithChallenge(pp *pedersen.Params, c *pedersen.Commitment, e *field.Element, rnd io.Reader) (*BitProof, error) {
+	f := pp.ScalarField()
+	g := pp.Group()
+	e0, err := f.Rand(rnd)
+	if err != nil {
+		return nil, err
+	}
+	z0, err := f.Rand(rnd)
+	if err != nil {
+		return nil, err
+	}
+	z1, err := f.Rand(rnd)
+	if err != nil {
+		return nil, err
+	}
+	e1 := e.Sub(e0)
+	x0, x1 := bitStatements(pp, c)
+	a0 := g.Op(pp.ExpH(z0), g.Inv(g.Exp(x0, e0)))
+	a1 := g.Op(pp.ExpH(z1), g.Inv(g.Exp(x1, e1)))
+	return &BitProof{A0: a0, A1: a1, E0: e0, E1: e1, Z0: z0, Z1: z1}, nil
+}
+
+// CheckBitTranscript verifies the three-move algebra of a (possibly
+// simulated) transcript against an explicit challenge, bypassing Fiat-
+// Shamir. Used to compare real and simulated transcript distributions.
+func CheckBitTranscript(pp *pedersen.Params, c *pedersen.Commitment, p *BitProof, e *field.Element) error {
+	g := pp.Group()
+	if !p.E0.Add(p.E1).Equal(e) {
+		return fmt.Errorf("%w: challenge split", ErrVerify)
+	}
+	x0, x1 := bitStatements(pp, c)
+	if !g.Equal(pp.ExpH(p.Z0), g.Op(p.A0, g.Exp(x0, p.E0))) {
+		return fmt.Errorf("%w: branch-0 equation", ErrVerify)
+	}
+	if !g.Equal(pp.ExpH(p.Z1), g.Op(p.A1, g.Exp(x1, p.E1))) {
+		return fmt.Errorf("%w: branch-1 equation", ErrVerify)
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+// Package sketch reimplements the PRIO/Poplar-style client-input validation
+// baseline the paper compares against: the Boyle-Gilboa-Ishai random linear
+// sketch [BGI16] that lets K servers check, over additive shares and
+// without public-key cryptography, that a client's input is a one-hot
+// vector.
+//
+// For input x ∈ Z_q^M and a public random vector r, the servers compute
+//
+//	z  = ⟨r, x⟩,   z* = ⟨r∘r, x⟩,   w = ⟨1, x⟩
+//
+// from their shares and test z² = z* ∧ w = 1. For a one-hot x with hot
+// index j this holds identically (z = r_j, z* = r_j²); for any x outside
+// the language it fails with probability 1 - O(M/q) over the choice of r.
+//
+// The protocol is fast — two length-M inner products per server versus M
+// Σ-OR proofs (≈ 6M group exponentiations) for the paper's approach, the
+// order-of-magnitude gap shown in Figure 4 — but it is *not* verifiable in
+// the sense of Definition 7. This package also implements the two Figure 1
+// attacks that exploit that gap:
+//
+//   - ExclusionAttack (Figure 1a): a corrupted server ignores the honest
+//     client's share and substitutes garbage; the sketch check fails and
+//     the honest client is silently excluded, with no evidence
+//     distinguishing a cheating server from a cheating client.
+//
+//   - CollusionAttack (Figure 1b): a client reveals its shares to a
+//     corrupted server, which then adjusts its sketch responses so an
+//     illegal input passes validation.
+//
+// Both attacks succeed here and are structurally impossible against
+// internal/vdp, which is the executable content of Table 2's "Auditable"
+// column.
+package sketch
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/field"
+	"repro/internal/share"
+)
+
+// Params fixes the field and input dimensionality.
+type Params struct {
+	F *field.Field
+	M int // histogram bins
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.F == nil {
+		return fmt.Errorf("sketch: nil field")
+	}
+	if p.M < 1 {
+		return fmt.Errorf("sketch: need at least 1 bin, got %d", p.M)
+	}
+	return nil
+}
+
+// ClientShares is a client's submission: additive shares of its (claimed)
+// one-hot vector for each of the two servers.
+type ClientShares struct {
+	// Shares[k][j] is server k's share of coordinate j.
+	Shares [2][]*field.Element
+}
+
+// ShareOneHot builds an honest client submission with a 1 at index hot.
+func ShareOneHot(p Params, hot int, rnd io.Reader) (*ClientShares, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if hot < 0 || hot >= p.M {
+		return nil, fmt.Errorf("sketch: hot index %d out of [0,%d)", hot, p.M)
+	}
+	cs := &ClientShares{}
+	cs.Shares[0] = make([]*field.Element, p.M)
+	cs.Shares[1] = make([]*field.Element, p.M)
+	for j := 0; j < p.M; j++ {
+		v := p.F.Zero()
+		if j == hot {
+			v = p.F.One()
+		}
+		sh, err := share.Additive(v, 2, rnd)
+		if err != nil {
+			return nil, err
+		}
+		cs.Shares[0][j] = sh[0]
+		cs.Shares[1][j] = sh[1]
+	}
+	return cs, nil
+}
+
+// ShareVector builds a submission for an arbitrary (possibly illegal)
+// vector — used by attack scenarios.
+func ShareVector(p Params, vec []*field.Element, rnd io.Reader) (*ClientShares, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(vec) != p.M {
+		return nil, fmt.Errorf("sketch: vector has %d coordinates, want %d", len(vec), p.M)
+	}
+	cs := &ClientShares{}
+	cs.Shares[0] = make([]*field.Element, p.M)
+	cs.Shares[1] = make([]*field.Element, p.M)
+	for j, v := range vec {
+		sh, err := share.Additive(v, 2, rnd)
+		if err != nil {
+			return nil, err
+		}
+		cs.Shares[0][j] = sh[0]
+		cs.Shares[1][j] = sh[1]
+	}
+	return cs, nil
+}
+
+// Challenge is the public sketch randomness: r and its coordinate-wise
+// square. In the deployed systems the servers derive it jointly; here the
+// caller samples it once per client validation.
+type Challenge struct {
+	R  []*field.Element
+	R2 []*field.Element
+}
+
+// NewChallenge samples sketch randomness of dimension M.
+func NewChallenge(p Params, rnd io.Reader) (*Challenge, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ch := &Challenge{R: make([]*field.Element, p.M), R2: make([]*field.Element, p.M)}
+	for j := 0; j < p.M; j++ {
+		r, err := p.F.Rand(rnd)
+		if err != nil {
+			return nil, err
+		}
+		ch.R[j] = r
+		ch.R2[j] = r.Square()
+	}
+	return ch, nil
+}
+
+// ServerSketch is one server's local contribution to the check: the three
+// inner products over its shares.
+type ServerSketch struct {
+	Z  *field.Element // ⟨r, x_k⟩
+	Z2 *field.Element // ⟨r², x_k⟩
+	W  *field.Element // ⟨1, x_k⟩
+}
+
+// ComputeSketch evaluates a server's sketch shares honestly.
+func ComputeSketch(ch *Challenge, shares []*field.Element) (*ServerSketch, error) {
+	if len(shares) != len(ch.R) {
+		return nil, fmt.Errorf("sketch: share vector has %d coordinates, want %d", len(shares), len(ch.R))
+	}
+	f := shares[0].Field()
+	return &ServerSketch{
+		Z:  field.InnerProduct(ch.R, shares),
+		Z2: field.InnerProduct(ch.R2, shares),
+		W:  f.Sum(shares...),
+	}, nil
+}
+
+// VerifySketches combines the two servers' sketch shares and applies the
+// one-hot test: (z0+z1)² = (z0*+z1*) and (w0+w1) = 1.
+func VerifySketches(f *field.Field, s0, s1 *ServerSketch) bool {
+	z := s0.Z.Add(s1.Z)
+	z2 := s0.Z2.Add(s1.Z2)
+	w := s0.W.Add(s1.W)
+	return z.Square().Equal(z2) && w.IsOne()
+}
+
+// ValidateClient is the honest two-server validation flow for one client.
+func ValidateClient(p Params, cs *ClientShares, rnd io.Reader) (bool, error) {
+	ch, err := NewChallenge(p, rnd)
+	if err != nil {
+		return false, err
+	}
+	s0, err := ComputeSketch(ch, cs.Shares[0])
+	if err != nil {
+		return false, err
+	}
+	s1, err := ComputeSketch(ch, cs.Shares[1])
+	if err != nil {
+		return false, err
+	}
+	return VerifySketches(p.F, s0, s1), nil
+}
+
+// ExclusionAttack mounts Figure 1(a): server 1 is corrupted and evaluates
+// its sketch over garbage instead of the honest client's real share. It
+// returns the validation verdict the servers reach — false, i.e. the
+// honest client is excluded — and, crucially, there is no artifact an
+// auditor could use to attribute the failure to the server rather than the
+// client.
+func ExclusionAttack(p Params, cs *ClientShares, rnd io.Reader) (clientAccepted bool, err error) {
+	ch, err := NewChallenge(p, rnd)
+	if err != nil {
+		return false, err
+	}
+	s0, err := ComputeSketch(ch, cs.Shares[0])
+	if err != nil {
+		return false, err
+	}
+	// Corrupted server: substitute a random share vector.
+	garbage := make([]*field.Element, p.M)
+	for j := range garbage {
+		g, err := p.F.Rand(rnd)
+		if err != nil {
+			return false, err
+		}
+		garbage[j] = g
+	}
+	s1, err := ComputeSketch(ch, garbage)
+	if err != nil {
+		return false, err
+	}
+	return VerifySketches(p.F, s0, s1), nil
+}
+
+// CollusionAttack mounts Figure 1(b): the client submits shares of an
+// *illegal* vector (e.g. 5 votes in one bin) and reveals everything to the
+// corrupted server 1, which then forges its sketch shares so the combined
+// check passes. It returns the verdict — true, i.e. the illegal input is
+// admitted — along with the illegal vector that got in.
+func CollusionAttack(p Params, illegal []*field.Element, rnd io.Reader) (clientAccepted bool, err error) {
+	cs, err := ShareVector(p, illegal, rnd)
+	if err != nil {
+		return false, err
+	}
+	ch, err := NewChallenge(p, rnd)
+	if err != nil {
+		return false, err
+	}
+	// Honest server 0 computes its sketch truthfully.
+	s0, err := ComputeSketch(ch, cs.Shares[0])
+	if err != nil {
+		return false, err
+	}
+	// Corrupted server 1 knows the full input (the client revealed it), so
+	// it can compute what the combined sketch *should* look like for some
+	// legal one-hot decoy and publish the difference: z1 = z_decoy - z0,
+	// z2_1 = z2_decoy - z2_0, w1 = 1 - w0.
+	f := p.F
+	decoyZ := ch.R[0] // pretend x = e_0
+	decoyZ2 := ch.R2[0]
+	s1 := &ServerSketch{
+		Z:  decoyZ.Sub(s0.Z),
+		Z2: decoyZ2.Sub(s0.Z2),
+		W:  f.One().Sub(s0.W),
+	}
+	return VerifySketches(p.F, s0, s1), nil
+}

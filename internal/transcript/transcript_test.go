@@ -1,0 +1,130 @@
+package transcript
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"repro/internal/field"
+)
+
+var f = field.MustNewFromHex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+
+func TestDeterministic(t *testing.T) {
+	mk := func() *field.Element {
+		tr := New("test")
+		tr.Append("a", []byte("hello"))
+		tr.AppendScalar("b", f.FromInt64(7))
+		return tr.Challenge("c", f)
+	}
+	if !mk().Equal(mk()) {
+		t.Error("identical transcripts produced different challenges")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	t1 := New("proto-1")
+	t2 := New("proto-2")
+	t1.Append("a", []byte("x"))
+	t2.Append("a", []byte("x"))
+	if t1.Challenge("c", f).Equal(t2.Challenge("c", f)) {
+		t.Error("different domains produced equal challenges")
+	}
+}
+
+func TestLabelSeparation(t *testing.T) {
+	t1 := New("p")
+	t2 := New("p")
+	t1.Append("label1", []byte("x"))
+	t2.Append("label2", []byte("x"))
+	if t1.Challenge("c", f).Equal(t2.Challenge("c", f)) {
+		t.Error("different labels produced equal challenges")
+	}
+}
+
+// TestFramingUnambiguous: moving a byte across a message boundary must
+// change the challenge, i.e. ("ab","c") != ("a","bc").
+func TestFramingUnambiguous(t *testing.T) {
+	t1 := New("p")
+	t2 := New("p")
+	t1.Append("m", []byte("ab"))
+	t1.Append("m", []byte("c"))
+	t2.Append("m", []byte("a"))
+	t2.Append("m", []byte("bc"))
+	if t1.Challenge("c", f).Equal(t2.Challenge("c", f)) {
+		t.Error("framing is ambiguous across message boundaries")
+	}
+}
+
+func TestOrderMatters(t *testing.T) {
+	t1 := New("p")
+	t2 := New("p")
+	t1.Append("m", []byte("a"))
+	t1.Append("m", []byte("b"))
+	t2.Append("m", []byte("b"))
+	t2.Append("m", []byte("a"))
+	if t1.Challenge("c", f).Equal(t2.Challenge("c", f)) {
+		t.Error("message order does not affect challenge")
+	}
+}
+
+func TestSuccessiveChallengesDiffer(t *testing.T) {
+	tr := New("p")
+	tr.Append("m", []byte("x"))
+	c1 := tr.Challenge("c", f)
+	c2 := tr.Challenge("c", f)
+	if c1.Equal(c2) {
+		t.Error("successive squeezes returned the same challenge")
+	}
+}
+
+func TestChallengeInField(t *testing.T) {
+	small := field.MustNew(big.NewInt(101))
+	tr := New("p")
+	for i := 0; i < 50; i++ {
+		c := tr.Challenge("c", small)
+		if c.BigInt().Cmp(small.Modulus()) >= 0 {
+			t.Fatal("challenge out of field range")
+		}
+	}
+}
+
+func TestChallengeBytes(t *testing.T) {
+	tr := New("p")
+	b1 := tr.ChallengeBytes("x", 100)
+	if len(b1) != 100 {
+		t.Fatalf("got %d bytes", len(b1))
+	}
+	b2 := tr.ChallengeBytes("x", 100)
+	if bytes.Equal(b1, b2) {
+		t.Error("successive byte squeezes equal")
+	}
+	if bytes.Equal(b1[:32], b1[32:64]) {
+		t.Error("expansion blocks repeat")
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := New("p")
+	tr.Append("m", []byte("x"))
+	cp := tr.Clone()
+	// Diverge the copy; the original must be unaffected.
+	cp.Append("m", []byte("y"))
+	c1 := tr.Challenge("c", f)
+	tr2 := New("p")
+	tr2.Append("m", []byte("x"))
+	if !c1.Equal(tr2.Challenge("c", f)) {
+		t.Error("Clone mutated the original transcript")
+	}
+}
+
+func TestAppendScalarMatchesAppendBytes(t *testing.T) {
+	x := f.FromInt64(12345)
+	t1 := New("p")
+	t2 := New("p")
+	t1.AppendScalar("s", x)
+	t2.Append("s", x.Bytes())
+	if !t1.Challenge("c", f).Equal(t2.Challenge("c", f)) {
+		t.Error("AppendScalar is not Append of canonical bytes")
+	}
+}

@@ -1,0 +1,215 @@
+// Package transport provides the message-passing substrate for running the
+// verifiable DP protocol across processes: a length-prefixed framed codec
+// over any io.ReadWriter, a TCP server that dispatches frames to a handler,
+// and an in-memory duplex connection for tests.
+//
+// The protocol layers above exchange opaque []byte payloads produced by the
+// wire encoders in internal/vdp, so the transport needs no knowledge of
+// commitments or proofs — and, symmetrically, a hostile transport peer can
+// only deliver bytes that the vdp decoders fully validate.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrameSize bounds a frame's payload (16 MiB): large enough for any
+// realistic submission, small enough that a hostile peer cannot force an
+// unbounded allocation.
+const MaxFrameSize = 16 << 20
+
+// Frame is one protocol message.
+type Frame struct {
+	// Kind tags the message type (e.g. "submit-public", "submit-payload",
+	// "release"). The protocol layer dispatches on it.
+	Kind string
+	// Sender is the logical sender ID (client or prover index).
+	Sender int
+	// Payload is an opaque wire-encoded body.
+	Payload []byte
+}
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
+// WriteFrame writes a frame with a fixed header:
+// u32 kindLen | kind | i64 sender | u32 payloadLen | payload.
+func WriteFrame(w io.Writer, f *Frame) error {
+	if len(f.Payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	if len(f.Kind) > 255 {
+		return fmt.Errorf("transport: kind %q too long", f.Kind)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(f.Kind)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: writing frame header: %w", err)
+	}
+	if _, err := io.WriteString(w, f.Kind); err != nil {
+		return fmt.Errorf("transport: writing kind: %w", err)
+	}
+	var snd [8]byte
+	binary.BigEndian.PutUint64(snd[:], uint64(int64(f.Sender)))
+	if _, err := w.Write(snd[:]); err != nil {
+		return fmt.Errorf("transport: writing sender: %w", err)
+	}
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: writing payload length: %w", err)
+	}
+	if _, err := w.Write(f.Payload); err != nil {
+		return fmt.Errorf("transport: writing payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, enforcing the size limits.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF propagates for clean shutdown detection
+	}
+	kindLen := binary.BigEndian.Uint32(hdr[:])
+	if kindLen > 255 {
+		return nil, fmt.Errorf("transport: kind length %d out of range", kindLen)
+	}
+	kind := make([]byte, kindLen)
+	if _, err := io.ReadFull(r, kind); err != nil {
+		return nil, fmt.Errorf("transport: reading kind: %w", err)
+	}
+	var snd [8]byte
+	if _, err := io.ReadFull(r, snd[:]); err != nil {
+		return nil, fmt.Errorf("transport: reading sender: %w", err)
+	}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: reading payload length: %w", err)
+	}
+	payloadLen := binary.BigEndian.Uint32(hdr[:])
+	if payloadLen > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: reading payload: %w", err)
+	}
+	return &Frame{
+		Kind:    string(kind),
+		Sender:  int(int64(binary.BigEndian.Uint64(snd[:]))),
+		Payload: payload,
+	}, nil
+}
+
+// Handler processes one inbound frame and may return reply frames to send
+// back on the same connection.
+type Handler func(f *Frame) ([]*Frame, error)
+
+// Server accepts TCP connections and dispatches inbound frames to a
+// handler. One goroutine per connection; the handler must be safe for
+// concurrent use.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:7001").
+func Listen(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	s := &Server{ln: ln, handler: h}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF or malformed peer: drop the connection
+		}
+		replies, err := s.handler(f)
+		if err != nil {
+			// Send an error frame so the peer knows why it was dropped.
+			_ = WriteFrame(conn, &Frame{Kind: "error", Payload: []byte(err.Error())})
+			return
+		}
+		for _, r := range replies {
+			if err := WriteFrame(conn, r); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Dial opens a client connection.
+func Dial(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return conn, nil
+}
+
+// Pipe returns an in-memory connection pair carrying frames, for tests.
+func Pipe() (a, b io.ReadWriteCloser) {
+	ar, bw := io.Pipe()
+	br, aw := io.Pipe()
+	return &pipeConn{r: ar, w: aw}, &pipeConn{r: br, w: bw}
+}
+
+type pipeConn struct {
+	r *io.PipeReader
+	w *io.PipeWriter
+}
+
+func (p *pipeConn) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p *pipeConn) Write(b []byte) (int, error) { return p.w.Write(b) }
+func (p *pipeConn) Close() error {
+	p.r.Close()
+	return p.w.Close()
+}

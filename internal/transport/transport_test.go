@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Kind: "submit", Sender: 7, Payload: []byte("hello")},
+		{Kind: "ack", Sender: 0, Payload: nil},
+		{Kind: "x", Sender: -3, Payload: bytes.Repeat([]byte{0xab}, 10000)},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != want.Kind || got.Sender != want.Sender || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("round trip mismatch: %+v vs %+v", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("expected EOF after last frame, got %v", err)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	if err := WriteFrame(io.Discard, &Frame{Kind: strings.Repeat("k", 300)}); err == nil {
+		t.Error("accepted oversized kind")
+	}
+	// Oversized payload announcement on the read side.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 1}) // kind len 1
+	buf.WriteByte('x')
+	buf.Write(make([]byte, 8))                // sender
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // payload len 4 GiB
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized payload not rejected: %v", err)
+	}
+	// Oversized kind announcement.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 1, 0}) // kind len 256
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized kind not rejected")
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Kind: "submit", Payload: []byte("data")}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 3 {
+		if _, err := ReadFrame(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestServerEcho(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", func(f *Frame) ([]*Frame, error) {
+		if f.Kind == "boom" {
+			return nil, fmt.Errorf("handler rejected %q", f.Kind)
+		}
+		return []*Frame{{Kind: "echo", Sender: f.Sender, Payload: f.Payload}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, &Frame{Kind: "ping", Sender: 5, Payload: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != "echo" || reply.Sender != 5 || string(reply.Payload) != "abc" {
+		t.Errorf("bad echo: %+v", reply)
+	}
+
+	// Handler error surfaces as an error frame, then the server drops us.
+	if err := WriteFrame(conn, &Frame{Kind: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != "error" || !strings.Contains(string(reply.Payload), "rejected") {
+		t.Errorf("expected error frame, got %+v", reply)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	srv, err := Listen("127.0.0.1:0", func(f *Frame) ([]*Frame, error) {
+		mu.Lock()
+		seen[f.Sender] = true
+		mu.Unlock()
+		return []*Frame{{Kind: "ack"}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			if err := WriteFrame(conn, &Frame{Kind: "hi", Sender: id}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := ReadFrame(conn); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 8 {
+		t.Errorf("saw %d/8 clients", len(seen))
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", func(f *Frame) ([]*Frame, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+}
+
+func TestPipe(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		_ = WriteFrame(a, &Frame{Kind: "over-pipe", Payload: []byte("x")})
+	}()
+	f, err := ReadFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != "over-pipe" {
+		t.Errorf("got %+v", f)
+	}
+}

@@ -1,0 +1,180 @@
+package vdp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/field"
+	"repro/internal/pedersen"
+	"repro/internal/share"
+	"repro/internal/sigma"
+)
+
+// ClientPublic is the part of a client submission that goes on the public
+// bulletin board: the commitment matrix to all shares and the legality
+// proof over the derived per-bin commitments (Line 2 of Figure 2). Everyone
+// — verifier, provers, outside auditors — sees it.
+type ClientPublic struct {
+	ID int
+	// ShareCommitments[j][k] commits to the k'th share of bin j.
+	ShareCommitments [][]*pedersen.Commitment
+	// BitProof proves the derived commitment opens to a bit (M = 1).
+	BitProof *sigma.BitProof
+	// OneHotProof proves the derived commitments form a one-hot vector
+	// (M ≥ 2).
+	OneHotProof *sigma.OneHotProof
+}
+
+// ClientPayload is the private message a client sends to one prover: the
+// openings of that prover's column of the commitment matrix — i.e. the
+// shares themselves with their commitment randomness.
+type ClientPayload struct {
+	ClientID int
+	Prover   int
+	// Openings[j] opens ShareCommitments[j][Prover].
+	Openings []*pedersen.Opening
+}
+
+// ClientSubmission bundles the public and private parts produced by a
+// client.
+type ClientSubmission struct {
+	Public   *ClientPublic
+	Payloads []*ClientPayload // one per prover
+}
+
+// NewClientSubmission prepares client clientID's submission for input
+// `choice`. For M = 1 the input is a bit: choice 0 or 1 (the value itself).
+// For M ≥ 2 the input is a one-hot vector with a 1 at index choice
+// ∈ [0, M).
+func (p *Public) NewClientSubmission(clientID, choice int, rnd io.Reader) (*ClientSubmission, error) {
+	f := p.Field()
+	m := p.cfg.Bins
+	k := p.cfg.Provers
+
+	vec := make([]*field.Element, m)
+	if m == 1 {
+		if choice != 0 && choice != 1 {
+			return nil, fmt.Errorf("%w: counting-query input must be 0 or 1, got %d", ErrClientReject, choice)
+		}
+		vec[0] = f.FromInt64(int64(choice))
+	} else {
+		if choice < 0 || choice >= m {
+			return nil, fmt.Errorf("%w: histogram choice %d out of [0,%d)", ErrClientReject, choice, m)
+		}
+		for j := range vec {
+			vec[j] = f.Zero()
+		}
+		vec[choice] = f.One()
+	}
+
+	pub := &ClientPublic{ID: clientID, ShareCommitments: make([][]*pedersen.Commitment, m)}
+	payloads := make([]*ClientPayload, k)
+	for pk := 0; pk < k; pk++ {
+		payloads[pk] = &ClientPayload{ClientID: clientID, Prover: pk, Openings: make([]*pedersen.Opening, m)}
+	}
+
+	// Derived per-bin commitments c_j = Π_k c_{j,k} = Com(x_j, Σ_k r_{j,k})
+	// and their openings, which feed the legality proof.
+	derived := make([]*pedersen.Commitment, m)
+	derivedOpen := make([]*pedersen.Opening, m)
+
+	for j := 0; j < m; j++ {
+		shares, err := share.Additive(vec[j], k, rnd)
+		if err != nil {
+			return nil, err
+		}
+		pub.ShareCommitments[j] = make([]*pedersen.Commitment, k)
+		sumR := f.Zero()
+		for pk := 0; pk < k; pk++ {
+			c, r, err := p.pp.Commit(shares[pk], rnd)
+			if err != nil {
+				return nil, err
+			}
+			pub.ShareCommitments[j][pk] = c
+			payloads[pk].Openings[j] = &pedersen.Opening{X: shares[pk], R: r}
+			sumR = sumR.Add(r)
+		}
+		derived[j] = pedersen.Sum(p.pp, pub.ShareCommitments[j]...)
+		derivedOpen[j] = &pedersen.Opening{X: vec[j], R: sumR}
+	}
+
+	ctx := p.clientContext(clientID)
+	if m == 1 {
+		bp, err := sigma.ProveBit(p.pp, derived[0], derivedOpen[0].X, derivedOpen[0].R, ctx, rnd)
+		if err != nil {
+			return nil, err
+		}
+		pub.BitProof = bp
+	} else {
+		ohp, err := sigma.ProveOneHot(p.pp, derived, derivedOpen, ctx, rnd)
+		if err != nil {
+			return nil, err
+		}
+		pub.OneHotProof = ohp
+	}
+	return &ClientSubmission{Public: pub, Payloads: payloads}, nil
+}
+
+// derivedCommitments recomputes c_j = Π_k c_{j,k} from a public submission.
+func (p *Public) derivedCommitments(pub *ClientPublic) ([]*pedersen.Commitment, error) {
+	if len(pub.ShareCommitments) != p.cfg.Bins {
+		return nil, fmt.Errorf("%w: client %d committed %d bins, want %d",
+			ErrClientReject, pub.ID, len(pub.ShareCommitments), p.cfg.Bins)
+	}
+	out := make([]*pedersen.Commitment, p.cfg.Bins)
+	for j, row := range pub.ShareCommitments {
+		if len(row) != p.cfg.Provers {
+			return nil, fmt.Errorf("%w: client %d bin %d has %d share commitments, want %d",
+				ErrClientReject, pub.ID, j, len(row), p.cfg.Provers)
+		}
+		out[j] = pedersen.Sum(p.pp, row...)
+	}
+	return out, nil
+}
+
+// VerifyClient runs the public legality check of Line 3 of Figure 2 against
+// a client's bulletin-board submission. A nil return marks the client valid;
+// an ErrClientReject-wrapped error gives the publicly attributable reason.
+// Because the check uses only public data, every party reaches the same
+// verdict — this is the public record that defeats the Figure 1 attacks
+// (a prover cannot silently exclude a client that passed, nor include one
+// that failed).
+func (p *Public) VerifyClient(pub *ClientPublic) error {
+	derived, err := p.derivedCommitments(pub)
+	if err != nil {
+		return err
+	}
+	ctx := p.clientContext(pub.ID)
+	if p.cfg.Bins == 1 {
+		if pub.BitProof == nil {
+			return fmt.Errorf("%w: client %d missing bit proof", ErrClientReject, pub.ID)
+		}
+		if err := sigma.VerifyBit(p.pp, derived[0], pub.BitProof, ctx); err != nil {
+			return fmt.Errorf("%w: client %d: %v", ErrClientReject, pub.ID, err)
+		}
+		return nil
+	}
+	if pub.OneHotProof == nil {
+		return fmt.Errorf("%w: client %d missing one-hot proof", ErrClientReject, pub.ID)
+	}
+	if err := sigma.VerifyOneHot(p.pp, derived, pub.OneHotProof, ctx); err != nil {
+		return fmt.Errorf("%w: client %d: %v", ErrClientReject, pub.ID, err)
+	}
+	return nil
+}
+
+// FilterValidClients applies VerifyClient to a batch and partitions it into
+// the accepted set and a map of rejection reasons. The accepted set is the
+// public roster of inputs the protocol will aggregate; from Line 3 on, "the
+// protocol only uses inputs from validated clients".
+func (p *Public) FilterValidClients(pubs []*ClientPublic) (valid []*ClientPublic, rejected map[int]error) {
+	rejected = make(map[int]error)
+	for _, c := range pubs {
+		if err := p.VerifyClient(c); err != nil {
+			rejected[c.ID] = err
+			continue
+		}
+		valid = append(valid, c)
+	}
+	return valid, rejected
+}

@@ -1,0 +1,266 @@
+package vdp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/morra"
+)
+
+// MorraRecord is the public transcript of one O_morra realisation: the
+// 2-party Πmorra run between a prover and the verifier that produced the
+// prover's public coins. Recording the commit and reveal messages lets any
+// auditor recompute the coins and verify nobody equivocated.
+type MorraRecord struct {
+	Prover  int
+	Commits []*morra.CommitMsg
+	Reveals []*morra.RevealMsg
+}
+
+// Transcript is the complete public record of a ΠBin execution — exactly
+// the bulletin-board contents. Audit re-derives every verifier verdict from
+// it, so a release is trustworthy iff its transcript audits cleanly.
+type Transcript struct {
+	Clients  []*ClientPublic
+	CoinMsgs []*CoinCommitMsg // one per prover, indexed by position
+	Morra    []*MorraRecord   // one per prover
+	Outputs  []*ProverOutput  // one per prover
+	Release  *Release
+}
+
+// RunOptions configures a local protocol execution.
+type RunOptions struct {
+	// Malice assigns deviations to prover indices; absent provers are
+	// honest.
+	Malice map[int]Malice
+	// Rand is the randomness source (nil = crypto/rand).
+	Rand io.Reader
+}
+
+// RunResult is the outcome of a successful protocol execution.
+type RunResult struct {
+	Release         *Release
+	Transcript      *Transcript
+	RejectedClients map[int]error
+}
+
+// Run executes a full ΠBin instance locally: clients with the given
+// choices, K provers, and the public verifier, with Morra realising the
+// public-coin oracle. It returns an ErrProverCheat-wrapped error the moment
+// the verifier detects a misbehaving prover (which is the point: malice
+// must never produce a silent wrong answer). Rejected clients do not abort
+// the run; they are excluded from the public roster and reported.
+func Run(pub *Public, choices []int, opts *RunOptions) (*RunResult, error) {
+	if opts == nil {
+		opts = &RunOptions{}
+	}
+	rnd := opts.Rand
+
+	// Clients prepare submissions.
+	publics := make([]*ClientPublic, 0, len(choices))
+	payloads := make(map[int][]*ClientPayload, len(choices)) // by client ID
+	for i, choice := range choices {
+		sub, err := pub.NewClientSubmission(i, choice, rnd)
+		if err != nil {
+			return nil, fmt.Errorf("client %d: %w", i, err)
+		}
+		publics = append(publics, sub.Public)
+		payloads[i] = sub.Payloads
+	}
+	return RunWithSubmissions(pub, publics, payloads, opts)
+}
+
+// RunWithSubmissions executes the protocol over pre-built client material,
+// allowing tests to inject malformed or adversarial client submissions.
+// payloads maps client ID to its K per-prover payloads.
+func RunWithSubmissions(pub *Public, publics []*ClientPublic, payloads map[int][]*ClientPayload, opts *RunOptions) (*RunResult, error) {
+	if opts == nil {
+		opts = &RunOptions{}
+	}
+	rnd := opts.Rand
+	k := pub.cfg.Provers
+	m := pub.cfg.Bins
+	nb := pub.nb
+
+	// Line 3: the public verifier fixes the valid-client roster.
+	verifier := NewVerifier(pub)
+	_, rejected := verifier.VerifyClients(publics)
+
+	// Provers ingest the valid clients' payloads.
+	provers := make([]*Prover, k)
+	for pk := 0; pk < k; pk++ {
+		malice := NoMalice
+		if opts.Malice != nil {
+			if mm, ok := opts.Malice[pk]; ok {
+				malice = mm
+			}
+		}
+		pr, err := NewMaliciousProver(pub, pk, malice)
+		if err != nil {
+			return nil, err
+		}
+		provers[pk] = pr
+		for _, cl := range verifier.ValidClients() {
+			pls, ok := payloads[cl.ID]
+			if !ok || len(pls) != k {
+				return nil, fmt.Errorf("%w: client %d on the roster has no payload for prover %d",
+					ErrClientReject, cl.ID, pk)
+			}
+			if err := pr.AcceptClient(cl, pls[pk]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	tr := &Transcript{Clients: publics}
+
+	// Lines 4-6: coin commitments and Σ-OR verification.
+	coinMsgs := make([]*CoinCommitMsg, k)
+	for pk := 0; pk < k; pk++ {
+		msg, err := provers[pk].CommitCoins(rnd)
+		if err != nil {
+			return nil, err
+		}
+		coinMsgs[pk] = msg
+		if err := verifier.VerifyCoinCommitments(msg); err != nil {
+			return nil, err
+		}
+	}
+	tr.CoinMsgs = coinMsgs
+
+	// Lines 7-8: per-prover Morra with the verifier for M·nb public bits.
+	publicBits := make([][][]byte, k)
+	for pk := 0; pk < k; pk++ {
+		bits, record, err := runMorra(pub, pk, m*nb, rnd)
+		if err != nil {
+			return nil, err
+		}
+		tr.Morra = append(tr.Morra, record)
+		publicBits[pk] = reshapeBits(bits, m, nb)
+		if err := provers[pk].SetPublicCoins(publicBits[pk]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Lines 9-13: outputs and the final commitment-product check.
+	outputs := make([]*ProverOutput, k)
+	for pk := 0; pk < k; pk++ {
+		out, err := provers[pk].Finalize()
+		if err != nil {
+			return nil, err
+		}
+		outputs[pk] = out
+		if err := verifier.CheckProverOutput(coinMsgs[pk], publicBits[pk], out); err != nil {
+			return nil, err
+		}
+	}
+	tr.Outputs = outputs
+
+	release, err := verifier.Aggregate(outputs)
+	if err != nil {
+		return nil, err
+	}
+	tr.Release = release
+	return &RunResult{Release: release, Transcript: tr, RejectedClients: rejected}, nil
+}
+
+// runMorra executes the 2-party Πmorra between prover pk and the verifier,
+// returning the flat bit string and the public record.
+func runMorra(pub *Public, pk, batch int, rnd io.Reader) ([]byte, *MorraRecord, error) {
+	parties := make([]*morra.Party, 2)
+	commits := make([]*morra.CommitMsg, 2)
+	for i := range parties {
+		p, err := morra.NewParty(pub.pp, i, 2, batch)
+		if err != nil {
+			return nil, nil, err
+		}
+		parties[i] = p
+		cm, err := p.Commit(rnd)
+		if err != nil {
+			return nil, nil, err
+		}
+		commits[i] = cm
+	}
+	reveals := make([]*morra.RevealMsg, 2)
+	for i := 1; i >= 0; i-- { // reverse reveal order per Algorithm 1
+		rv, err := parties[i].Reveal()
+		if err != nil {
+			return nil, nil, err
+		}
+		reveals[i] = rv
+	}
+	xs, err := morra.Combine(pub.pp, commits, reveals)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: morra with prover %d: %v", ErrProverCheat, pk, err)
+	}
+	return morra.Bits(xs), &MorraRecord{Prover: pk, Commits: commits, Reveals: reveals}, nil
+}
+
+// reshapeBits splits a flat bit string into [bins][nb].
+func reshapeBits(bits []byte, bins, nb int) [][]byte {
+	out := make([][]byte, bins)
+	for j := 0; j < bins; j++ {
+		out[j] = bits[j*nb : (j+1)*nb]
+	}
+	return out
+}
+
+// Audit replays every public verification step from a transcript: client
+// legality, coin-commitment Σ-OR proofs, Morra opening checks and coin
+// recomputation, the Line 13 product check for every prover, and the final
+// aggregation. It returns nil iff an independent auditor would accept the
+// release. This function is the "Auditable" column of Table 2 made
+// executable.
+func Audit(pub *Public, t *Transcript) error {
+	if t == nil || t.Release == nil {
+		return fmt.Errorf("%w: empty transcript", ErrAuditFail)
+	}
+	k := pub.cfg.Provers
+	if len(t.CoinMsgs) != k || len(t.Morra) != k || len(t.Outputs) != k {
+		return fmt.Errorf("%w: transcript covers %d/%d/%d prover records, want %d",
+			ErrAuditFail, len(t.CoinMsgs), len(t.Morra), len(t.Outputs), k)
+	}
+
+	verifier := NewVerifier(pub)
+	verifier.VerifyClients(t.Clients)
+
+	for pk := 0; pk < k; pk++ {
+		msg := t.CoinMsgs[pk]
+		if msg.Prover != pk {
+			return fmt.Errorf("%w: coin message %d claims prover %d", ErrAuditFail, pk, msg.Prover)
+		}
+		if err := verifier.VerifyCoinCommitments(msg); err != nil {
+			return fmt.Errorf("%w: %v", ErrAuditFail, err)
+		}
+		rec := t.Morra[pk]
+		xs, err := morra.Combine(pub.pp, rec.Commits, rec.Reveals)
+		if err != nil {
+			return fmt.Errorf("%w: morra record for prover %d: %v", ErrAuditFail, pk, err)
+		}
+		bits := morra.Bits(xs)
+		if len(bits) != pub.cfg.Bins*pub.nb {
+			return fmt.Errorf("%w: morra record for prover %d has %d coins, want %d",
+				ErrAuditFail, pk, len(bits), pub.cfg.Bins*pub.nb)
+		}
+		publicBits := reshapeBits(bits, pub.cfg.Bins, pub.nb)
+		if err := verifier.CheckProverOutput(msg, publicBits, t.Outputs[pk]); err != nil {
+			return fmt.Errorf("%w: %v", ErrAuditFail, err)
+		}
+	}
+
+	release, err := verifier.Aggregate(t.Outputs)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrAuditFail, err)
+	}
+	if len(release.Raw) != len(t.Release.Raw) {
+		return fmt.Errorf("%w: release has %d bins, transcript claims %d",
+			ErrAuditFail, len(release.Raw), len(t.Release.Raw))
+	}
+	for j := range release.Raw {
+		if release.Raw[j] != t.Release.Raw[j] {
+			return fmt.Errorf("%w: recomputed bin %d = %d, transcript claims %d",
+				ErrAuditFail, j, release.Raw[j], t.Release.Raw[j])
+		}
+	}
+	return nil
+}

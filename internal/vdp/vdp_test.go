@@ -1,0 +1,288 @@
+package vdp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/group"
+)
+
+// testPublic builds a small deployment: nb is overridden to keep group
+// exponentiations manageable in unit tests; the DP calibration itself is
+// tested in internal/dp.
+func testPublic(t *testing.T, k, m, nb int) *Public {
+	t.Helper()
+	pub, err := Setup(Config{Group: group.P256(), Provers: k, Bins: m, Coins: nb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub
+}
+
+func TestSetupValidation(t *testing.T) {
+	if _, err := Setup(Config{Provers: 0, Bins: 1, Coins: 32}); !errors.Is(err, ErrBadConfig) {
+		t.Error("accepted zero provers")
+	}
+	if _, err := Setup(Config{Provers: 1, Bins: 0, Coins: 32}); !errors.Is(err, ErrBadConfig) {
+		t.Error("accepted zero bins")
+	}
+	if _, err := Setup(Config{Provers: 1, Bins: 1, Epsilon: -1, Delta: 0.5}); !errors.Is(err, ErrBadConfig) {
+		t.Error("accepted negative epsilon with derived coins")
+	}
+	// Derived coin count from the DP calibration.
+	pub, err := Setup(Config{Provers: 1, Bins: 1, Epsilon: 2.0, Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Coins() < 31 {
+		t.Errorf("derived coins %d below Lemma 2.1 minimum", pub.Coins())
+	}
+	// Default group.
+	if pub.Params().Group().Name() != "p256" {
+		t.Errorf("default group = %q", pub.Params().Group().Name())
+	}
+}
+
+// TestHonestTrustedCurator is the end-to-end K=1 counting query: the
+// release must verify, audit, and estimate the true count within the noise
+// envelope.
+func TestHonestTrustedCurator(t *testing.T) {
+	pub := testPublic(t, 1, 1, 32)
+	choices := make([]int, 40)
+	trueCount := 0
+	for i := range choices {
+		if i%3 == 0 {
+			choices[i] = 1
+			trueCount++
+		}
+	}
+	res, err := Run(pub, choices, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RejectedClients) != 0 {
+		t.Errorf("honest clients rejected: %v", res.RejectedClients)
+	}
+	raw := res.Release.Raw[0]
+	// Raw = true + Bin(32, ½) ∈ [true, true+32].
+	if raw < int64(trueCount) || raw > int64(trueCount)+32 {
+		t.Errorf("raw release %d outside [%d, %d]", raw, trueCount, trueCount+32)
+	}
+	est := res.Release.Estimate[0]
+	if math.Abs(est-float64(trueCount)) > 6*res.Release.Stddev {
+		t.Errorf("estimate %v too far from true %d (sd %v)", est, trueCount, res.Release.Stddev)
+	}
+	if err := Audit(pub, res.Transcript); err != nil {
+		t.Errorf("honest transcript failed audit: %v", err)
+	}
+}
+
+// TestHonestMPCHistogram is the end-to-end K=2, M=3 histogram.
+func TestHonestMPCHistogram(t *testing.T) {
+	pub := testPublic(t, 2, 3, 16)
+	choices := []int{0, 1, 1, 2, 2, 2, 0, 1, 2, 2} // counts: 2, 3, 5
+	want := []int64{2, 3, 5}
+	res, err := Run(pub, choices, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range want {
+		raw := res.Release.Raw[j]
+		// Raw = true + 2×Bin(16, ½) ∈ [true, true+32].
+		if raw < w || raw > w+32 {
+			t.Errorf("bin %d: raw %d outside [%d, %d]", j, raw, w, w+32)
+		}
+	}
+	if err := Audit(pub, res.Transcript); err != nil {
+		t.Errorf("honest MPC transcript failed audit: %v", err)
+	}
+}
+
+// TestNoiseIsActuallyAdded: across repeated runs with the same inputs the
+// raw release varies — DP noise is present (guards against a silently
+// deterministic pipeline).
+func TestNoiseIsActuallyAdded(t *testing.T) {
+	pub := testPublic(t, 1, 1, 32)
+	choices := []int{1, 1, 0, 1}
+	seen := make(map[int64]bool)
+	for i := 0; i < 6; i++ {
+		res, err := Run(pub, choices, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[res.Release.Raw[0]] = true
+	}
+	if len(seen) < 2 {
+		t.Error("raw release identical across 6 runs — no noise added?")
+	}
+}
+
+// TestMaliceDetectionMatrix: every prover deviation from the Theorem 4.1
+// soundness analysis must abort the run with ErrProverCheat.
+func TestMaliceDetectionMatrix(t *testing.T) {
+	cases := map[string]Malice{
+		"non-bit-coin":    {NonBitCoin: true},
+		"output-bias":     {OutputBias: 7},
+		"negative-bias":   {OutputBias: -3},
+		"randomness-bias": {RandomnessBias: true},
+		"drop-client":     {DropClient: true, DropClientID: 2},
+		"skip-noise":      {SkipNoise: true},
+		"combined-attack": {OutputBias: 1, RandomnessBias: true},
+	}
+	choices := []int{1, 0, 1, 1, 0}
+	for name, malice := range cases {
+		malice := malice
+		t.Run(name, func(t *testing.T) {
+			pub := testPublic(t, 2, 1, 8)
+			_, err := Run(pub, choices, &RunOptions{Malice: map[int]Malice{1: malice}})
+			if !errors.Is(err, ErrProverCheat) {
+				t.Errorf("malice %q not detected (err = %v)", name, err)
+			}
+		})
+	}
+}
+
+// TestMaliceDetectionTrustedCurator: the same attacks are caught with K=1,
+// where the curator sees plaintext (the headline "DP as an attack vector"
+// scenario).
+func TestMaliceDetectionTrustedCurator(t *testing.T) {
+	pub := testPublic(t, 1, 1, 8)
+	choices := []int{1, 0, 1}
+	for name, malice := range map[string]Malice{
+		"output-bias": {OutputBias: 100},
+		"skip-noise":  {SkipNoise: true},
+		"drop-client": {DropClient: true, DropClientID: 0},
+	} {
+		_, err := Run(pub, choices, &RunOptions{Malice: map[int]Malice{0: malice}})
+		if !errors.Is(err, ErrProverCheat) {
+			t.Errorf("curator malice %q not detected (err = %v)", name, err)
+		}
+	}
+}
+
+// TestBiasedPrivateBitsAreFine: a prover biasing its *private* coins is
+// within the rules — the XOR with public Morra coins restores fairness.
+// The run must succeed and still audit.
+func TestBiasedPrivateBitsAreFine(t *testing.T) {
+	pub := testPublic(t, 2, 1, 32)
+	choices := []int{1, 1, 0, 0, 1}
+	res, err := Run(pub, choices, &RunOptions{Malice: map[int]Malice{0: {BiasPrivateBits: true}}})
+	if err != nil {
+		t.Fatalf("biased private bits wrongly rejected: %v", err)
+	}
+	if err := Audit(pub, res.Transcript); err != nil {
+		t.Errorf("transcript failed audit: %v", err)
+	}
+	// The noise distribution is unchanged: raw within [true, true+K·nb].
+	if res.Release.Raw[0] < 3 || res.Release.Raw[0] > 3+64 {
+		t.Errorf("raw %d outside noise envelope", res.Release.Raw[0])
+	}
+}
+
+// TestClientRejection: malformed client submissions are excluded from the
+// roster without aborting the protocol, and honest clients still count.
+func TestClientRejection(t *testing.T) {
+	pub := testPublic(t, 2, 1, 8)
+	// Build 4 honest submissions, then corrupt client 2's proof.
+	publics := make([]*ClientPublic, 4)
+	payloads := make(map[int][]*ClientPayload, 4)
+	for i := 0; i < 4; i++ {
+		sub, err := pub.NewClientSubmission(i, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		publics[i] = sub.Public
+		payloads[i] = sub.Payloads
+	}
+	publics[2].BitProof = publics[3].BitProof // transplanted proof: invalid for client 2's commitments
+	res, err := RunWithSubmissions(pub, publics, payloads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.RejectedClients[2]; !ok {
+		t.Fatal("client 2 with transplanted proof not rejected")
+	}
+	if len(res.RejectedClients) != 1 {
+		t.Errorf("unexpected rejections: %v", res.RejectedClients)
+	}
+	// 3 valid ones → raw ∈ [3, 3+2·8].
+	if res.Release.Raw[0] < 3 || res.Release.Raw[0] > 19 {
+		t.Errorf("raw %d outside [3,19]", res.Release.Raw[0])
+	}
+	if err := Audit(pub, res.Transcript); err != nil {
+		t.Errorf("audit failed: %v", err)
+	}
+}
+
+// TestClientEquivocationBetweenBoardAndPayload: a client whose private
+// payload does not open its public commitments is caught by the prover
+// (the collusion-avoidance half of the Figure 1 defence).
+func TestClientEquivocationBetweenBoardAndPayload(t *testing.T) {
+	pub := testPublic(t, 2, 1, 8)
+	sub, err := pub.NewClientSubmission(0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: payload share for prover 1 changed (client tries to make the
+	// two provers aggregate inconsistent values).
+	f := pub.Field()
+	sub.Payloads[1].Openings[0].X = sub.Payloads[1].Openings[0].X.Add(f.One())
+	pr, err := NewProver(pub, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.AcceptClient(sub.Public, sub.Payloads[1]); !errors.Is(err, ErrClientReject) {
+		t.Errorf("equivocating payload accepted: %v", err)
+	}
+}
+
+// TestAuditRejectsTamperedTranscript: a post-hoc modification of any part
+// of the public record must fail the audit.
+func TestAuditRejectsTamperedTranscript(t *testing.T) {
+	pub := testPublic(t, 2, 1, 8)
+	res, err := Run(pub, []int{1, 0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := pub.Field()
+
+	t.Run("tampered-release", func(t *testing.T) {
+		cp := *res.Transcript
+		rel := *cp.Release
+		raw := append([]int64{}, rel.Raw...)
+		raw[0]++
+		rel.Raw = raw
+		cp.Release = &rel
+		if err := Audit(pub, &cp); !errors.Is(err, ErrAuditFail) {
+			t.Errorf("tampered release passed audit: %v", err)
+		}
+	})
+	t.Run("tampered-output", func(t *testing.T) {
+		cp := *res.Transcript
+		outs := append([]*ProverOutput{}, cp.Outputs...)
+		orig := outs[0]
+		outs[0] = &ProverOutput{
+			Prover: orig.Prover,
+			Y:      []*field.Element{orig.Y[0].Add(f.One())},
+			Z:      orig.Z,
+		}
+		cp.Outputs = outs
+		if err := Audit(pub, &cp); !errors.Is(err, ErrAuditFail) {
+			t.Errorf("tampered prover output passed audit: %v", err)
+		}
+	})
+	t.Run("dropped-prover-record", func(t *testing.T) {
+		cp := *res.Transcript
+		cp.CoinMsgs = cp.CoinMsgs[:1]
+		if err := Audit(pub, &cp); !errors.Is(err, ErrAuditFail) {
+			t.Errorf("truncated transcript passed audit: %v", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if err := Audit(pub, nil); !errors.Is(err, ErrAuditFail) {
+			t.Error("nil transcript passed audit")
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package vdp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/field"
+	"repro/internal/pedersen"
+	"repro/internal/sigma"
+)
+
+// Verifier is the public verifying algorithm Vfr. It holds only public
+// data; anyone can instantiate one from the bulletin board and reach the
+// same verdicts, which is what Definition 7's public verifiability means in
+// practice.
+type Verifier struct {
+	pub   *Public
+	valid []*ClientPublic // accepted roster, fixed by VerifyClients
+}
+
+// NewVerifier creates a verifier for a deployment.
+func NewVerifier(pub *Public) *Verifier {
+	return &Verifier{pub: pub}
+}
+
+// VerifyClients runs Line 3 over the full client board, fixing the public
+// roster of valid inputs. It returns the rejection reasons for the others.
+func (v *Verifier) VerifyClients(pubs []*ClientPublic) (accepted int, rejected map[int]error) {
+	v.valid, rejected = v.pub.FilterValidClients(pubs)
+	return len(v.valid), rejected
+}
+
+// ValidClients returns the roster fixed by VerifyClients.
+func (v *Verifier) ValidClients() []*ClientPublic { return v.valid }
+
+// VerifyCoinCommitments runs Lines 5-6 for one prover: every noise-coin
+// commitment must carry a valid Σ-OR proof. On failure the prover is
+// publicly identified ("the veriﬁer aborts the protocol and publicly
+// declares that Pv_k cheated").
+func (v *Verifier) VerifyCoinCommitments(msg *CoinCommitMsg) error {
+	if msg == nil {
+		return fmt.Errorf("%w: missing coin commitments", ErrProverCheat)
+	}
+	m := v.pub.cfg.Bins
+	nb := v.pub.nb
+	if len(msg.Commitments) != m || len(msg.Proofs) != m {
+		return fmt.Errorf("%w: prover %d coin message covers %d/%d bins, want %d",
+			ErrProverCheat, msg.Prover, len(msg.Commitments), len(msg.Proofs), m)
+	}
+	for j := 0; j < m; j++ {
+		if len(msg.Commitments[j]) != nb || len(msg.Proofs[j]) != nb {
+			return fmt.Errorf("%w: prover %d bin %d has %d commitments / %d proofs, want %d",
+				ErrProverCheat, msg.Prover, j, len(msg.Commitments[j]), len(msg.Proofs[j]), nb)
+		}
+		ctx := v.pub.proverContext(msg.Prover, j)
+		// Random-linear-combination batch over the whole bin: much faster
+		// than per-proof verification in the honest case, and the fallback
+		// inside the batch names the offending coin index on failure.
+		err := sigma.VerifyBitsBatchCtx(v.pub.pp, msg.Commitments[j], msg.Proofs[j],
+			func(l int) []byte { return coinContext(ctx, l) }, nil)
+		if err != nil {
+			return fmt.Errorf("%w: prover %d bin %d: %v", ErrProverCheat, msg.Prover, j, err)
+		}
+	}
+	return nil
+}
+
+// AdjustedCoinCommitments applies Line 12: for each coin, ĉ' = c' when the
+// public bit is 0 and Com(1,0) ⊗ c'^{-1} when it is 1, so the verifier
+// holds commitments to the XORed bits v̂ without learning them.
+func (v *Verifier) AdjustedCoinCommitments(msg *CoinCommitMsg, publicBits [][]byte) ([][]*pedersen.Commitment, error) {
+	m := v.pub.cfg.Bins
+	nb := v.pub.nb
+	if len(publicBits) != m {
+		return nil, fmt.Errorf("%w: public coins cover %d bins, want %d", ErrBadConfig, len(publicBits), m)
+	}
+	one := v.pub.pp.OneNoRandomness()
+	out := make([][]*pedersen.Commitment, m)
+	for j := 0; j < m; j++ {
+		if len(publicBits[j]) != nb {
+			return nil, fmt.Errorf("%w: bin %d has %d public coins, want %d", ErrBadConfig, j, len(publicBits[j]), nb)
+		}
+		out[j] = make([]*pedersen.Commitment, nb)
+		for l := 0; l < nb; l++ {
+			c := msg.Commitments[j][l]
+			if publicBits[j][l] == 1 {
+				out[j][l] = one.Sub(c)
+			} else {
+				out[j][l] = c
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckProverOutput runs Line 13 for one prover: the product of the valid
+// clients' share commitments (this prover's column) and the adjusted coin
+// commitments must equal Com(y_j, z_j) for every bin. Any tampering with
+// the aggregate — biased output, perturbed randomness, dropped or phantom
+// clients, skipped noise — breaks the equation unless the prover can break
+// binding (Theorem 4.1, computational soundness).
+func (v *Verifier) CheckProverOutput(msg *CoinCommitMsg, publicBits [][]byte, out *ProverOutput) error {
+	if out == nil || msg == nil {
+		return fmt.Errorf("%w: missing prover output", ErrProverCheat)
+	}
+	if out.Prover != msg.Prover {
+		return fmt.Errorf("%w: output from prover %d but coins from prover %d", ErrProverCheat, out.Prover, msg.Prover)
+	}
+	m := v.pub.cfg.Bins
+	if len(out.Y) != m || len(out.Z) != m {
+		return fmt.Errorf("%w: prover %d output covers %d/%d bins, want %d",
+			ErrProverCheat, out.Prover, len(out.Y), len(out.Z), m)
+	}
+	adjusted, err := v.AdjustedCoinCommitments(msg, publicBits)
+	if err != nil {
+		return err
+	}
+	for j := 0; j < m; j++ {
+		expected := v.pub.pp.Zero()
+		for _, cl := range v.valid {
+			expected = expected.Add(cl.ShareCommitments[j][out.Prover])
+		}
+		for _, c := range adjusted[j] {
+			expected = expected.Add(c)
+		}
+		if !v.pub.pp.Verify(expected, out.Y[j], out.Z[j]) {
+			return fmt.Errorf("%w: prover %d bin %d: commitment product does not open to reported (y, z)",
+				ErrProverCheat, out.Prover, j)
+		}
+	}
+	return nil
+}
+
+// Release is the verified protocol output: per-bin raw noisy counts
+// y_j = Σ_k y_{j,k} (each carrying K·Binomial(nb, ½) noise) and the
+// debiased point estimates.
+type Release struct {
+	// Raw[j] is the verified noisy count for bin j.
+	Raw []int64
+	// Estimate[j] = Raw[j] - K·nb/2, an unbiased estimate of the true
+	// count.
+	Estimate []float64
+	// Stddev is the standard deviation of each estimate: sqrt(K·nb)/2.
+	Stddev float64
+}
+
+// Aggregate combines the per-prover outputs into the final release
+// ("we treat the y_k's as shares, and calculate y = Σ_k y_k as the noisy
+// sum"). It requires exactly one output per prover. The field sums are
+// interpreted as small non-negative integers, which is valid because
+// n + K·nb ≪ q.
+func (v *Verifier) Aggregate(outs []*ProverOutput) (*Release, error) {
+	k := v.pub.cfg.Provers
+	if len(outs) != k {
+		return nil, fmt.Errorf("%w: have %d prover outputs, want %d", ErrBadConfig, len(outs), k)
+	}
+	seen := make(map[int]bool, k)
+	m := v.pub.cfg.Bins
+	f := v.pub.Field()
+	sums := make([]*field.Element, m)
+	for j := range sums {
+		sums[j] = f.Zero()
+	}
+	for _, o := range outs {
+		if o.Prover < 0 || o.Prover >= k || seen[o.Prover] {
+			return nil, fmt.Errorf("%w: duplicate or out-of-range prover %d", ErrBadConfig, o.Prover)
+		}
+		seen[o.Prover] = true
+		if len(o.Y) != m {
+			return nil, fmt.Errorf("%w: prover %d output has %d bins", ErrBadConfig, o.Prover, len(o.Y))
+		}
+		for j := 0; j < m; j++ {
+			sums[j] = sums[j].Add(o.Y[j])
+		}
+	}
+	rel := &Release{
+		Raw:      make([]int64, m),
+		Estimate: make([]float64, m),
+		Stddev:   stddev(k, v.pub.nb),
+	}
+	mean := v.pub.NoiseMean()
+	for j := 0; j < m; j++ {
+		raw, ok := sums[j].Int64()
+		if !ok {
+			return nil, fmt.Errorf("%w: bin %d aggregate does not fit in int64 (field wraparound?)", ErrBadConfig, j)
+		}
+		rel.Raw[j] = raw
+		rel.Estimate[j] = float64(raw) - mean
+	}
+	return rel, nil
+}
+
+func stddev(k, nb int) float64 {
+	return math.Sqrt(float64(k)*float64(nb)) / 2
+}

@@ -1,0 +1,141 @@
+package vdp
+
+import (
+	"testing"
+
+	"repro/internal/field"
+)
+
+func wireTestPublic(t *testing.T, k, m int) *Public {
+	t.Helper()
+	pub, err := Setup(Config{Provers: k, Bins: m, Coins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub
+}
+
+func TestClientPublicWireRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ k, m, choice int }{
+		{1, 1, 1}, {2, 1, 0}, {2, 3, 2}, {3, 4, 0},
+	} {
+		pub := wireTestPublic(t, tc.k, tc.m)
+		sub, err := pub.NewClientSubmission(9, tc.choice, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := pub.EncodeClientPublic(sub.Public)
+		back, err := pub.DecodeClientPublic(enc)
+		if err != nil {
+			t.Fatalf("K=%d M=%d: %v", tc.k, tc.m, err)
+		}
+		// The decoded submission must still pass the legality check — the
+		// strongest possible round-trip assertion.
+		if err := pub.VerifyClient(back); err != nil {
+			t.Errorf("K=%d M=%d: decoded submission fails verification: %v", tc.k, tc.m, err)
+		}
+		if back.ID != 9 {
+			t.Errorf("ID round trip: %d", back.ID)
+		}
+	}
+}
+
+func TestClientPublicWireRejectsGarbage(t *testing.T) {
+	pub := wireTestPublic(t, 2, 1)
+	sub, err := pub.NewClientSubmission(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := pub.EncodeClientPublic(sub.Public)
+	if _, err := pub.DecodeClientPublic(enc[:len(enc)/2]); err == nil {
+		t.Error("truncated encoding accepted")
+	}
+	if _, err := pub.DecodeClientPublic(append(enc, 0xff)); err == nil {
+		t.Error("padded encoding accepted")
+	}
+	// Corrupt a commitment byte: must fail group decoding or verification.
+	bad := append([]byte{}, enc...)
+	bad[12] ^= 0xff
+	if back, err := pub.DecodeClientPublic(bad); err == nil {
+		if err := pub.VerifyClient(back); err == nil {
+			t.Error("corrupted submission decoded AND verified")
+		}
+	}
+	// Absurd dimension claims are bounded.
+	huge := []byte{0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff}
+	if _, err := pub.DecodeClientPublic(huge); err == nil {
+		t.Error("absurd bin count accepted")
+	}
+}
+
+func TestClientPayloadWireRoundTrip(t *testing.T) {
+	pub := wireTestPublic(t, 2, 3)
+	sub, err := pub.NewClientSubmission(4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range sub.Payloads {
+		enc := pub.EncodeClientPayload(pl)
+		back, err := pub.DecodeClientPayload(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.ClientID != pl.ClientID || back.Prover != pl.Prover || len(back.Openings) != len(pl.Openings) {
+			t.Errorf("payload metadata mismatch")
+		}
+		for j := range pl.Openings {
+			if !back.Openings[j].X.Equal(pl.Openings[j].X) || !back.Openings[j].R.Equal(pl.Openings[j].R) {
+				t.Errorf("opening %d mismatch", j)
+			}
+		}
+		// Decoded payload must be accepted by the target prover.
+		pr, err := NewProver(pub, pl.Prover)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pr.AcceptClient(sub.Public, back); err != nil {
+			t.Errorf("prover %d rejected decoded payload: %v", pl.Prover, err)
+		}
+	}
+}
+
+func TestClientPayloadWireRejectsGarbage(t *testing.T) {
+	pub := wireTestPublic(t, 1, 1)
+	sub, err := pub.NewClientSubmission(0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := pub.EncodeClientPayload(sub.Payloads[0])
+	if _, err := pub.DecodeClientPayload(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := pub.DecodeClientPayload([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("absurd opening count accepted")
+	}
+}
+
+func TestProverOutputWireRoundTrip(t *testing.T) {
+	pub := wireTestPublic(t, 2, 2)
+	f := pub.Field()
+	out := &ProverOutput{
+		Prover: 1,
+		Y:      []*field.Element{f.FromInt64(10), f.FromInt64(20)},
+		Z:      []*field.Element{f.MustRand(nil), f.MustRand(nil)},
+	}
+	enc := pub.EncodeProverOutput(out)
+	back, err := pub.DecodeProverOutput(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Prover != 1 || len(back.Y) != 2 {
+		t.Fatalf("metadata mismatch: %+v", back)
+	}
+	for j := range out.Y {
+		if !back.Y[j].Equal(out.Y[j]) || !back.Z[j].Equal(out.Z[j]) {
+			t.Errorf("bin %d mismatch", j)
+		}
+	}
+	if _, err := pub.DecodeProverOutput(enc[:5]); err == nil {
+		t.Error("truncated output accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Package verifiabledp is the public API of this reproduction of
+// "Verifiable Differential Privacy" (Biswas & Cormode): differentially
+// private counting queries and histograms whose releases come with
+// zero-knowledge proofs that the DP noise was sampled faithfully and the
+// statistic computed correctly.
+//
+// # Why
+//
+// Classic DP deployments let the entity holding the data add the noise. A
+// malicious curator can bias the "noise" and blame the distortion on
+// differential privacy — randomness is the perfect alibi. Verifiable DP
+// closes the loophole: the curator (or each of K mutually distrusting
+// servers) must publish commitments, Σ-protocol proofs and jointly sampled
+// public coins such that any third party can check, without learning the
+// noise or any client's input, that the release equals the true aggregate
+// plus honestly sampled Binomial noise.
+//
+// # Quick start
+//
+//	bits := []bool{true, false, true, true}
+//	res, err := verifiabledp.Count(bits, verifiabledp.Options{Epsilon: 1, Delta: 1e-6})
+//	// res.Release.Estimate[0] ≈ 3, and res.Transcript audits publicly:
+//	err = verifiabledp.Audit(res.Public, res.Transcript)
+//
+// For the multi-server (MPC) deployment and histograms, see Histogram and
+// the Setup/Run layer re-exported from internal/vdp. The examples/
+// directory contains runnable end-to-end scenarios including attack
+// detection and third-party auditing.
+package verifiabledp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/group"
+	"repro/internal/vdp"
+)
+
+// Re-exported protocol types. The full protocol layer lives in
+// internal/vdp; these aliases are the supported public surface.
+type (
+	// Config describes a deployment (group, provers K, bins M, ε, δ).
+	Config = vdp.Config
+	// Public is the shared public parameters established by Setup.
+	Public = vdp.Public
+	// Release is a verified noisy release with debiased estimates.
+	Release = vdp.Release
+	// Transcript is the public record that third parties can audit.
+	Transcript = vdp.Transcript
+	// RunResult bundles a release with its transcript and client verdicts.
+	RunResult = vdp.RunResult
+	// RunOptions configures a protocol run (adversary injection, RNG).
+	RunOptions = vdp.RunOptions
+	// Malice enumerates prover deviations for adversarial testing.
+	Malice = vdp.Malice
+	// ClientPublic is a client's bulletin-board submission.
+	ClientPublic = vdp.ClientPublic
+	// ClientPayload is a client's private per-prover message.
+	ClientPayload = vdp.ClientPayload
+	// ClientSubmission bundles the two.
+	ClientSubmission = vdp.ClientSubmission
+	// Prover is the prover-side state machine.
+	Prover = vdp.Prover
+	// Verifier is the public verifying algorithm.
+	Verifier = vdp.Verifier
+	// Group is a commitment group (see GroupP256, GroupSchnorr2048).
+	Group = group.Group
+)
+
+// Sentinel errors re-exported for errors.Is checks.
+var (
+	ErrBadConfig    = vdp.ErrBadConfig
+	ErrClientReject = vdp.ErrClientReject
+	ErrProverCheat  = vdp.ErrProverCheat
+	ErrAuditFail    = vdp.ErrAuditFail
+)
+
+// GroupP256 returns the elliptic-curve commitment group (NIST P-256).
+func GroupP256() Group { return group.P256() }
+
+// GroupSchnorr2048 returns the finite-field commitment group G_q ⊂ Z*_p
+// (2048-bit modulus, 256-bit prime-order subgroup) — the paper's faster
+// deployment.
+func GroupSchnorr2048() Group { return group.Schnorr2048() }
+
+// Setup validates a configuration and derives public parameters.
+func Setup(cfg Config) (*Public, error) { return vdp.Setup(cfg) }
+
+// Run executes a complete protocol instance locally (clients, K provers,
+// public verifier, Morra coin sampling) and returns the verified release
+// with its audit transcript.
+func Run(pub *Public, choices []int, opts *RunOptions) (*RunResult, error) {
+	return vdp.Run(pub, choices, opts)
+}
+
+// Audit replays every public check from a transcript; nil means an
+// independent auditor accepts the release.
+func Audit(pub *Public, t *Transcript) error { return vdp.Audit(pub, t) }
+
+// Options configures the high-level Count and Histogram helpers.
+type Options struct {
+	// Epsilon and Delta are the DP parameters (per prover). Required
+	// unless Coins is set.
+	Epsilon float64
+	Delta   float64
+	// Servers is the number of provers K; 0 or 1 selects the trusted-
+	// curator model.
+	Servers int
+	// Group selects the commitment group; nil = P-256.
+	Group Group
+	// Coins overrides the calibrated per-prover noise coin count.
+	Coins int
+	// Rand overrides the randomness source (nil = crypto/rand).
+	Rand io.Reader
+}
+
+func (o Options) config(bins int) Config {
+	k := o.Servers
+	if k < 1 {
+		k = 1
+	}
+	return Config{
+		Group:   o.Group,
+		Provers: k,
+		Bins:    bins,
+		Epsilon: o.Epsilon,
+		Delta:   o.Delta,
+		Coins:   o.Coins,
+	}
+}
+
+// CountResult is the outcome of a high-level helper run.
+type CountResult struct {
+	Public     *Public
+	Release    *Release
+	Transcript *Transcript
+	// Rejected maps client index to the (publicly attributable) reason the
+	// input was excluded.
+	Rejected map[int]error
+}
+
+// Count releases a verifiable DP count of the true bits: the number of
+// clients whose bit is set, plus K copies of Binomial(nb, ½) noise, with a
+// public transcript proving the noise was honest. Release.Estimate[0] is
+// the debiased estimate.
+func Count(bits []bool, opts Options) (*CountResult, error) {
+	if len(bits) == 0 {
+		return nil, fmt.Errorf("%w: no client inputs", ErrBadConfig)
+	}
+	pub, err := Setup(opts.config(1))
+	if err != nil {
+		return nil, err
+	}
+	choices := make([]int, len(bits))
+	for i, b := range bits {
+		if b {
+			choices[i] = 1
+		}
+	}
+	res, err := vdp.Run(pub, choices, &vdp.RunOptions{Rand: opts.Rand})
+	if err != nil {
+		return nil, err
+	}
+	return &CountResult{Public: pub, Release: res.Release, Transcript: res.Transcript, Rejected: res.RejectedClients}, nil
+}
+
+// Histogram releases a verifiable DP M-bin histogram of the client
+// choices (each in [0, bins)).
+func Histogram(choices []int, bins int, opts Options) (*CountResult, error) {
+	if len(choices) == 0 {
+		return nil, fmt.Errorf("%w: no client inputs", ErrBadConfig)
+	}
+	if bins < 2 {
+		return nil, fmt.Errorf("%w: histogram needs at least 2 bins", ErrBadConfig)
+	}
+	pub, err := Setup(opts.config(bins))
+	if err != nil {
+		return nil, err
+	}
+	res, err := vdp.Run(pub, choices, &vdp.RunOptions{Rand: opts.Rand})
+	if err != nil {
+		return nil, err
+	}
+	return &CountResult{Public: pub, Release: res.Release, Transcript: res.Transcript, Rejected: res.RejectedClients}, nil
+}
