@@ -8,6 +8,8 @@ package verifiabledp
 
 import (
 	"errors"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -130,6 +132,76 @@ func BenchmarkEndToEndMPCHistogram(b *testing.B) {
 		if err := Audit(res.Public, res.Transcript); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineWorkers sweeps the execution engine's worker-pool width on
+// a fixed n=256-client verifiable count over P-256 (the workload of the
+// parallel-speedup acceptance test; see EXPERIMENTS.md for recorded
+// speedups). Each iteration is a complete end-to-end run: client submission
+// generation, roster fixing, prover stages, and every verifier check.
+func BenchmarkEngineWorkers(b *testing.B) {
+	pub, err := Setup(Config{Provers: 1, Bins: 1, Coins: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	choices := make([]int, 256)
+	for i := range choices {
+		if i%3 == 0 {
+			choices[i] = 1
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run(pub, choices, &RunOptions{Parallelism: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Release.Raw[0] < 86 { // 86 true ones + non-negative noise
+					b.Fatal("release below true count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchVerifyClients compares sequential per-client legality
+// verification against the multi-client random-linear-combination batch
+// (one multi-exponentiation for the whole board), at 1 and GOMAXPROCS
+// workers, over a 256-client board.
+func BenchmarkBatchVerifyClients(b *testing.B) {
+	pub, err := Setup(Config{Provers: 1, Bins: 1, Coins: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 256
+	publics := make([]*ClientPublic, n)
+	for i := 0; i < n; i++ {
+		sub, err := pub.NewClientSubmission(i, i%2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		publics[i] = sub.Public
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			valid, _ := pub.FilterValidClients(publics)
+			if len(valid) != n {
+				b.Fatal("honest client rejected")
+			}
+		}
+	})
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("batch/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := vdp.NewVerifierParallel(pub, workers)
+				accepted, _ := v.VerifyClients(publics)
+				if accepted != n {
+					b.Fatal("honest client rejected")
+				}
+			}
+		})
 	}
 }
 

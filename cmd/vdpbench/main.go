@@ -3,18 +3,22 @@
 //
 // Usage:
 //
-//	vdpbench [-scale quick|standard|paper] [-only table1,figure3,figure4,table2,micro,dperror]
+//	vdpbench [-scale quick|standard|paper] [-parallel 1,2,4,8]
+//	         [-only table1,figure3,figure4,table2,micro,dperror,parallel]
 //
 // The default runs every experiment at quick scale (seconds). Standard
 // scale takes minutes; paper scale uses the paper's literal workload sizes
 // (n = 10^6 clients, nb = 262144 coins) and can take hours with math/big
-// arithmetic — see EXPERIMENTS.md for recorded results.
+// arithmetic — see EXPERIMENTS.md for recorded results. The parallel
+// experiment sweeps the execution engine's worker-pool widths (-parallel
+// overrides the swept widths).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -23,8 +27,21 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick|standard|paper")
-	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror")
+	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror,parallel")
+	parallelFlag := flag.String("parallel", "", "comma-separated worker counts for the engine sweep (default 1,2,4,8)")
 	flag.Parse()
+
+	var workers []int
+	if *parallelFlag != "" {
+		for _, s := range strings.Split(*parallelFlag, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "invalid -parallel entry %q\n", s)
+				os.Exit(2)
+			}
+			workers = append(workers, w)
+		}
+	}
 
 	scale, err := experiments.ParseScale(*scaleFlag)
 	if err != nil {
@@ -51,6 +68,7 @@ func main() {
 		{"table2", func() (interface{ Format() string }, error) { return experiments.Table2() }},
 		{"micro", func() (interface{ Format() string }, error) { return experiments.Microbench() }},
 		{"dperror", func() (interface{ Format() string }, error) { return experiments.DPErrorAtScale(scale) }},
+		{"parallel", func() (interface{ Format() string }, error) { return experiments.ParallelSweepAtScale(scale, workers) }},
 	}
 
 	fmt.Printf("verifiable-dp benchmark suite (scale=%s)\n", scale)

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/group"
+	"repro/internal/vdp"
+)
+
+// The parallel-sweep experiment measures the staged execution engine
+// (internal/vdp.Engine) end to end — client submission generation, roster
+// fixing, prover coin/Morra/finalize stages, and all verifier checks — at a
+// range of worker-pool widths, reporting the speedup over the 1-worker
+// (sequential) execution. This is the system's answer to the paper's
+// single-core accounting: the stage graph is embarrassingly parallel in the
+// client and coin dimensions, so throughput should track cores until the
+// per-prover Morra and aggregation stages dominate.
+
+// ParallelConfig sets the workload for the engine sweep.
+type ParallelConfig struct {
+	N       int         // number of clients
+	Coins   int         // nb per prover
+	Provers int         // K
+	Group   group.Group // defaults to P-256 (cheapest per-op group here)
+	Workers []int       // pool widths to sweep
+}
+
+// parallelConfigFor returns the sweep workload at a given scale.
+func parallelConfigFor(s Scale) ParallelConfig {
+	switch s {
+	case Paper:
+		return ParallelConfig{N: 4096, Coins: 256, Provers: 2}
+	case Standard:
+		return ParallelConfig{N: 1024, Coins: 64, Provers: 2}
+	default:
+		return ParallelConfig{N: 128, Coins: 16, Provers: 1}
+	}
+}
+
+// ParallelRow is one sweep point.
+type ParallelRow struct {
+	Workers int
+	Elapsed time.Duration
+	Speedup float64 // vs the baseline row: workers=1 if swept, else the first row
+}
+
+// ParallelResult holds the sweep measurements.
+type ParallelResult struct {
+	Config ParallelConfig
+	Rows   []ParallelRow
+}
+
+// ParallelSweep runs a full protocol instance (including audit of the
+// resulting transcript) once per worker count and reports wall-clock
+// latency. The release itself is sanity-checked so a broken parallel run
+// cannot masquerade as a fast one.
+func ParallelSweep(cfg ParallelConfig) (*ParallelResult, error) {
+	if cfg.Group == nil {
+		cfg.Group = group.P256()
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4, 8}
+	}
+	if cfg.N < 1 || cfg.Coins < 1 || cfg.Provers < 1 {
+		return nil, fmt.Errorf("experiments: invalid parallel sweep config %+v", cfg)
+	}
+	pub, err := vdp.Setup(vdp.Config{Group: cfg.Group, Provers: cfg.Provers, Bins: 1, Coins: cfg.Coins})
+	if err != nil {
+		return nil, err
+	}
+	choices := make([]int, cfg.N)
+	trueCount := 0
+	for i := range choices {
+		if i%3 == 0 {
+			choices[i] = 1
+			trueCount++
+		}
+	}
+	res := &ParallelResult{Config: cfg}
+	for _, w := range cfg.Workers {
+		start := time.Now()
+		out, err := vdp.Run(pub, choices, &vdp.RunOptions{Parallelism: w})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: parallel sweep workers=%d: %w", w, err)
+		}
+		if err := vdp.AuditParallel(pub, out.Transcript, w); err != nil {
+			return nil, fmt.Errorf("experiments: parallel sweep workers=%d audit: %w", w, err)
+		}
+		elapsed := time.Since(start)
+		raw := out.Release.Raw[0]
+		if raw < int64(trueCount) || raw > int64(trueCount+cfg.Provers*cfg.Coins) {
+			return nil, fmt.Errorf("experiments: workers=%d release %d outside noise envelope", w, raw)
+		}
+		res.Rows = append(res.Rows, ParallelRow{Workers: w, Elapsed: elapsed})
+	}
+	// Speedups are relative to the sequential (workers=1) row when the
+	// sweep includes one, else to the first row.
+	base := res.Rows[0].Elapsed
+	for _, row := range res.Rows {
+		if row.Workers == 1 {
+			base = row.Elapsed
+			break
+		}
+	}
+	for i := range res.Rows {
+		res.Rows[i].Speedup = float64(base) / float64(res.Rows[i].Elapsed)
+	}
+	return res, nil
+}
+
+// Format renders the sweep as a table.
+func (r *ParallelResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Engine workers sweep (n=%d, nb=%d, K=%d, group=%s; end-to-end incl. audit)\n",
+		r.Config.N, r.Config.Coins, r.Config.Provers, r.Config.Group.Name())
+	fmt.Fprintf(&b, "%-10s %-14s %-10s\n", "workers", "elapsed", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10d %-14s %.2fx\n", row.Workers, fmtDuration(row.Elapsed), row.Speedup)
+	}
+	return b.String()
+}
+
+// ParallelSweepAtScale runs the sweep at a named scale with the given
+// worker set (nil = the default 1/2/4/8).
+func ParallelSweepAtScale(s Scale, workers []int) (*ParallelResult, error) {
+	cfg := parallelConfigFor(s)
+	cfg.Workers = workers
+	return ParallelSweep(cfg)
+}

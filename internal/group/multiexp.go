@@ -1,6 +1,9 @@
 package group
 
 import (
+	"runtime"
+	"sync"
+
 	"repro/internal/field"
 )
 
@@ -131,6 +134,54 @@ func MultiExpStraus(g Group, bases []Element, exps []*field.Element) Element {
 				acc = g.Op(acc, tables[i][digit-1])
 			}
 		}
+	}
+	return acc
+}
+
+// multiExpParallelMin is the term count below which MultiExpParallel stays
+// sequential: each extra chunk pays its own ~256-op squaring chain, so tiny
+// products are faster on one core.
+const multiExpParallelMin = 64
+
+// MultiExpParallel computes Π bases[i]^{exps[i]} by splitting the terms into
+// up to `workers` contiguous chunks, evaluating each chunk with
+// MultiExpStraus on its own goroutine, and multiplying the partial products.
+// Each chunk repeats the shared squaring chain (~256 ops), so parallelism
+// only pays for large products; small inputs fall through to the sequential
+// path. workers <= 0 selects GOMAXPROCS. The result is independent of the
+// chunking, so callers may treat this as a drop-in MultiExpStraus.
+func MultiExpParallel(g Group, bases []Element, exps []*field.Element, workers int) Element {
+	if len(bases) != len(exps) {
+		panic("group: MultiExpParallel length mismatch")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(bases)/multiExpParallelMin {
+		workers = len(bases) / multiExpParallelMin
+	}
+	if workers <= 1 {
+		return MultiExpStraus(g, bases, exps)
+	}
+	chunk := (len(bases) + workers - 1) / workers
+	parts := make([]Element, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(bases) {
+			hi = len(bases)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = MultiExpStraus(g, bases[lo:hi], exps[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := g.Identity()
+	for _, p := range parts {
+		acc = g.Op(acc, p)
 	}
 	return acc
 }

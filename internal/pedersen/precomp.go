@@ -2,6 +2,7 @@ package pedersen
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/field"
 	"repro/internal/group"
@@ -13,6 +14,13 @@ import (
 // built lazily on first use and shared across all Params instances over the
 // same group — generators are deterministic per group, so the cache key is
 // the group itself.
+//
+// Concurrency: the tables are immutable after construction, and the parallel
+// execution engine (internal/vdp) hammers ExpG/ExpH from every worker, so
+// the lookup must not serialize goroutines. Each Params caches the resolved
+// table pointer in an atomic (one load on the hot path, no lock); the global
+// per-group cache behind it is guarded by an RWMutex and only consulted on
+// each Params' first use.
 
 type generatorTables struct {
 	g *group.Precomp
@@ -20,22 +28,40 @@ type generatorTables struct {
 }
 
 var (
-	precompMu    sync.Mutex
+	precompMu    sync.RWMutex
 	precompCache = map[group.Group]*generatorTables{}
 )
 
 // tables returns (building if needed) the fixed-base tables for p's group.
 func (p *Params) tables() *generatorTables {
-	precompMu.Lock()
-	defer precompMu.Unlock()
-	if t, ok := precompCache[p.grp]; ok {
+	if t := p.tbl.Load(); t != nil {
 		return t
 	}
-	t := &generatorTables{
-		g: group.NewPrecomp(p.grp, p.grp.Generator()),
-		h: group.NewPrecomp(p.grp, p.grp.AltGenerator()),
+	t := sharedTables(p.grp)
+	p.tbl.Store(t)
+	return t
+}
+
+// sharedTables resolves the per-group table set, building it under the write
+// lock on first use. Two goroutines racing on a cold cache both reach the
+// write lock; the second finds the entry and discards nothing.
+func sharedTables(grp group.Group) *generatorTables {
+	precompMu.RLock()
+	t, ok := precompCache[grp]
+	precompMu.RUnlock()
+	if ok {
+		return t
 	}
-	precompCache[p.grp] = t
+	precompMu.Lock()
+	defer precompMu.Unlock()
+	if t, ok := precompCache[grp]; ok {
+		return t
+	}
+	t = &generatorTables{
+		g: group.NewPrecomp(grp, grp.Generator()),
+		h: group.NewPrecomp(grp, grp.AltGenerator()),
+	}
+	precompCache[grp] = t
 	return t
 }
 
@@ -54,3 +80,6 @@ func (p *Params) ExpG(k *field.Element) group.Element { return p.tables().g.Exp(
 // ExpH returns h^k via the fixed-base table — the hottest operation in
 // Σ-OR proving and verification, where every equation is a power of h.
 func (p *Params) ExpH(k *field.Element) group.Element { return p.tables().h.Exp(k) }
+
+// tblCache is the atomic per-Params table pointer embedded in Params.
+type tblCache = atomic.Pointer[generatorTables]

@@ -26,14 +26,165 @@ import (
 //
 // If any individual equation fails, the combined equation fails except with
 // probability 2⁻¹²⁸ over the coefficients. The right-hand side is one
-// Straus multi-exponentiation (group.MultiExpStraus), sharing the squaring
-// chain across all 4nb terms. BenchmarkVerifyBitsAblation quantifies the
-// speedup.
+// Straus multi-exponentiation (group.MultiExpStraus, chunked across workers
+// by group.MultiExpParallel), sharing the squaring chain across all 4nb
+// terms. BenchmarkVerifyBitsAblation quantifies the speedup.
+//
+// BitBatch generalises the technique into an accumulator: any mix of Σ-OR
+// bit proofs (from many provers, bins, or clients, each under its own
+// Fiat-Shamir context), one-hot proofs, and plain Pedersen opening claims
+// c = Com(x, r) — every one of which is an "h^z = X^e-shaped" equation —
+// folds into the same combined check. The ΠBin verifier uses this to verify
+// an entire client board, or all of a prover's noise coins across every bin,
+// with one multi-exponentiation.
 
 // batchCoeffBytes is the byte width of the random batching coefficients:
 // 128 bits gives 2^-128 soundness slack, far below the discrete-log
 // advantage already conceded.
 const batchCoeffBytes = 16
+
+// BitBatch accumulates h-base verification equations for a single combined
+// random-linear-combination check. Add* methods perform the cheap scalar
+// work (Fiat-Shamir challenge recomputation, structural checks) immediately
+// and defer all group exponentiations to Check. A BitBatch is single-use and
+// not safe for concurrent Add; Check may parallelise internally.
+type BitBatch struct {
+	pp    *pedersen.Params
+	rnd   io.Reader
+	zAgg  *field.Element
+	bases []group.Element
+	exps  []*field.Element
+	n     int // accumulated equations (for diagnostics)
+	coeff []byte
+}
+
+// NewBitBatch creates an empty accumulator. rnd supplies the batching
+// coefficients (nil = crypto/rand); these are verifier-local and never enter
+// any transcript, so callers needing deterministic *protocol* transcripts
+// may still pass nil.
+func NewBitBatch(pp *pedersen.Params, rnd io.Reader) *BitBatch {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	return &BitBatch{
+		pp:    pp,
+		rnd:   rnd,
+		zAgg:  pp.ScalarField().Zero(),
+		coeff: make([]byte, batchCoeffBytes),
+	}
+}
+
+// Len returns the number of equations folded so far.
+func (b *BitBatch) Len() int { return b.n }
+
+func (b *BitBatch) sample() (*field.Element, error) {
+	if _, err := io.ReadFull(b.rnd, b.coeff); err != nil {
+		return nil, fmt.Errorf("sigma: sampling batch coefficient: %w", err)
+	}
+	return b.pp.ScalarField().Reduce(b.coeff), nil
+}
+
+// Add folds one Σ-OR bit proof for commitment c under context ctx. It
+// performs the scalar checks (completeness, challenge split) now; a non-nil
+// error means this proof is individually invalid and was not folded.
+func (b *BitBatch) Add(c *pedersen.Commitment, p *BitProof, ctx []byte) error {
+	if p == nil || p.A0 == nil || p.A1 == nil || p.E0 == nil || p.E1 == nil || p.Z0 == nil || p.Z1 == nil {
+		return fmt.Errorf("%w: incomplete bit proof", ErrVerify)
+	}
+	g := b.pp.Group()
+	f := b.pp.ScalarField()
+	tr := bitTranscript(b.pp, c)
+	tr.Append("ctx", ctx)
+	tr.Append("A0", g.Encode(p.A0))
+	tr.Append("A1", g.Encode(p.A1))
+	if !p.E0.Add(p.E1).Equal(tr.Challenge("e", f)) {
+		return fmt.Errorf("%w: challenge split does not sum to e", ErrVerify)
+	}
+	rho, err := b.sample()
+	if err != nil {
+		return err
+	}
+	sigma, err := b.sample()
+	if err != nil {
+		return err
+	}
+	b.zAgg = b.zAgg.Add(rho.Mul(p.Z0)).Add(sigma.Mul(p.Z1))
+	x0, x1 := bitStatements(b.pp, c)
+	b.bases = append(b.bases, p.A0, x0, p.A1, x1)
+	b.exps = append(b.exps, rho, p.E0.Mul(rho), sigma, p.E1.Mul(sigma))
+	b.n++
+	return nil
+}
+
+// AddOpening folds the claim c = Com(x, r): equivalently c ⊘ g^x = h^r,
+// one more h-base equation. Used to batch the one-hot product openings and
+// any other commitment checks that travel with a batch of Σ-proofs. x must
+// be a small public value (the caller supplies it); for one-hot proofs it is
+// the constant 1.
+func (b *BitBatch) AddOpening(c *pedersen.Commitment, x, r *field.Element) error {
+	rho, err := b.sample()
+	if err != nil {
+		return err
+	}
+	g := b.pp.Group()
+	// X = c ⊘ g^x, claimed to equal h^r.
+	gx := b.pp.ExpG(x)
+	statement := g.Op(c.Element(), g.Inv(gx))
+	b.zAgg = b.zAgg.Add(rho.Mul(r))
+	b.bases = append(b.bases, statement)
+	b.exps = append(b.exps, rho)
+	b.n++
+	return nil
+}
+
+// AddOneHot folds a complete one-hot proof over commitments cs: one bit
+// proof per coordinate (bound to the same per-coordinate contexts that
+// VerifyOneHot uses) plus the product opening Π cs = Com(1, R). The fold is
+// atomic: on a non-nil error (an individually invalid component) the batch
+// is rolled back to its state before the call, so one malformed submission
+// cannot poison a board-wide batch.
+func (b *BitBatch) AddOneHot(cs []*pedersen.Commitment, p *OneHotProof, ctx []byte) error {
+	if p == nil || p.R == nil {
+		return fmt.Errorf("%w: incomplete one-hot proof", ErrVerify)
+	}
+	if len(p.Bits) != len(cs) || len(cs) == 0 {
+		return fmt.Errorf("%w: one-hot proof covers %d of %d coordinates", ErrVerify, len(p.Bits), len(cs))
+	}
+	// Snapshot for rollback: zAgg is immutable, the slices only grow.
+	mark, zMark, nMark := len(b.bases), b.zAgg, b.n
+	rollback := func() {
+		b.bases, b.exps, b.zAgg, b.n = b.bases[:mark], b.exps[:mark], zMark, nMark
+	}
+	for j := range cs {
+		if err := b.Add(cs[j], p.Bits[j], oneHotCoordCtx(ctx, j)); err != nil {
+			rollback()
+			return fmt.Errorf("coordinate %d: %w", j, err)
+		}
+	}
+	if err := b.AddOpening(pedersen.Sum(b.pp, cs...), b.pp.ScalarField().One(), p.R); err != nil {
+		rollback()
+		return err
+	}
+	return nil
+}
+
+// Check evaluates the combined equation with a single multi-exponentiation,
+// chunked over up to `workers` goroutines (<= 0 means GOMAXPROCS). A nil
+// return means every folded equation holds (up to 2^-128 batching slack);
+// an ErrVerify return means at least one folded statement is false, with no
+// attribution — callers needing to name a culprit re-verify individually.
+func (b *BitBatch) Check(workers int) error {
+	if b.n == 0 {
+		return nil
+	}
+	g := b.pp.Group()
+	lhs := b.pp.ExpH(b.zAgg)
+	rhs := group.MultiExpParallel(g, b.bases, b.exps, workers)
+	if !g.Equal(lhs, rhs) {
+		return fmt.Errorf("%w: combined batch equation failed", ErrVerify)
+	}
+	return nil
+}
 
 // VerifyBitsBatch verifies a batch of Σ-OR bit proofs with the random-
 // linear-combination technique. On success it is significantly faster than
@@ -55,57 +206,13 @@ func VerifyBitsBatchCtx(pp *pedersen.Params, cs []*pedersen.Commitment, ps []*Bi
 	if len(cs) == 0 {
 		return nil
 	}
-	if rnd == nil {
-		rnd = rand.Reader
-	}
-	g := pp.Group()
-	f := pp.ScalarField()
-
-	// Cheap scalar work first: recompute every Fiat-Shamir challenge and
-	// check the splits; any failure here already identifies the index.
+	b := NewBitBatch(pp, rnd)
 	for i := range cs {
-		p := ps[i]
-		if p == nil || p.A0 == nil || p.A1 == nil || p.E0 == nil || p.E1 == nil || p.Z0 == nil || p.Z1 == nil {
-			return fmt.Errorf("index %d: %w: incomplete bit proof", i, ErrVerify)
-		}
-		tr := bitTranscript(pp, cs[i])
-		tr.Append("ctx", ctxFor(i))
-		tr.Append("A0", g.Encode(p.A0))
-		tr.Append("A1", g.Encode(p.A1))
-		if !p.E0.Add(p.E1).Equal(tr.Challenge("e", f)) {
-			return fmt.Errorf("index %d: %w: challenge split does not sum to e", i, ErrVerify)
+		if err := b.Add(cs[i], ps[i], ctxFor(i)); err != nil {
+			return fmt.Errorf("index %d: %w", i, err)
 		}
 	}
-
-	// Build the combined equation.
-	zAgg := f.Zero()
-	bases := make([]group.Element, 0, 4*len(cs))
-	exps := make([]*field.Element, 0, 4*len(cs))
-	coeff := make([]byte, batchCoeffBytes)
-	sample := func() (*field.Element, error) {
-		if _, err := io.ReadFull(rnd, coeff); err != nil {
-			return nil, fmt.Errorf("sigma: sampling batch coefficient: %w", err)
-		}
-		return f.Reduce(coeff), nil
-	}
-	for i := range cs {
-		p := ps[i]
-		rho, err := sample()
-		if err != nil {
-			return err
-		}
-		sigma, err := sample()
-		if err != nil {
-			return err
-		}
-		zAgg = zAgg.Add(rho.Mul(p.Z0)).Add(sigma.Mul(p.Z1))
-		x0, x1 := bitStatements(pp, cs[i])
-		bases = append(bases, p.A0, x0, p.A1, x1)
-		exps = append(exps, rho, p.E0.Mul(rho), sigma, p.E1.Mul(sigma))
-	}
-	lhs := pp.ExpH(zAgg)
-	rhs := group.MultiExpStraus(g, bases, exps)
-	if g.Equal(lhs, rhs) {
+	if b.Check(1) == nil {
 		return nil
 	}
 	// The batch failed: some proof is bad. Re-verify sequentially to name

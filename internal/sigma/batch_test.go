@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/field"
 	"repro/internal/pedersen"
 )
 
@@ -111,6 +112,158 @@ func TestVerifyBitsBatchAgreesWithSequential(t *testing.T) {
 		if (seq == nil) != (bat == nil) {
 			t.Errorf("trial %d: sequential=%v batch=%v", trial, seq, bat)
 		}
+	}
+}
+
+// TestBitBatchMixedStatements: the accumulator folds bit proofs under
+// heterogeneous contexts plus plain opening claims, and the combined check
+// agrees at several worker widths.
+func TestBitBatchMixedStatements(t *testing.T) {
+	pp := ppEC
+	f := pp.ScalarField()
+	b := NewBitBatch(pp, nil)
+	for i := 0; i < 9; i++ {
+		x := f.FromInt64(int64(i % 2))
+		r := f.MustRand(nil)
+		c := pp.CommitWith(x, r)
+		ctx := []byte{byte(i), 0xAB}
+		p, err := ProveBit(pp, c, x, r, ctx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Add(c, p, ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two opening claims with non-bit messages.
+	for i := 0; i < 2; i++ {
+		x := f.FromInt64(int64(10 + i))
+		r := f.MustRand(nil)
+		if err := b.AddOpening(pp.CommitWith(x, r), x, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", b.Len())
+	}
+	for _, workers := range []int{1, 4} {
+		if err := b.Check(workers); err != nil {
+			t.Errorf("workers=%d: honest mixed batch rejected: %v", workers, err)
+		}
+	}
+}
+
+// TestBitBatchOpeningForgery: a false opening claim breaks the combined
+// equation.
+func TestBitBatchOpeningForgery(t *testing.T) {
+	pp := ppFF
+	f := pp.ScalarField()
+	b := NewBitBatch(pp, nil)
+	cs, ps := buildBitBatch(t, pp, 5)
+	for i := range cs {
+		if err := b.Add(cs[i], ps[i], ctxTx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := f.FromInt64(3)
+	r := f.MustRand(nil)
+	if err := b.AddOpening(pp.CommitWith(x, r), x.Add(f.One()), r); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Check(1); err == nil {
+		t.Error("batch with forged opening accepted")
+	}
+}
+
+// buildOneHots creates n honest one-hot statements of dimension m.
+func buildOneHots(t testing.TB, pp *pedersen.Params, n, m int) (css [][]*pedersen.Commitment, proofs []*OneHotProof, ctxs [][]byte) {
+	t.Helper()
+	f := pp.ScalarField()
+	for i := 0; i < n; i++ {
+		vec := make([]*field.Element, m)
+		for j := range vec {
+			vec[j] = f.Zero()
+		}
+		vec[i%m] = f.One()
+		cs, os, err := pp.VectorCommit(vec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := []byte{0x51, byte(i)}
+		p, err := ProveOneHot(pp, cs, os, ctx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		css = append(css, cs)
+		proofs = append(proofs, p)
+		ctxs = append(ctxs, ctx)
+	}
+	return css, proofs, ctxs
+}
+
+// TestBitBatchOneHot: honest multi-client one-hot proofs batch-verify; a
+// single forged proof among them breaks the combined check while AddOneHot
+// still accepts it (the forgery is only detectable in the group equations).
+func TestBitBatchOneHot(t *testing.T) {
+	pp := ppEC
+	f := pp.ScalarField()
+	css, proofs, ctxs := buildOneHots(t, pp, 6, 3)
+	honest := NewBitBatch(pp, nil)
+	for i := range css {
+		if err := honest.AddOneHot(css[i], proofs[i], ctxs[i]); err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if err := honest.Check(2); err != nil {
+		t.Errorf("honest one-hot batch rejected: %v", err)
+	}
+
+	// Forge client 4: tamper one coordinate response.
+	forged := NewBitBatch(pp, nil)
+	bad := *proofs[4]
+	badBits := append([]*BitProof{}, bad.Bits...)
+	bb := *badBits[1]
+	bb.Z0 = bb.Z0.Add(f.One())
+	badBits[1] = &bb
+	bad.Bits = badBits
+	proofs[4] = &bad
+	for i := range css {
+		if err := forged.AddOneHot(css[i], proofs[i], ctxs[i]); err != nil {
+			t.Fatalf("scalar phase rejected client %d: %v", i, err)
+		}
+	}
+	if err := forged.Check(1); err == nil {
+		t.Error("batch containing a forged one-hot proof accepted")
+	}
+}
+
+// TestBitBatchOneHotRollback: a structurally invalid one-hot proof leaves
+// the batch unchanged, so earlier and later honest folds still verify.
+func TestBitBatchOneHotRollback(t *testing.T) {
+	pp := ppFF
+	css, proofs, ctxs := buildOneHots(t, pp, 3, 3)
+	b := NewBitBatch(pp, nil)
+	if err := b.AddOneHot(css[0], proofs[0], ctxs[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := b.Len()
+	// Client 1's proof is truncated mid-way: coordinate 2's bit proof is
+	// incomplete, so coordinates 0-1 are folded then rolled back.
+	mangled := *proofs[1]
+	mangledBits := append([]*BitProof{}, mangled.Bits...)
+	mangledBits[2] = &BitProof{}
+	mangled.Bits = mangledBits
+	if err := b.AddOneHot(css[1], &mangled, ctxs[1]); err == nil {
+		t.Fatal("incomplete one-hot proof accepted")
+	}
+	if b.Len() != before {
+		t.Fatalf("failed AddOneHot left %d equations, want %d (rollback)", b.Len(), before)
+	}
+	if err := b.AddOneHot(css[2], proofs[2], ctxs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Check(1); err != nil {
+		t.Errorf("batch after rollback rejected honest members: %v", err)
 	}
 }
 

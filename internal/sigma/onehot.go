@@ -21,6 +21,13 @@ type OneHotProof struct {
 	R    *field.Element // Σ_j r_j, opening randomness of Π_j c_j to 1
 }
 
+// oneHotCoordCtx scopes a coordinate's bit proof to its index within the
+// enclosing one-hot statement. Proving, verifying, and batch verification
+// (BitBatch.AddOneHot) must all derive identical contexts.
+func oneHotCoordCtx(ctx []byte, j int) []byte {
+	return append(append([]byte{}, ctx...), byte(j>>8), byte(j))
+}
+
 // ProveOneHot builds a one-hot proof for commitments cs with openings os.
 // It verifies locally that the input really is one-hot and returns an error
 // otherwise.
@@ -46,8 +53,7 @@ func ProveOneHot(pp *pedersen.Params, cs []*pedersen.Commitment, os []*pedersen.
 	}
 	proof := &OneHotProof{Bits: make([]*BitProof, len(cs)), R: sumR}
 	for j := range cs {
-		coordCtx := append(append([]byte{}, ctx...), byte(j>>8), byte(j))
-		bp, err := ProveBit(pp, cs[j], os[j].X, os[j].R, coordCtx, rnd)
+		bp, err := ProveBit(pp, cs[j], os[j].X, os[j].R, oneHotCoordCtx(ctx, j), rnd)
 		if err != nil {
 			return nil, fmt.Errorf("sigma: coordinate %d: %w", j, err)
 		}
@@ -66,8 +72,7 @@ func VerifyOneHot(pp *pedersen.Params, cs []*pedersen.Commitment, p *OneHotProof
 		return fmt.Errorf("%w: one-hot proof covers %d of %d coordinates", ErrVerify, len(p.Bits), len(cs))
 	}
 	for j := range cs {
-		coordCtx := append(append([]byte{}, ctx...), byte(j>>8), byte(j))
-		if err := VerifyBit(pp, cs[j], p.Bits[j], coordCtx); err != nil {
+		if err := VerifyBit(pp, cs[j], p.Bits[j], oneHotCoordCtx(ctx, j)); err != nil {
 			return fmt.Errorf("coordinate %d: %w", j, err)
 		}
 	}

@@ -167,6 +167,10 @@ func (p *Public) VerifyClient(pub *ClientPublic) error {
 // the accepted set and a map of rejection reasons. The accepted set is the
 // public roster of inputs the protocol will aggregate; from Line 3 on, "the
 // protocol only uses inputs from validated clients".
+//
+// This is the sequential reference path; the execution engine and the
+// parallel verifier use filterValidClientsBatch, which reaches the same
+// verdicts with one random-linear-combination check over the whole board.
 func (p *Public) FilterValidClients(pubs []*ClientPublic) (valid []*ClientPublic, rejected map[int]error) {
 	rejected = make(map[int]error)
 	for _, c := range pubs {
@@ -175,6 +179,94 @@ func (p *Public) FilterValidClients(pubs []*ClientPublic) (valid []*ClientPublic
 			continue
 		}
 		valid = append(valid, c)
+	}
+	return valid, rejected
+}
+
+// filterValidClientsBatch is FilterValidClients with batched Σ-OR
+// verification: the derived-commitment recomputation fans out over the
+// worker pool, every structurally sound client's legality proof folds into
+// one BitBatch, and a single (parallel) multi-exponentiation decides the
+// honest case. Only when that combined check fails does it fall back to
+// per-client verification to attribute blame — so a single forged proof
+// hidden among many valid ones is still pinned on exactly its author, at
+// the price of one extra sequential pass. Verdicts and rejection reasons
+// are identical to FilterValidClients regardless of worker count.
+func (p *Public) filterValidClientsBatch(pubs []*ClientPublic, workers int) (valid []*ClientPublic, rejected map[int]error) {
+	rejected = make(map[int]error)
+	if len(pubs) == 0 {
+		return nil, rejected
+	}
+
+	// Pass 1 (parallel, pure): recompute derived per-bin commitments and
+	// check proof presence. Structural failures are attributable on the
+	// spot and never enter the batch.
+	derived := make([][]*pedersen.Commitment, len(pubs))
+	structural := make([]error, len(pubs))
+	forEach(workers, len(pubs), func(i int) error {
+		c := pubs[i]
+		d, err := p.derivedCommitments(c)
+		if err != nil {
+			structural[i] = err
+			return nil
+		}
+		if p.cfg.Bins == 1 && c.BitProof == nil {
+			structural[i] = fmt.Errorf("%w: client %d missing bit proof", ErrClientReject, c.ID)
+			return nil
+		}
+		if p.cfg.Bins > 1 && c.OneHotProof == nil {
+			structural[i] = fmt.Errorf("%w: client %d missing one-hot proof", ErrClientReject, c.ID)
+			return nil
+		}
+		derived[i] = d
+		return nil
+	})
+
+	// Pass 2 (sequential, scalar-only): fold every remaining proof into the
+	// batch. Fiat-Shamir recomputation rejects malformed proofs here with
+	// the same verdict the per-client verifier would reach.
+	batch := sigma.NewBitBatch(p.pp, nil)
+	inBatch := make([]bool, len(pubs))
+	for i, c := range pubs {
+		if structural[i] != nil {
+			rejected[c.ID] = structural[i]
+			continue
+		}
+		var err error
+		if p.cfg.Bins == 1 {
+			err = batch.Add(derived[i][0], c.BitProof, p.clientContext(c.ID))
+		} else {
+			err = batch.AddOneHot(derived[i], c.OneHotProof, p.clientContext(c.ID))
+		}
+		if err != nil {
+			rejected[c.ID] = fmt.Errorf("%w: client %d: %v", ErrClientReject, c.ID, err)
+			continue
+		}
+		inBatch[i] = true
+	}
+
+	// Pass 3: one combined check. On failure, re-verify the batch members
+	// individually (in parallel — verdicts are independent) to name every
+	// cheater; the honest majority is still accepted.
+	if batch.Check(workers) != nil {
+		verdicts := make([]error, len(pubs))
+		forEach(workers, len(pubs), func(i int) error {
+			if inBatch[i] {
+				verdicts[i] = p.VerifyClient(pubs[i])
+			}
+			return nil
+		})
+		for i, c := range pubs {
+			if inBatch[i] && verdicts[i] != nil {
+				rejected[c.ID] = verdicts[i]
+				inBatch[i] = false
+			}
+		}
+	}
+	for i, c := range pubs {
+		if inBatch[i] {
+			valid = append(valid, c)
+		}
 	}
 	return valid, rejected
 }

@@ -1,0 +1,311 @@
+package vdp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sigma"
+)
+
+// Engine executes ΠBin as a staged pipeline over a shared worker pool,
+// replacing the strictly sequential loops of the original Run. The stage
+// graph mirrors Figure 2:
+//
+//	        clients (fan out per client)
+//	           │  submissions: share commitments + legality proofs
+//	           ▼
+//	  verifier: roster (one batched Σ-OR check over the whole board)
+//	           │
+//	           ▼
+//	  provers ingest payloads (fan out per client×prover opening check)
+//	           │
+//	           ▼
+//	  CommitCoins (fan out per prover×bin×coin)  ─►  batched Σ-OR verify
+//	           │
+//	           ▼
+//	  Morra public coins (fan out per prover)
+//	           │
+//	           ▼
+//	  Finalize + Line-13 product check (fan out per prover)
+//	           │
+//	           ▼
+//	  Aggregate → Release + Transcript
+//
+// Stages are separated by barriers, so the verifier's checks for stage s
+// happen before any prover advances to stage s+1 — exactly the ordering the
+// sequential protocol enforced, which keeps malice-detection semantics
+// unchanged: a cheating prover is accused at the same stage, wrapped in the
+// same sentinel error.
+//
+// Determinism: all task randomness comes from per-task substreams keyed by
+// (label, index) — never by schedule (see rand.go). With a fixed
+// RunOptions.Rand seed the transcript is byte-identical at every worker
+// count; TranscriptDigest makes that property testable.
+type Engine struct {
+	pub     *Public
+	workers int
+}
+
+// NewEngine creates an engine over pub with the given worker-pool width.
+// workers <= 0 selects runtime.GOMAXPROCS(0). A width of 1 reproduces the
+// sequential execution exactly.
+func NewEngine(pub *Public, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{pub: pub, workers: workers}
+}
+
+// Workers returns the pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// forEach runs fn(i) for every i in [0, n) across up to `workers`
+// goroutines pulling indices from a shared counter. Once any task records an
+// error, unstarted tasks are skipped. The returned error is the recorded
+// error with the lowest index, so blame attribution does not depend on
+// scheduling. workers <= 1 (or n <= 1) runs inline with fail-fast.
+func forEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes a full ΠBin instance: client submission generation fans out
+// over the pool, then the protocol proper runs via RunWithSubmissions
+// semantics. Equivalent to the package-level Run with
+// RunOptions.Parallelism = Workers().
+func (e *Engine) Run(choices []int, opts *RunOptions) (*RunResult, error) {
+	if opts == nil {
+		opts = &RunOptions{}
+	}
+	rs, err := newRandSource(opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+	// Stage: client submission generation. Each client's commitments and
+	// Σ-proofs are independent; substream i makes client i's material a
+	// pure function of (seed, i).
+	subs := make([]*ClientSubmission, len(choices))
+	err = forEach(e.workers, len(choices), func(i int) error {
+		sub, err := e.pub.NewClientSubmission(i, choices[i], rs.stream(labelClient, i))
+		if err != nil {
+			return fmt.Errorf("client %d: %w", i, err)
+		}
+		subs[i] = sub
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	publics := make([]*ClientPublic, len(subs))
+	payloads := make(map[int][]*ClientPayload, len(subs))
+	for i, sub := range subs {
+		publics[i] = sub.Public
+		payloads[i] = sub.Payloads
+	}
+	return e.run(publics, payloads, opts, rs)
+}
+
+// RunWithSubmissions executes the protocol over pre-built client material,
+// allowing tests to inject malformed or adversarial client submissions.
+// payloads maps client ID to its K per-prover payloads.
+func (e *Engine) RunWithSubmissions(publics []*ClientPublic, payloads map[int][]*ClientPayload, opts *RunOptions) (*RunResult, error) {
+	if opts == nil {
+		opts = &RunOptions{}
+	}
+	rs, err := newRandSource(opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(publics, payloads, opts, rs)
+}
+
+// run is the staged pipeline behind Run and RunWithSubmissions.
+func (e *Engine) run(publics []*ClientPublic, payloads map[int][]*ClientPayload, opts *RunOptions, rs *randSource) (*RunResult, error) {
+	pub := e.pub
+	k := pub.cfg.Provers
+	m := pub.cfg.Bins
+	nb := pub.nb
+
+	// Line 3: the public verifier fixes the valid-client roster with one
+	// batched Σ-OR check over the whole board.
+	verifier := NewVerifierParallel(pub, e.workers)
+	_, rejected := verifier.VerifyClients(publics)
+	valid := verifier.ValidClients()
+
+	provers := make([]*Prover, k)
+	for pk := 0; pk < k; pk++ {
+		malice := NoMalice
+		if opts.Malice != nil {
+			if mm, ok := opts.Malice[pk]; ok {
+				malice = mm
+			}
+		}
+		pr, err := NewMaliciousProver(pub, pk, malice)
+		if err != nil {
+			return nil, err
+		}
+		provers[pk] = pr
+	}
+
+	// Stage: provers ingest the valid clients' payloads. The opening checks
+	// are pure, so all K·n of them fan out; the verifier has already
+	// checked the board proofs once, so provers skip that redundant
+	// re-verification (same verdicts, K× less work than AcceptClient).
+	// Task index t = prover·n + client keeps blame attribution in the same
+	// prover-major order as the sequential loop.
+	n := len(valid)
+	err := forEach(e.workers, k*n, func(t int) error {
+		pk, ci := t/n, t%n
+		cl := valid[ci]
+		pls, ok := payloads[cl.ID]
+		if !ok || len(pls) != k {
+			return fmt.Errorf("%w: client %d on the roster has no payload for prover %d",
+				ErrClientReject, cl.ID, pk)
+		}
+		return provers[pk].checkPayload(cl, pls[pk])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pk := 0; pk < k; pk++ {
+		for _, cl := range valid {
+			if err := provers[pk].acceptChecked(cl, payloads[cl.ID][pk]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	tr := &Transcript{Clients: publics}
+
+	// Lines 4-6: coin commitments — every (prover, bin, coin) task is
+	// independent — then one batched Σ-OR verification per prover.
+	type coinSlot struct {
+		cn    *coin
+		proof *sigma.BitProof
+	}
+	slots := make([]coinSlot, k*m*nb)
+	err = forEach(e.workers, len(slots), func(t int) error {
+		pk := t / (m * nb)
+		j := (t % (m * nb)) / nb
+		l := t % nb
+		cn, proof, err := provers[pk].commitCoin(j, l, rs.stream(labelCoin, t))
+		if err != nil {
+			return err
+		}
+		slots[t] = coinSlot{cn: cn, proof: proof}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	coinMsgs := make([]*CoinCommitMsg, k)
+	for pk := 0; pk < k; pk++ {
+		coins := make([][]*coin, m)
+		proofs := make([][]*sigma.BitProof, m)
+		for j := 0; j < m; j++ {
+			coins[j] = make([]*coin, nb)
+			proofs[j] = make([]*sigma.BitProof, nb)
+			for l := 0; l < nb; l++ {
+				s := slots[(pk*m+j)*nb+l]
+				coins[j][l] = s.cn
+				proofs[j][l] = s.proof
+			}
+		}
+		msg, err := provers[pk].installCoins(coins, proofs)
+		if err != nil {
+			return nil, err
+		}
+		coinMsgs[pk] = msg
+		if err := verifier.VerifyCoinCommitments(msg); err != nil {
+			return nil, err
+		}
+	}
+	tr.CoinMsgs = coinMsgs
+
+	// Lines 7-8: per-prover Morra with the verifier for M·nb public bits.
+	// The K instances are independent 2-party protocols.
+	publicBits := make([][][]byte, k)
+	morraRecs := make([]*MorraRecord, k)
+	err = forEach(e.workers, k, func(pk int) error {
+		bits, record, err := runMorra(pub, pk, m*nb, rs)
+		if err != nil {
+			return err
+		}
+		morraRecs[pk] = record
+		publicBits[pk] = reshapeBits(bits, m, nb)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pk := 0; pk < k; pk++ {
+		if err := provers[pk].SetPublicCoins(publicBits[pk]); err != nil {
+			return nil, err
+		}
+	}
+	tr.Morra = morraRecs
+
+	// Lines 9-13: outputs and the final commitment-product check, one task
+	// per prover.
+	outputs := make([]*ProverOutput, k)
+	err = forEach(e.workers, k, func(pk int) error {
+		out, err := provers[pk].Finalize()
+		if err != nil {
+			return err
+		}
+		outputs[pk] = out
+		return verifier.CheckProverOutput(coinMsgs[pk], publicBits[pk], out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr.Outputs = outputs
+
+	release, err := verifier.Aggregate(outputs)
+	if err != nil {
+		return nil, err
+	}
+	tr.Release = release
+	return &RunResult{Release: release, Transcript: tr, RejectedClients: rejected}, nil
+}

@@ -33,8 +33,14 @@ type RunOptions struct {
 	// Malice assigns deviations to prover indices; absent provers are
 	// honest.
 	Malice map[int]Malice
-	// Rand is the randomness source (nil = crypto/rand).
+	// Rand is the randomness source (nil = crypto/rand). When set, a
+	// single root seed is read from it and expanded into independent
+	// per-task substreams (see rand.go), so the same seed produces a
+	// byte-identical transcript at every Parallelism setting.
 	Rand io.Reader
+	// Parallelism is the worker-pool width of the execution engine:
+	// 0 selects runtime.GOMAXPROCS(0), 1 forces sequential execution.
+	Parallelism int
 }
 
 // RunResult is the outcome of a successful protocol execution.
@@ -50,24 +56,14 @@ type RunResult struct {
 // the verifier detects a misbehaving prover (which is the point: malice
 // must never produce a silent wrong answer). Rejected clients do not abort
 // the run; they are excluded from the public roster and reported.
+//
+// Execution is delegated to the staged pipeline engine (see Engine), fanned
+// out over RunOptions.Parallelism workers; the default uses every core.
 func Run(pub *Public, choices []int, opts *RunOptions) (*RunResult, error) {
 	if opts == nil {
 		opts = &RunOptions{}
 	}
-	rnd := opts.Rand
-
-	// Clients prepare submissions.
-	publics := make([]*ClientPublic, 0, len(choices))
-	payloads := make(map[int][]*ClientPayload, len(choices)) // by client ID
-	for i, choice := range choices {
-		sub, err := pub.NewClientSubmission(i, choice, rnd)
-		if err != nil {
-			return nil, fmt.Errorf("client %d: %w", i, err)
-		}
-		publics = append(publics, sub.Public)
-		payloads[i] = sub.Payloads
-	}
-	return RunWithSubmissions(pub, publics, payloads, opts)
+	return NewEngine(pub, opts.Parallelism).Run(choices, opts)
 }
 
 // RunWithSubmissions executes the protocol over pre-built client material,
@@ -77,96 +73,14 @@ func RunWithSubmissions(pub *Public, publics []*ClientPublic, payloads map[int][
 	if opts == nil {
 		opts = &RunOptions{}
 	}
-	rnd := opts.Rand
-	k := pub.cfg.Provers
-	m := pub.cfg.Bins
-	nb := pub.nb
-
-	// Line 3: the public verifier fixes the valid-client roster.
-	verifier := NewVerifier(pub)
-	_, rejected := verifier.VerifyClients(publics)
-
-	// Provers ingest the valid clients' payloads.
-	provers := make([]*Prover, k)
-	for pk := 0; pk < k; pk++ {
-		malice := NoMalice
-		if opts.Malice != nil {
-			if mm, ok := opts.Malice[pk]; ok {
-				malice = mm
-			}
-		}
-		pr, err := NewMaliciousProver(pub, pk, malice)
-		if err != nil {
-			return nil, err
-		}
-		provers[pk] = pr
-		for _, cl := range verifier.ValidClients() {
-			pls, ok := payloads[cl.ID]
-			if !ok || len(pls) != k {
-				return nil, fmt.Errorf("%w: client %d on the roster has no payload for prover %d",
-					ErrClientReject, cl.ID, pk)
-			}
-			if err := pr.AcceptClient(cl, pls[pk]); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	tr := &Transcript{Clients: publics}
-
-	// Lines 4-6: coin commitments and Σ-OR verification.
-	coinMsgs := make([]*CoinCommitMsg, k)
-	for pk := 0; pk < k; pk++ {
-		msg, err := provers[pk].CommitCoins(rnd)
-		if err != nil {
-			return nil, err
-		}
-		coinMsgs[pk] = msg
-		if err := verifier.VerifyCoinCommitments(msg); err != nil {
-			return nil, err
-		}
-	}
-	tr.CoinMsgs = coinMsgs
-
-	// Lines 7-8: per-prover Morra with the verifier for M·nb public bits.
-	publicBits := make([][][]byte, k)
-	for pk := 0; pk < k; pk++ {
-		bits, record, err := runMorra(pub, pk, m*nb, rnd)
-		if err != nil {
-			return nil, err
-		}
-		tr.Morra = append(tr.Morra, record)
-		publicBits[pk] = reshapeBits(bits, m, nb)
-		if err := provers[pk].SetPublicCoins(publicBits[pk]); err != nil {
-			return nil, err
-		}
-	}
-
-	// Lines 9-13: outputs and the final commitment-product check.
-	outputs := make([]*ProverOutput, k)
-	for pk := 0; pk < k; pk++ {
-		out, err := provers[pk].Finalize()
-		if err != nil {
-			return nil, err
-		}
-		outputs[pk] = out
-		if err := verifier.CheckProverOutput(coinMsgs[pk], publicBits[pk], out); err != nil {
-			return nil, err
-		}
-	}
-	tr.Outputs = outputs
-
-	release, err := verifier.Aggregate(outputs)
-	if err != nil {
-		return nil, err
-	}
-	tr.Release = release
-	return &RunResult{Release: release, Transcript: tr, RejectedClients: rejected}, nil
+	return NewEngine(pub, opts.Parallelism).RunWithSubmissions(publics, payloads, opts)
 }
 
 // runMorra executes the 2-party Πmorra between prover pk and the verifier,
-// returning the flat bit string and the public record.
-func runMorra(pub *Public, pk, batch int, rnd io.Reader) ([]byte, *MorraRecord, error) {
+// returning the flat bit string and the public record. Each party draws
+// from its own substream (labelMorra, 2·pk + party), so concurrent Morra
+// instances stay deterministic under a fixed seed.
+func runMorra(pub *Public, pk, batch int, rs *randSource) ([]byte, *MorraRecord, error) {
 	parties := make([]*morra.Party, 2)
 	commits := make([]*morra.CommitMsg, 2)
 	for i := range parties {
@@ -175,7 +89,7 @@ func runMorra(pub *Public, pk, batch int, rnd io.Reader) ([]byte, *MorraRecord, 
 			return nil, nil, err
 		}
 		parties[i] = p
-		cm, err := p.Commit(rnd)
+		cm, err := p.Commit(rs.stream(labelMorra, 2*pk+i))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -210,8 +124,14 @@ func reshapeBits(bits []byte, bins, nb int) [][]byte {
 // recomputation, the Line 13 product check for every prover, and the final
 // aggregation. It returns nil iff an independent auditor would accept the
 // release. This function is the "Auditable" column of Table 2 made
-// executable.
-func Audit(pub *Public, t *Transcript) error {
+// executable. It uses every core; AuditParallel controls the width.
+func Audit(pub *Public, t *Transcript) error { return AuditParallel(pub, t, 0) }
+
+// AuditParallel is Audit over an explicit worker-pool width (0 =
+// GOMAXPROCS, 1 = sequential). The client board is decided by one batched
+// Σ-OR check, per-prover records are audited concurrently, and the verdict
+// is identical at every width.
+func AuditParallel(pub *Public, t *Transcript, workers int) error {
 	if t == nil || t.Release == nil {
 		return fmt.Errorf("%w: empty transcript", ErrAuditFail)
 	}
@@ -221,15 +141,27 @@ func Audit(pub *Public, t *Transcript) error {
 			ErrAuditFail, len(t.CoinMsgs), len(t.Morra), len(t.Outputs), k)
 	}
 
-	verifier := NewVerifier(pub)
+	workers = NewEngine(pub, workers).Workers()
+	verifier := NewVerifierParallel(pub, workers)
 	verifier.VerifyClients(t.Clients)
 
-	for pk := 0; pk < k; pk++ {
+	// The per-prover records are audited concurrently, so divide the
+	// multiexp-chunking width among the outer tasks: nesting W-wide chunking
+	// inside a W-wide fan-out would repeat the shared squaring chain W times
+	// over with no latency gain.
+	inner := workers / k
+	if inner < 1 {
+		inner = 1
+	}
+	proverVerifier := NewVerifierParallel(pub, inner)
+	proverVerifier.valid = verifier.valid
+
+	err := forEach(workers, k, func(pk int) error {
 		msg := t.CoinMsgs[pk]
 		if msg.Prover != pk {
 			return fmt.Errorf("%w: coin message %d claims prover %d", ErrAuditFail, pk, msg.Prover)
 		}
-		if err := verifier.VerifyCoinCommitments(msg); err != nil {
+		if err := proverVerifier.VerifyCoinCommitments(msg); err != nil {
 			return fmt.Errorf("%w: %v", ErrAuditFail, err)
 		}
 		rec := t.Morra[pk]
@@ -243,9 +175,13 @@ func Audit(pub *Public, t *Transcript) error {
 				ErrAuditFail, pk, len(bits), pub.cfg.Bins*pub.nb)
 		}
 		publicBits := reshapeBits(bits, pub.cfg.Bins, pub.nb)
-		if err := verifier.CheckProverOutput(msg, publicBits, t.Outputs[pk]); err != nil {
+		if err := proverVerifier.CheckProverOutput(msg, publicBits, t.Outputs[pk]); err != nil {
 			return fmt.Errorf("%w: %v", ErrAuditFail, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	release, err := verifier.Aggregate(t.Outputs)

@@ -111,21 +111,31 @@ func (pr *Prover) Index() int { return pr.index }
 // public record ("the servers can independently validate the verifier's
 // claims").
 func (pr *Prover) AcceptClient(pub *ClientPublic, payload *ClientPayload) error {
+	if err := pr.pub.VerifyClient(pub); err != nil {
+		return err
+	}
+	if err := pr.checkPayload(pub, payload); err != nil {
+		return err
+	}
+	return pr.acceptChecked(pub, payload)
+}
+
+// checkPayload validates a client's private payload against the public
+// commitment matrix without mutating prover state. It is read-only and safe
+// to call concurrently for different clients, which is how the execution
+// engine fans the opening checks out across its worker pool. It does NOT
+// re-verify the public legality proof — callers that have not already
+// checked the board use AcceptClient.
+func (pr *Prover) checkPayload(pub *ClientPublic, payload *ClientPayload) error {
 	if payload == nil || payload.ClientID != pub.ID {
 		return fmt.Errorf("%w: payload/public ID mismatch for client %d", ErrClientReject, pub.ID)
 	}
 	if payload.Prover != pr.index {
 		return fmt.Errorf("%w: payload for prover %d delivered to prover %d", ErrClientReject, payload.Prover, pr.index)
 	}
-	if err := pr.pub.VerifyClient(pub); err != nil {
-		return err
-	}
 	if len(payload.Openings) != pr.pub.cfg.Bins {
 		return fmt.Errorf("%w: client %d payload has %d bins, want %d",
 			ErrClientReject, pub.ID, len(payload.Openings), pr.pub.cfg.Bins)
-	}
-	if _, dup := pr.payloads[pub.ID]; dup {
-		return fmt.Errorf("%w: duplicate submission from client %d", ErrClientReject, pub.ID)
 	}
 	// The openings must match the public commitments in this prover's
 	// column; otherwise the client equivocated between board and payload.
@@ -136,6 +146,17 @@ func (pr *Prover) AcceptClient(pub *ClientPublic, payload *ClientPayload) error 
 			return fmt.Errorf("%w: client %d share opening for bin %d does not match its public commitment",
 				ErrClientReject, pub.ID, j)
 		}
+	}
+	return nil
+}
+
+// acceptChecked installs a client whose board submission and payload the
+// caller has already validated (checkPayload plus a board-level legality
+// check). Only the duplicate-submission guard remains here. Not safe for
+// concurrent use on the same prover.
+func (pr *Prover) acceptChecked(pub *ClientPublic, payload *ClientPayload) error {
+	if _, dup := pr.payloads[pub.ID]; dup {
+		return fmt.Errorf("%w: duplicate submission from client %d", ErrClientReject, pub.ID)
 	}
 	pr.clients = append(pr.clients, pub)
 	pr.payloads[pub.ID] = payload
@@ -148,52 +169,85 @@ func (pr *Prover) CommitCoins(rnd io.Reader) (*CoinCommitMsg, error) {
 	if pr.coins != nil {
 		return nil, fmt.Errorf("%w: CommitCoins called twice", ErrBadConfig)
 	}
+	m := pr.pub.cfg.Bins
+	nb := pr.pub.nb
+	coins := make([][]*coin, m)
+	proofs := make([][]*sigma.BitProof, m)
+	for j := 0; j < m; j++ {
+		coins[j] = make([]*coin, nb)
+		proofs[j] = make([]*sigma.BitProof, nb)
+		for l := 0; l < nb; l++ {
+			cn, proof, err := pr.commitCoin(j, l, rnd)
+			if err != nil {
+				return nil, err
+			}
+			coins[j][l] = cn
+			proofs[j][l] = proof
+		}
+	}
+	return pr.installCoins(coins, proofs)
+}
+
+// commitCoin builds one noise coin: sample the private bit, commit, and
+// prove the commitment opens to a bit. It does not touch prover state, so
+// the execution engine can evaluate every (bin, coin) pair of every prover
+// concurrently, each drawing from its own randomness substream.
+func (pr *Prover) commitCoin(j, l int, rnd io.Reader) (*coin, *sigma.BitProof, error) {
 	f := pr.pub.Field()
+	v, err := pr.sampleBit(f, rnd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pr.malice.NonBitCoin && j == 0 && l == 0 {
+		v = f.FromInt64(2)
+	}
+	c, s, err := pr.pub.pp.Commit(v, rnd)
+	if err != nil {
+		return nil, nil, err
+	}
+	coinCtx := coinContext(pr.pub.proverContext(pr.index, j), l)
+	proof, err := sigma.ProveBit(pr.pub.pp, c, v, s, coinCtx, rnd)
+	if err != nil {
+		if !pr.malice.NonBitCoin {
+			return nil, nil, err
+		}
+		// A cheating prover cannot produce a valid proof for a non-bit
+		// commitment; it forges one by proving a throwaway commitment to 1
+		// and transplanting the proof.
+		decoy := pr.pub.pp.CommitWith(f.One(), s)
+		proof, err = sigma.ProveBit(pr.pub.pp, decoy, f.One(), s, coinCtx, rnd)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return &coin{v: v, s: s, c: c}, proof, nil
+}
+
+// installCoins records a full [M][nb] coin matrix (built by CommitCoins or
+// by the engine's per-coin fan-out) and assembles the Line 4 broadcast. It
+// enforces the once-only state transition that CommitCoins promises.
+func (pr *Prover) installCoins(coins [][]*coin, proofs [][]*sigma.BitProof) (*CoinCommitMsg, error) {
+	if pr.coins != nil {
+		return nil, fmt.Errorf("%w: CommitCoins called twice", ErrBadConfig)
+	}
 	m := pr.pub.cfg.Bins
 	nb := pr.pub.nb
 	msg := &CoinCommitMsg{
 		Prover:      pr.index,
 		Commitments: make([][]*pedersen.Commitment, m),
-		Proofs:      make([][]*sigma.BitProof, m),
+		Proofs:      proofs,
 	}
-	pr.coins = make([][]*coin, m)
 	for j := 0; j < m; j++ {
-		pr.coins[j] = make([]*coin, nb)
+		if len(coins[j]) != nb || len(proofs[j]) != nb {
+			return nil, fmt.Errorf("%w: coin matrix bin %d has %d/%d entries, want %d",
+				ErrBadConfig, j, len(coins[j]), len(proofs[j]), nb)
+		}
 		msg.Commitments[j] = make([]*pedersen.Commitment, nb)
-		msg.Proofs[j] = make([]*sigma.BitProof, nb)
-		ctx := pr.pub.proverContext(pr.index, j)
 		for l := 0; l < nb; l++ {
-			v, err := pr.sampleBit(f, rnd)
-			if err != nil {
-				return nil, err
-			}
-			if pr.malice.NonBitCoin && j == 0 && l == 0 {
-				v = f.FromInt64(2)
-			}
-			c, s, err := pr.pub.pp.Commit(v, rnd)
-			if err != nil {
-				return nil, err
-			}
-			pr.coins[j][l] = &coin{v: v, s: s, c: c}
-			msg.Commitments[j][l] = c
-			coinCtx := coinContext(ctx, l)
-			proof, err := sigma.ProveBit(pr.pub.pp, c, v, s, coinCtx, rnd)
-			if err != nil {
-				if !pr.malice.NonBitCoin {
-					return nil, err
-				}
-				// A cheating prover cannot produce a valid proof for a
-				// non-bit commitment; it forges one by proving a throwaway
-				// commitment to 1 and transplanting the proof.
-				decoy := pr.pub.pp.CommitWith(f.One(), s)
-				proof, err = sigma.ProveBit(pr.pub.pp, decoy, f.One(), s, coinCtx, rnd)
-				if err != nil {
-					return nil, err
-				}
-			}
-			msg.Proofs[j][l] = proof
+			msg.Commitments[j][l] = coins[j][l].c
 		}
 	}
+	pr.coins = coins
 	return msg, nil
 }
 

@@ -63,6 +63,8 @@ type (
 	Prover = vdp.Prover
 	// Verifier is the public verifying algorithm.
 	Verifier = vdp.Verifier
+	// Engine is the staged worker-pool execution engine behind Run.
+	Engine = vdp.Engine
 	// Group is a commitment group (see GroupP256, GroupSchnorr2048).
 	Group = group.Group
 )
@@ -94,8 +96,20 @@ func Run(pub *Public, choices []int, opts *RunOptions) (*RunResult, error) {
 }
 
 // Audit replays every public check from a transcript; nil means an
-// independent auditor accepts the release.
+// independent auditor accepts the release. Client-board and coin proofs are
+// verified with random-linear-combination batches spread over every core.
 func Audit(pub *Public, t *Transcript) error { return vdp.Audit(pub, t) }
+
+// AuditParallel is Audit with an explicit worker-pool width (0 = all cores,
+// 1 = sequential). The verdict is identical at every width.
+func AuditParallel(pub *Public, t *Transcript, workers int) error {
+	return vdp.AuditParallel(pub, t, workers)
+}
+
+// NewEngine builds a reusable execution engine over pub with the given
+// worker-pool width (0 = all cores). Run/Count/Histogram construct one per
+// call; callers running many protocol instances can hold one instead.
+func NewEngine(pub *Public, workers int) *Engine { return vdp.NewEngine(pub, workers) }
 
 // Options configures the high-level Count and Histogram helpers.
 type Options struct {
@@ -110,8 +124,13 @@ type Options struct {
 	Group Group
 	// Coins overrides the calibrated per-prover noise coin count.
 	Coins int
-	// Rand overrides the randomness source (nil = crypto/rand).
+	// Rand overrides the randomness source (nil = crypto/rand). When set,
+	// one root seed is read and expanded into per-task substreams, so the
+	// same seed yields an identical transcript at every Parallelism.
 	Rand io.Reader
+	// Parallelism is the execution engine's worker-pool width; 0 selects
+	// runtime.GOMAXPROCS(0) (every core), 1 forces sequential execution.
+	Parallelism int
 }
 
 func (o Options) config(bins int) Config {
@@ -157,7 +176,7 @@ func Count(bits []bool, opts Options) (*CountResult, error) {
 			choices[i] = 1
 		}
 	}
-	res, err := vdp.Run(pub, choices, &vdp.RunOptions{Rand: opts.Rand})
+	res, err := vdp.Run(pub, choices, &vdp.RunOptions{Rand: opts.Rand, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +196,7 @@ func Histogram(choices []int, bins int, opts Options) (*CountResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := vdp.Run(pub, choices, &vdp.RunOptions{Rand: opts.Rand})
+	res, err := vdp.Run(pub, choices, &vdp.RunOptions{Rand: opts.Rand, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}
