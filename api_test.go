@@ -1,6 +1,7 @@
 package verifiabledp
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -79,6 +80,53 @@ func TestGroupSelectors(t *testing.T) {
 	}
 	if GroupSchnorr2048().Name() != "schnorr2048" {
 		t.Error("GroupSchnorr2048 name")
+	}
+}
+
+// TestSessionThroughPublicAPI: the streaming surface re-exported at the
+// root — NewSession/Submit/Finalize/Reset plus RunContext/AuditContext —
+// produces an auditable release and honours cancellation.
+func TestSessionThroughPublicAPI(t *testing.T) {
+	pub, err := Setup(Config{Provers: 1, Bins: 1, Coins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(pub, SessionOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		sub, err := pub.NewClientSubmission(i, i%2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Submit(ctx, sub); err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	res, err := sess.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 ones → raw ∈ [3, 3+8].
+	if res.Release.Raw[0] < 3 || res.Release.Raw[0] > 11 {
+		t.Errorf("raw %d outside envelope", res.Release.Raw[0])
+	}
+	if err := AuditContext(ctx, pub, res.Transcript); err != nil {
+		t.Errorf("audit failed: %v", err)
+	}
+	if err := sess.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Epoch(); got != 1 {
+		t.Errorf("epoch after reset = %d", got)
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := RunContext(cancelled, pub, []int{1, 0}, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext under cancelled ctx: %v", err)
 	}
 }
 

@@ -7,6 +7,7 @@ package verifiabledp
 // for the larger workloads; EXPERIMENTS.md records measured-vs-paper.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -203,6 +204,60 @@ func BenchmarkBatchVerifyClients(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSessionSubmit measures the amortized cost of admitting one
+// client over a 64-submission board. "eager" is the streaming Session path:
+// every submission is verified the moment it arrives (verdict returned to
+// the client, nothing left for Finalize to re-check). "batch-at-finalize"
+// is the legacy roster fixing: submissions pile up unverified and one
+// random-linear-combination Σ-OR batch decides the whole board at the end.
+// The batch's ns/op is lower — that is exactly the latency-vs-throughput
+// trade the Session API makes explicit — and the gap is the price of
+// per-submission verdicts. Divide ns/op by 64 for per-submission cost.
+// Note the arms are not perfectly symmetric: eager Submit also validates
+// the K per-prover payload openings (which the batch path defers to the
+// ingest stage at Finalize), so the measured gap slightly overstates the
+// board-verification difference alone.
+func BenchmarkSessionSubmit(b *testing.B) {
+	pub, err := Setup(Config{Provers: 1, Bins: 1, Coins: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64
+	subs := make([]*ClientSubmission, n)
+	publics := make([]*ClientPublic, n)
+	for i := 0; i < n; i++ {
+		sub, err := pub.NewClientSubmission(i, i%2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs[i] = sub
+		publics[i] = sub.Public
+	}
+	ctx := context.Background()
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sess, err := NewSession(pub, SessionOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, sub := range subs {
+				if err := sess.Submit(ctx, sub); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch-at-finalize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := vdp.NewVerifierParallel(pub, 0)
+			accepted, _ := v.VerifyClients(publics)
+			if accepted != n {
+				b.Fatal("honest client rejected")
+			}
+		}
+	})
 }
 
 // BenchmarkCheatDetection measures how quickly the verifier catches a

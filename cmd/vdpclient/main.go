@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/group"
 	"repro/internal/transport"
@@ -21,14 +22,15 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7001", "server address")
-		id     = flag.Int("id", 0, "client ID (unique per deployment)")
-		choice = flag.Int("choice", 0, "input: the bit for -bins 1, else the bin index")
-		bins   = flag.Int("bins", 1, "histogram bins (must match server)")
-		coins  = flag.Int("coins", 64, "noise coins (must match server)")
-		eps    = flag.Float64("eps", 1.0, "epsilon (must match server when -coins 0)")
-		delta  = flag.Float64("delta", 1e-6, "delta (must match server when -coins 0)")
-		grp    = flag.String("group", "p256", "commitment group (must match server)")
+		addr    = flag.String("addr", "127.0.0.1:7001", "server address")
+		id      = flag.Int("id", 0, "client ID (unique per deployment)")
+		choice  = flag.Int("choice", 0, "input: the bit for -bins 1, else the bin index")
+		bins    = flag.Int("bins", 1, "histogram bins (must match server)")
+		coins   = flag.Int("coins", 64, "noise coins (must match server)")
+		eps     = flag.Float64("eps", 1.0, "epsilon (must match server when -coins 0)")
+		delta   = flag.Float64("delta", 1e-6, "delta (must match server when -coins 0)")
+		grp     = flag.String("group", "p256", "commitment group (must match server)")
+		timeout = flag.Duration("timeout", 30*time.Second, "submission round-trip deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer conn.Close()
+	if *timeout > 0 {
+		// The server verifies eagerly and answers on this connection, so one
+		// deadline covers the whole submit→verdict round trip.
+		if err := conn.SetDeadline(time.Now().Add(*timeout)); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if err := transport.WriteFrame(conn, &transport.Frame{Kind: "submit", Sender: *id, Payload: payload}); err != nil {
 		log.Fatal(err)
 	}

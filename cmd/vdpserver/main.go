@@ -1,8 +1,16 @@
 // Command vdpserver runs a verifiable-DP aggregation service in the
-// trusted-curator model: it accepts client submissions over TCP, and once
-// the expected number have arrived it executes ΠBin (validating every
-// client proof, generating verifiable Binomial noise, producing the audit
-// transcript) and prints the verified release.
+// trusted-curator model, built on the streaming Session API: client
+// submissions arriving over TCP are decoded and verified *as they land on
+// the socket* — each client gets its accept/reject verdict in the reply to
+// its own frame — and once the expected number have been accepted (or the
+// process receives SIGINT/SIGTERM) the open session is finalized: noise
+// generation, Σ-OR proving, Morra and the audit transcript all run over the
+// already-verified client set, and the verified release is printed.
+//
+// Graceful shutdown: on SIGINT/SIGTERM the listener closes, in-flight
+// submissions drain, and the session is finalized with whatever clients
+// were accepted so far (or abandoned cleanly when none were) instead of
+// dying mid-protocol.
 //
 // The deployment configuration flags must match the ones clients use, since
 // the Σ-proof session context binds submissions to the exact deployment.
@@ -14,12 +22,16 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/group"
 	"repro/internal/transport"
@@ -29,12 +41,13 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7001", "listen address")
-		clients = flag.Int("clients", 3, "number of client submissions to wait for")
+		clients = flag.Int("clients", 3, "number of accepted client submissions to wait for")
 		bins    = flag.Int("bins", 1, "histogram bins (1 = counting query)")
 		coins   = flag.Int("coins", 64, "noise coins nb (0 = calibrate from -eps/-delta)")
 		eps     = flag.Float64("eps", 1.0, "epsilon (used when -coins 0)")
 		delta   = flag.Float64("delta", 1e-6, "delta (used when -coins 0)")
 		grp     = flag.String("group", "p256", "commitment group: p256|schnorr2048")
+		grace   = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining and finalizing")
 	)
 	flag.Parse()
 
@@ -42,14 +55,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess, err := vdp.NewSession(pub, vdp.SessionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ctx is cancelled on SIGINT/SIGTERM; every in-flight Submit observes it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var (
+		accepted int
 		mu       sync.Mutex
-		publics  []*vdp.ClientPublic
-		payloads = map[int][]*vdp.ClientPayload{}
 		done     = make(chan struct{})
+		doneOnce sync.Once
 	)
-
 	handler := func(f *transport.Frame) ([]*transport.Frame, error) {
 		if f.Kind != "submit" {
 			return nil, fmt.Errorf("unexpected frame kind %q", f.Kind)
@@ -58,20 +78,19 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		// Validate eagerly so the client learns its fate immediately.
-		if err := pub.VerifyClient(cp); err != nil {
+		// Eager verification on the session's worker pool: the verdict goes
+		// straight back on this client's connection, and Finalize will not
+		// re-check anything.
+		if err := sess.Submit(ctx, &vdp.ClientSubmission{Public: cp, Payloads: []*vdp.ClientPayload{pl}}); err != nil {
 			return nil, err
 		}
 		mu.Lock()
-		defer mu.Unlock()
-		if _, dup := payloads[cp.ID]; dup {
-			return nil, fmt.Errorf("duplicate submission from client %d", cp.ID)
-		}
-		publics = append(publics, cp)
-		payloads[cp.ID] = []*vdp.ClientPayload{pl}
-		log.Printf("accepted client %d (%d/%d)", cp.ID, len(publics), *clients)
-		if len(publics) == *clients {
-			close(done)
+		accepted++
+		n := accepted
+		mu.Unlock()
+		log.Printf("accepted client %d (%d/%d)", cp.ID, n, *clients)
+		if n >= *clients {
+			doneOnce.Do(func() { close(done) })
 		}
 		return []*transport.Frame{{Kind: "ack", Payload: []byte("accepted")}}, nil
 	}
@@ -83,24 +102,48 @@ func main() {
 	log.Printf("verifiable-dp curator listening on %s (K=1, M=%d, nb=%d, group=%s)",
 		srv.Addr(), pub.Bins(), pub.Coins(), *grp)
 
-	<-done
-	_ = srv.Close()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		log.Printf("signal received: shutting down gracefully")
+	}
+
+	// Close the door and drain in-flight connections within the grace
+	// period. A stray connection that never completes (half-open peer,
+	// port scanner) only forfeits the drain: finalize and audit below get
+	// their own fresh budgets, so the verified release is still produced
+	// from whatever was accepted.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *grace)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("listener drain: %v", err)
+	}
 
 	mu.Lock()
-	defer mu.Unlock()
-	res, err := vdp.RunWithSubmissions(pub, publics, payloads, nil)
+	n := accepted
+	mu.Unlock()
+	if n == 0 {
+		log.Printf("no accepted submissions; aborting session without a release")
+		return
+	}
+	if n < *clients {
+		log.Printf("finalizing early with %d/%d clients", n, *clients)
+	}
+
+	finalizeCtx, cancelFinalize := context.WithTimeout(context.Background(), *grace)
+	defer cancelFinalize()
+	res, err := sess.Finalize(finalizeCtx)
 	if err != nil {
-		log.Fatalf("protocol run failed: %v", err)
+		log.Fatalf("protocol finalize failed: %v", err)
 	}
 	fmt.Println("verified release:")
 	for j, raw := range res.Release.Raw {
 		fmt.Printf("  bin %d: raw=%d estimate=%.1f (±%.1f)\n", j, raw, res.Release.Estimate[j], res.Release.Stddev)
 	}
-	if err := vdp.Audit(pub, res.Transcript); err != nil {
+	if err := vdp.AuditContext(finalizeCtx, pub, res.Transcript); err != nil {
 		log.Fatalf("self-audit failed: %v", err)
 	}
 	fmt.Println("transcript audit: PASSED")
-	os.Exit(0)
 }
 
 func setupFromFlags(grpName string, bins, coins int, eps, delta float64) (*vdp.Public, error) {

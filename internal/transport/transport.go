@@ -10,6 +10,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -118,6 +119,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+	lnErr  error
 	wg     sync.WaitGroup
 }
 
@@ -174,16 +176,34 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // Close stops accepting and waits for in-flight connections.
 func (s *Server) Close() error {
+	return s.Shutdown(context.Background())
+}
+
+// Shutdown stops accepting new connections and waits for in-flight ones to
+// drain, giving up (but leaving the listener closed) when ctx expires. It is
+// the graceful half of a SIGINT/SIGTERM handler: close the door, let the
+// handler finish the submissions already on the wire, then finalize the
+// session. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
+	if !s.closed {
+		s.closed = true
+		s.lnErr = s.ln.Close()
 	}
-	s.closed = true
+	err := s.lnErr
 	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Dial opens a client connection.

@@ -2,12 +2,14 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -162,6 +164,49 @@ func TestServerCloseIdempotent(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal("second Close errored:", err)
+	}
+}
+
+// TestServerShutdown: Shutdown drains an in-flight connection when given
+// room, and gives up with ctx.Err() — listener closed, connection still
+// pending — when the deadline is too tight.
+func TestServerShutdown(t *testing.T) {
+	block := make(chan struct{})
+	srv, err := Listen("127.0.0.1:0", func(f *Frame) ([]*Frame, error) {
+		<-block
+		return []*Frame{{Kind: "ack"}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, &Frame{Kind: "hi"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The handler is parked on block: a tight deadline must expire.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown with parked handler: %v, want deadline exceeded", err)
+	}
+	// New connections are refused after the listener closed.
+	if _, err := Dial(srv.Addr()); err == nil {
+		t.Error("dial succeeded after Shutdown closed the listener")
+	}
+
+	// Unblock the handler: the retry drains cleanly and is idempotent.
+	close(block)
+	if _, err := ReadFrame(conn); err != nil {
+		t.Fatalf("in-flight request not served across Shutdown: %v", err)
+	}
+	conn.Close()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("drained Shutdown: %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package vdp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -191,11 +192,13 @@ func (p *Public) FilterValidClients(pubs []*ClientPublic) (valid []*ClientPublic
 // per-client verification to attribute blame — so a single forged proof
 // hidden among many valid ones is still pinned on exactly its author, at
 // the price of one extra sequential pass. Verdicts and rejection reasons
-// are identical to FilterValidClients regardless of worker count.
-func (p *Public) filterValidClientsBatch(pubs []*ClientPublic, workers int) (valid []*ClientPublic, rejected map[int]error) {
+// are identical to FilterValidClients regardless of worker count. A
+// cancelled ctx aborts with ctx.Err() before any verdict is published, so
+// cancellation can never be mistaken for a rejection.
+func (p *Public) filterValidClientsBatch(ctx context.Context, pubs []*ClientPublic, workers int) (valid []*ClientPublic, rejected map[int]error, err error) {
 	rejected = make(map[int]error)
 	if len(pubs) == 0 {
-		return nil, rejected
+		return nil, rejected, ctxErr(ctx)
 	}
 
 	// Pass 1 (parallel, pure): recompute derived per-bin commitments and
@@ -203,7 +206,7 @@ func (p *Public) filterValidClientsBatch(pubs []*ClientPublic, workers int) (val
 	// spot and never enter the batch.
 	derived := make([][]*pedersen.Commitment, len(pubs))
 	structural := make([]error, len(pubs))
-	forEach(workers, len(pubs), func(i int) error {
+	ferr := forEach(ctx, workers, len(pubs), func(i int) error {
 		c := pubs[i]
 		d, err := p.derivedCommitments(c)
 		if err != nil {
@@ -221,6 +224,9 @@ func (p *Public) filterValidClientsBatch(pubs []*ClientPublic, workers int) (val
 		derived[i] = d
 		return nil
 	})
+	if ferr != nil {
+		return nil, nil, ferr
+	}
 
 	// Pass 2 (sequential, scalar-only): fold every remaining proof into the
 	// batch. Fiat-Shamir recomputation rejects malformed proofs here with
@@ -248,14 +254,20 @@ func (p *Public) filterValidClientsBatch(pubs []*ClientPublic, workers int) (val
 	// Pass 3: one combined check. On failure, re-verify the batch members
 	// individually (in parallel — verdicts are independent) to name every
 	// cheater; the honest majority is still accepted.
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
 	if batch.Check(workers) != nil {
 		verdicts := make([]error, len(pubs))
-		forEach(workers, len(pubs), func(i int) error {
+		ferr := forEach(ctx, workers, len(pubs), func(i int) error {
 			if inBatch[i] {
 				verdicts[i] = p.VerifyClient(pubs[i])
 			}
 			return nil
 		})
+		if ferr != nil {
+			return nil, nil, ferr
+		}
 		for i, c := range pubs {
 			if inBatch[i] && verdicts[i] != nil {
 				rejected[c.ID] = verdicts[i]
@@ -268,5 +280,34 @@ func (p *Public) filterValidClientsBatch(pubs []*ClientPublic, workers int) (val
 			valid = append(valid, c)
 		}
 	}
-	return valid, rejected
+	return valid, rejected, nil
+}
+
+// checkPayloadOpenings validates one client's private payload for prover
+// column `prover` against the public commitment matrix: identity fields,
+// bin count, and every share opening. It is the pure core of
+// Prover.checkPayload, stateless so a Session can run it eagerly — before
+// any Prover exists — and fan the K columns out across a worker pool.
+func (p *Public) checkPayloadOpenings(pub *ClientPublic, payload *ClientPayload, prover int) error {
+	if payload == nil || payload.ClientID != pub.ID {
+		return fmt.Errorf("%w: payload/public ID mismatch for client %d", ErrClientReject, pub.ID)
+	}
+	if payload.Prover != prover {
+		return fmt.Errorf("%w: payload for prover %d delivered to prover %d", ErrClientReject, payload.Prover, prover)
+	}
+	if len(payload.Openings) != p.cfg.Bins {
+		return fmt.Errorf("%w: client %d payload has %d bins, want %d",
+			ErrClientReject, pub.ID, len(payload.Openings), p.cfg.Bins)
+	}
+	// The openings must match the public commitments in this prover's
+	// column; otherwise the client equivocated between board and payload.
+	for j := 0; j < p.cfg.Bins; j++ {
+		c := pub.ShareCommitments[j][prover]
+		o := payload.Openings[j]
+		if o == nil || !p.pp.Verify(c, o.X, o.R) {
+			return fmt.Errorf("%w: client %d share opening for bin %d does not match its public commitment",
+				ErrClientReject, pub.ID, j)
+		}
+	}
+	return nil
 }

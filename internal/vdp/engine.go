@@ -1,6 +1,7 @@
 package vdp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,25 +14,26 @@ import (
 // replacing the strictly sequential loops of the original Run. The stage
 // graph mirrors Figure 2:
 //
-//	        clients (fan out per client)
-//	           │  submissions: share commitments + legality proofs
-//	           ▼
-//	  verifier: roster (one batched Σ-OR check over the whole board)
-//	           │
-//	           ▼
-//	  provers ingest payloads (fan out per client×prover opening check)
-//	           │
-//	           ▼
-//	  CommitCoins (fan out per prover×bin×coin)  ─►  batched Σ-OR verify
-//	           │
-//	           ▼
-//	  Morra public coins (fan out per prover)
-//	           │
-//	           ▼
-//	  Finalize + Line-13 product check (fan out per prover)
-//	           │
-//	           ▼
-//	  Aggregate → Release + Transcript
+//	      clients (fan out per client)
+//	         │  submissions: share commitments + legality proofs
+//	         ▼
+//	verifier: roster (one batched Σ-OR check over the whole board,
+//	          or adopted from a Session that verified eagerly)
+//	         │
+//	         ▼
+//	provers ingest payloads (fan out per client×prover opening check)
+//	         │
+//	         ▼
+//	CommitCoins (fan out per prover×bin×coin)  ─►  batched Σ-OR verify
+//	         │
+//	         ▼
+//	Morra public coins (fan out per prover)
+//	         │
+//	         ▼
+//	Finalize + Line-13 product check (fan out per prover)
+//	         │
+//	         ▼
+//	Aggregate → Release + Transcript
 //
 // Stages are separated by barriers, so the verifier's checks for stage s
 // happen before any prover advances to stage s+1 — exactly the ordering the
@@ -43,6 +45,10 @@ import (
 // (label, index) — never by schedule (see rand.go). With a fixed
 // RunOptions.Rand seed the transcript is byte-identical at every worker
 // count; TranscriptDigest makes that property testable.
+//
+// Cancellation: every stage boundary and every pool task is a checkpoint
+// against the caller's context. A cancelled context makes the pipeline
+// return ctx.Err() promptly instead of finishing the epoch.
 type Engine struct {
 	pub     *Public
 	workers int
@@ -61,20 +67,34 @@ func NewEngine(pub *Public, workers int) *Engine {
 // Workers returns the pool width.
 func (e *Engine) Workers() int { return e.workers }
 
+// ctxErr reports the context's cancellation state; a nil context never
+// cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // forEach runs fn(i) for every i in [0, n) across up to `workers`
 // goroutines pulling indices from a shared counter. Once any task records an
-// error, unstarted tasks are skipped. The returned error is the recorded
-// error with the lowest index, so blame attribution does not depend on
-// scheduling. workers <= 1 (or n <= 1) runs inline with fail-fast.
-func forEach(workers, n int, fn func(i int) error) error {
+// error, unstarted tasks are skipped; a cancelled ctx likewise stops the
+// pool between tasks. The returned error is the recorded error with the
+// lowest index, so blame attribution does not depend on scheduling; when the
+// pool stopped because ctx was cancelled (and no task failed first), the
+// return is ctx.Err(). workers <= 1 (or n <= 1) runs inline with fail-fast.
+func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctxErr(ctx)
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -82,7 +102,7 @@ func forEach(workers, n int, fn func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
-	var next atomic.Int64
+	var next, done atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -91,13 +111,14 @@ func forEach(workers, n int, fn func(i int) error) error {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || ctxErr(ctx) != nil {
 					return
 				}
 				if err := fn(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
+				done.Add(1)
 			}
 		}()
 	}
@@ -107,18 +128,33 @@ func forEach(workers, n int, fn func(i int) error) error {
 			return err
 		}
 	}
+	if int(done.Load()) < n {
+		// Tasks were skipped without any recording an error, which only
+		// happens on cancellation.
+		return ctxErr(ctx)
+	}
 	return nil
 }
 
 // Run executes a full ΠBin instance: client submission generation fans out
-// over the pool, then the protocol proper runs via RunWithSubmissions
-// semantics. Equivalent to the package-level Run with
-// RunOptions.Parallelism = Workers().
+// over the pool, then the protocol proper runs as a one-epoch Session.
+// Equivalent to the package-level Run with RunOptions.Parallelism =
+// Workers().
 func (e *Engine) Run(choices []int, opts *RunOptions) (*RunResult, error) {
+	return e.RunContext(context.Background(), choices, opts)
+}
+
+// RunContext is Run with cancellation: the pipeline checks ctx between (and
+// inside) stages and returns ctx.Err() promptly once it is cancelled.
+func (e *Engine) RunContext(ctx context.Context, choices []int, opts *RunOptions) (*RunResult, error) {
 	if opts == nil {
 		opts = &RunOptions{}
 	}
-	rs, err := newRandSource(opts.Rand)
+	sess, err := newSessionWithEngine(e, SessionOptions{
+		Rand:              opts.Rand,
+		Malice:            opts.Malice,
+		DeferVerification: true,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -126,8 +162,8 @@ func (e *Engine) Run(choices []int, opts *RunOptions) (*RunResult, error) {
 	// Σ-proofs are independent; substream i makes client i's material a
 	// pure function of (seed, i).
 	subs := make([]*ClientSubmission, len(choices))
-	err = forEach(e.workers, len(choices), func(i int) error {
-		sub, err := e.pub.NewClientSubmission(i, choices[i], rs.stream(labelClient, i))
+	err = forEach(ctx, e.workers, len(choices), func(i int) error {
+		sub, err := sess.NewClientSubmission(i, choices[i])
 		if err != nil {
 			return fmt.Errorf("client %d: %w", i, err)
 		}
@@ -137,41 +173,82 @@ func (e *Engine) Run(choices []int, opts *RunOptions) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	publics := make([]*ClientPublic, len(subs))
-	payloads := make(map[int][]*ClientPayload, len(subs))
-	for i, sub := range subs {
-		publics[i] = sub.Public
-		payloads[i] = sub.Payloads
+	for _, sub := range subs {
+		if err := sess.Submit(ctx, sub); err != nil {
+			return nil, err
+		}
 	}
-	return e.run(publics, payloads, opts, rs)
+	return sess.Finalize(ctx)
 }
 
 // RunWithSubmissions executes the protocol over pre-built client material,
 // allowing tests to inject malformed or adversarial client submissions.
 // payloads maps client ID to its K per-prover payloads.
 func (e *Engine) RunWithSubmissions(publics []*ClientPublic, payloads map[int][]*ClientPayload, opts *RunOptions) (*RunResult, error) {
+	return e.RunWithSubmissionsContext(context.Background(), publics, payloads, opts)
+}
+
+// RunWithSubmissionsContext is RunWithSubmissions with cancellation.
+func (e *Engine) RunWithSubmissionsContext(ctx context.Context, publics []*ClientPublic, payloads map[int][]*ClientPayload, opts *RunOptions) (*RunResult, error) {
 	if opts == nil {
 		opts = &RunOptions{}
 	}
-	rs, err := newRandSource(opts.Rand)
+	sess, err := newSessionWithEngine(e, SessionOptions{
+		Rand:              opts.Rand,
+		Malice:            opts.Malice,
+		DeferVerification: true,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return e.run(publics, payloads, opts, rs)
+	for _, cp := range publics {
+		if err := sess.Submit(ctx, &ClientSubmission{Public: cp, Payloads: payloads[cp.ID]}); err != nil {
+			return nil, err
+		}
+	}
+	return sess.Finalize(ctx)
 }
 
-// run is the staged pipeline behind Run and RunWithSubmissions.
-func (e *Engine) run(publics []*ClientPublic, payloads map[int][]*ClientPayload, opts *RunOptions, rs *randSource) (*RunResult, error) {
+// fixedRoster carries verification state decided before the pipeline runs —
+// a Session's eagerly computed verdicts. valid preserves submission order;
+// payloadsChecked records that every roster member's per-prover openings
+// were already validated at Submit time, letting the ingest stage skip the
+// redundant re-check.
+type fixedRoster struct {
+	valid           []*ClientPublic
+	rejected        map[int]error
+	payloadsChecked bool
+}
+
+// run is the staged pipeline behind Run, RunWithSubmissions, and
+// Session.Finalize. When pre is non-nil the roster stage is skipped: the
+// verifier adopts the session's verdicts instead of recomputing them.
+func (e *Engine) run(ctx context.Context, publics []*ClientPublic, payloads map[int][]*ClientPayload, opts *RunOptions, rs *randSource, pre *fixedRoster) (*RunResult, error) {
 	pub := e.pub
 	k := pub.cfg.Provers
 	m := pub.cfg.Bins
 	nb := pub.nb
 
-	// Line 3: the public verifier fixes the valid-client roster with one
-	// batched Σ-OR check over the whole board.
+	// Line 3: the public verifier fixes the valid-client roster — with one
+	// batched Σ-OR check over the whole board, or by adopting the verdicts a
+	// Session already reached eagerly (same verdicts, no recomputation).
 	verifier := NewVerifierParallel(pub, e.workers)
-	_, rejected := verifier.VerifyClients(publics)
-	valid := verifier.ValidClients()
+	var valid []*ClientPublic
+	var rejected map[int]error
+	if pre != nil {
+		verifier.adoptRoster(pre.valid)
+		valid, rejected = pre.valid, pre.rejected
+	} else {
+		var err error
+		_, rejected, err = verifier.verifyClients(ctx, publics)
+		if err != nil {
+			return nil, err
+		}
+		valid = verifier.ValidClients()
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	provers := make([]*Prover, k)
 	for pk := 0; pk < k; pk++ {
@@ -193,20 +270,24 @@ func (e *Engine) run(publics []*ClientPublic, payloads map[int][]*ClientPayload,
 	// checked the board proofs once, so provers skip that redundant
 	// re-verification (same verdicts, K× less work than AcceptClient).
 	// Task index t = prover·n + client keeps blame attribution in the same
-	// prover-major order as the sequential loop.
+	// prover-major order as the sequential loop. An eager session has
+	// already validated every roster member's openings at Submit time, so
+	// the whole stage is skipped then.
 	n := len(valid)
-	err := forEach(e.workers, k*n, func(t int) error {
-		pk, ci := t/n, t%n
-		cl := valid[ci]
-		pls, ok := payloads[cl.ID]
-		if !ok || len(pls) != k {
-			return fmt.Errorf("%w: client %d on the roster has no payload for prover %d",
-				ErrClientReject, cl.ID, pk)
+	if pre == nil || !pre.payloadsChecked {
+		err := forEach(ctx, e.workers, k*n, func(t int) error {
+			pk, ci := t/n, t%n
+			cl := valid[ci]
+			pls, ok := payloads[cl.ID]
+			if !ok || len(pls) != k {
+				return fmt.Errorf("%w: client %d on the roster has no payload for prover %d",
+					ErrClientReject, cl.ID, pk)
+			}
+			return provers[pk].checkPayload(cl, pls[pk])
+		})
+		if err != nil {
+			return nil, err
 		}
-		return provers[pk].checkPayload(cl, pls[pk])
-	})
-	if err != nil {
-		return nil, err
 	}
 	for pk := 0; pk < k; pk++ {
 		for _, cl := range valid {
@@ -214,6 +295,9 @@ func (e *Engine) run(publics []*ClientPublic, payloads map[int][]*ClientPayload,
 				return nil, err
 			}
 		}
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 
 	tr := &Transcript{Clients: publics}
@@ -225,7 +309,7 @@ func (e *Engine) run(publics []*ClientPublic, payloads map[int][]*ClientPayload,
 		proof *sigma.BitProof
 	}
 	slots := make([]coinSlot, k*m*nb)
-	err = forEach(e.workers, len(slots), func(t int) error {
+	err := forEach(ctx, e.workers, len(slots), func(t int) error {
 		pk := t / (m * nb)
 		j := (t % (m * nb)) / nb
 		l := t % nb
@@ -262,12 +346,15 @@ func (e *Engine) run(publics []*ClientPublic, payloads map[int][]*ClientPayload,
 		}
 	}
 	tr.CoinMsgs = coinMsgs
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	// Lines 7-8: per-prover Morra with the verifier for M·nb public bits.
 	// The K instances are independent 2-party protocols.
 	publicBits := make([][][]byte, k)
 	morraRecs := make([]*MorraRecord, k)
-	err = forEach(e.workers, k, func(pk int) error {
+	err = forEach(ctx, e.workers, k, func(pk int) error {
 		bits, record, err := runMorra(pub, pk, m*nb, rs)
 		if err != nil {
 			return err
@@ -285,11 +372,14 @@ func (e *Engine) run(publics []*ClientPublic, payloads map[int][]*ClientPayload,
 		}
 	}
 	tr.Morra = morraRecs
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	// Lines 9-13: outputs and the final commitment-product check, one task
 	// per prover.
 	outputs := make([]*ProverOutput, k)
-	err = forEach(e.workers, k, func(pk int) error {
+	err = forEach(ctx, e.workers, k, func(pk int) error {
 		out, err := provers[pk].Finalize()
 		if err != nil {
 			return err

@@ -145,7 +145,10 @@ func TestBatchedClientVerifyForgery(t *testing.T) {
 				t.Fatalf("sequential reference did not isolate client 7: %v", wantRejected)
 			}
 			for _, workers := range []int{1, 4} {
-				valid, rejected := pub.filterValidClientsBatch(publics, workers)
+				valid, rejected, err := pub.filterValidClientsBatch(nil, publics, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
 				if len(valid) != len(wantValid) {
 					t.Errorf("workers=%d: batch accepted %d clients, sequential %d", workers, len(valid), len(wantValid))
 				}
@@ -225,7 +228,7 @@ func TestAuditParallelMatchesSequential(t *testing.T) {
 func TestForEachDeterministicError(t *testing.T) {
 	for _, workers := range []int{1, 3, 8} {
 		var ran atomic.Int64
-		err := forEach(workers, 100, func(i int) error {
+		err := forEach(nil, workers, 100, func(i int) error {
 			ran.Add(1)
 			if i == 13 || i == 57 {
 				return fmt.Errorf("task %d failed", i)
@@ -241,7 +244,7 @@ func TestForEachDeterministicError(t *testing.T) {
 	}
 	// All tasks run when none fail.
 	var ran atomic.Int64
-	if err := forEach(4, 50, func(int) error { ran.Add(1); return nil }); err != nil {
+	if err := forEach(nil, 4, 50, func(int) error { ran.Add(1); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if ran.Load() != 50 {

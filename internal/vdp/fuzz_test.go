@@ -1,0 +1,101 @@
+package vdp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/field"
+)
+
+// Hostile-bytes robustness for the wire decoders: any input either fails to
+// parse or round-trips through the canonical encoder. Decoders must never
+// panic, hang, or allocate unboundedly — a submission frame arrives straight
+// off a socket in cmd/vdpserver, so these are the attack surface of the
+// session protocol. CI runs each target as a short -fuzztime smoke pass on
+// top of the checked-in seed corpus (which `go test` always executes).
+
+// fuzzPublic is the deployment every fuzz target decodes against: MPC with
+// histogram bins so both the bit-proof and one-hot layouts are reachable.
+func fuzzPublic(f *testing.F) *Public {
+	f.Helper()
+	pub, err := Setup(Config{Provers: 2, Bins: 2, Coins: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return pub
+}
+
+func FuzzDecodeClientPublic(f *testing.F) {
+	pub := fuzzPublic(f)
+	sub, err := pub.NewClientSubmission(7, 1, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := pub.EncodeClientPublic(sub.Public)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{WireVersion, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		cp, err := pub.DecodeClientPublic(b)
+		if err != nil {
+			return
+		}
+		enc := pub.EncodeClientPublic(cp)
+		back, err := pub.DecodeClientPublic(enc)
+		if err != nil {
+			t.Fatalf("re-encoding of accepted input fails to decode: %v", err)
+		}
+		if back.ID != cp.ID || len(back.ShareCommitments) != len(cp.ShareCommitments) {
+			t.Fatalf("round trip changed structure: %d/%d vs %d/%d",
+				back.ID, len(back.ShareCommitments), cp.ID, len(cp.ShareCommitments))
+		}
+	})
+}
+
+func FuzzDecodeClientPayload(f *testing.F) {
+	pub := fuzzPublic(f)
+	sub, err := pub.NewClientSubmission(7, 1, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := pub.EncodeClientPayload(sub.Payloads[1])
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte{WireVersion, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pl, err := pub.DecodeClientPayload(b)
+		if err != nil {
+			return
+		}
+		enc := pub.EncodeClientPayload(pl)
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("accepted payload is not canonical: %x decodes but re-encodes to %x", b, enc)
+		}
+	})
+}
+
+func FuzzDecodeProverOutput(f *testing.F) {
+	pub := fuzzPublic(f)
+	fld := pub.Field()
+	valid := pub.EncodeProverOutput(&ProverOutput{
+		Prover: 1,
+		Y:      []*field.Element{fld.FromInt64(3), fld.FromInt64(9)},
+		Z:      []*field.Element{fld.FromInt64(11), fld.FromInt64(2)},
+	})
+	f.Add(valid)
+	f.Add(valid[:5])
+	f.Add([]byte{WireVersion, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		out, err := pub.DecodeProverOutput(b)
+		if err != nil {
+			return
+		}
+		enc := pub.EncodeProverOutput(out)
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("accepted output is not canonical: %x decodes but re-encodes to %x", b, enc)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package vdp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -57,23 +58,37 @@ type RunResult struct {
 // must never produce a silent wrong answer). Rejected clients do not abort
 // the run; they are excluded from the public roster and reported.
 //
-// Execution is delegated to the staged pipeline engine (see Engine), fanned
-// out over RunOptions.Parallelism workers; the default uses every core.
+// Run is a compatibility wrapper over a one-epoch Session with deferred
+// (batched) verification; callers that receive submissions incrementally
+// should hold a Session instead. Execution is delegated to the staged
+// pipeline engine (see Engine), fanned out over RunOptions.Parallelism
+// workers; the default uses every core.
 func Run(pub *Public, choices []int, opts *RunOptions) (*RunResult, error) {
+	return RunContext(context.Background(), pub, choices, opts)
+}
+
+// RunContext is Run with cancellation: the pipeline checks ctx between (and
+// inside) stages and returns ctx.Err() promptly once it is cancelled.
+func RunContext(ctx context.Context, pub *Public, choices []int, opts *RunOptions) (*RunResult, error) {
 	if opts == nil {
 		opts = &RunOptions{}
 	}
-	return NewEngine(pub, opts.Parallelism).Run(choices, opts)
+	return NewEngine(pub, opts.Parallelism).RunContext(ctx, choices, opts)
 }
 
 // RunWithSubmissions executes the protocol over pre-built client material,
 // allowing tests to inject malformed or adversarial client submissions.
 // payloads maps client ID to its K per-prover payloads.
 func RunWithSubmissions(pub *Public, publics []*ClientPublic, payloads map[int][]*ClientPayload, opts *RunOptions) (*RunResult, error) {
+	return RunWithSubmissionsContext(context.Background(), pub, publics, payloads, opts)
+}
+
+// RunWithSubmissionsContext is RunWithSubmissions with cancellation.
+func RunWithSubmissionsContext(ctx context.Context, pub *Public, publics []*ClientPublic, payloads map[int][]*ClientPayload, opts *RunOptions) (*RunResult, error) {
 	if opts == nil {
 		opts = &RunOptions{}
 	}
-	return NewEngine(pub, opts.Parallelism).RunWithSubmissions(publics, payloads, opts)
+	return NewEngine(pub, opts.Parallelism).RunWithSubmissionsContext(ctx, publics, payloads, opts)
 }
 
 // runMorra executes the 2-party Πmorra between prover pk and the verifier,
@@ -127,11 +142,21 @@ func reshapeBits(bits []byte, bins, nb int) [][]byte {
 // executable. It uses every core; AuditParallel controls the width.
 func Audit(pub *Public, t *Transcript) error { return AuditParallel(pub, t, 0) }
 
+// AuditContext is Audit with cancellation: a cancelled ctx aborts the
+// replay between checks and returns ctx.Err() instead of a verdict.
+func AuditContext(ctx context.Context, pub *Public, t *Transcript) error {
+	return auditParallel(ctx, pub, t, 0)
+}
+
 // AuditParallel is Audit over an explicit worker-pool width (0 =
 // GOMAXPROCS, 1 = sequential). The client board is decided by one batched
 // Σ-OR check, per-prover records are audited concurrently, and the verdict
 // is identical at every width.
 func AuditParallel(pub *Public, t *Transcript, workers int) error {
+	return auditParallel(context.Background(), pub, t, workers)
+}
+
+func auditParallel(ctx context.Context, pub *Public, t *Transcript, workers int) error {
 	if t == nil || t.Release == nil {
 		return fmt.Errorf("%w: empty transcript", ErrAuditFail)
 	}
@@ -143,7 +168,9 @@ func AuditParallel(pub *Public, t *Transcript, workers int) error {
 
 	workers = NewEngine(pub, workers).Workers()
 	verifier := NewVerifierParallel(pub, workers)
-	verifier.VerifyClients(t.Clients)
+	if _, _, err := verifier.verifyClients(ctx, t.Clients); err != nil {
+		return err
+	}
 
 	// The per-prover records are audited concurrently, so divide the
 	// multiexp-chunking width among the outer tasks: nesting W-wide chunking
@@ -156,7 +183,7 @@ func AuditParallel(pub *Public, t *Transcript, workers int) error {
 	proverVerifier := NewVerifierParallel(pub, inner)
 	proverVerifier.valid = verifier.valid
 
-	err := forEach(workers, k, func(pk int) error {
+	err := forEach(ctx, workers, k, func(pk int) error {
 		msg := t.CoinMsgs[pk]
 		if msg.Prover != pk {
 			return fmt.Errorf("%w: coin message %d claims prover %d", ErrAuditFail, pk, msg.Prover)

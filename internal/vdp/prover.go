@@ -125,29 +125,11 @@ func (pr *Prover) AcceptClient(pub *ClientPublic, payload *ClientPayload) error 
 // to call concurrently for different clients, which is how the execution
 // engine fans the opening checks out across its worker pool. It does NOT
 // re-verify the public legality proof — callers that have not already
-// checked the board use AcceptClient.
+// checked the board use AcceptClient. The pure logic lives in
+// Public.checkPayloadOpenings so sessions can run the same check eagerly at
+// Submit time.
 func (pr *Prover) checkPayload(pub *ClientPublic, payload *ClientPayload) error {
-	if payload == nil || payload.ClientID != pub.ID {
-		return fmt.Errorf("%w: payload/public ID mismatch for client %d", ErrClientReject, pub.ID)
-	}
-	if payload.Prover != pr.index {
-		return fmt.Errorf("%w: payload for prover %d delivered to prover %d", ErrClientReject, payload.Prover, pr.index)
-	}
-	if len(payload.Openings) != pr.pub.cfg.Bins {
-		return fmt.Errorf("%w: client %d payload has %d bins, want %d",
-			ErrClientReject, pub.ID, len(payload.Openings), pr.pub.cfg.Bins)
-	}
-	// The openings must match the public commitments in this prover's
-	// column; otherwise the client equivocated between board and payload.
-	for j := 0; j < pr.pub.cfg.Bins; j++ {
-		c := pub.ShareCommitments[j][pr.index]
-		o := payload.Openings[j]
-		if o == nil || !pr.pub.pp.Verify(c, o.X, o.R) {
-			return fmt.Errorf("%w: client %d share opening for bin %d does not match its public commitment",
-				ErrClientReject, pub.ID, j)
-		}
-	}
-	return nil
+	return pr.pub.checkPayloadOpenings(pub, payload, pr.index)
 }
 
 // acceptChecked installs a client whose board submission and payload the

@@ -97,11 +97,30 @@ func (s *hashStream) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// fork derives the randSource for a later session epoch: epoch 0 is the
+// root itself (so a one-epoch session reproduces the legacy Run transcript
+// bit for bit), while each later epoch reads an independent child seed from
+// the root's epoch substream. Distinct epochs therefore never share noise
+// substreams, yet the whole multi-epoch schedule remains a pure function of
+// the root seed. An unseeded source forks to itself (still crypto/rand).
+func (rs *randSource) fork(epoch int) *randSource {
+	if rs.seed == nil || epoch == 0 {
+		return rs
+	}
+	child := make([]byte, seedLen)
+	if _, err := io.ReadFull(rs.stream(labelEpoch, epoch), child); err != nil {
+		// hashStream.Read never fails; keep the compiler honest.
+		panic(fmt.Sprintf("vdp: epoch fork: %v", err))
+	}
+	return &randSource{seed: child}
+}
+
 // Substream labels. Each logical sampling site in the protocol gets its own
 // namespace; indices flatten multi-dimensional task coordinates.
 const (
 	labelClient    = "client"     // index = client position in choices
 	labelCoin      = "coin"       // index = (prover·M + bin)·nb + coin
 	labelMorra     = "morra"      // index = prover·2 + party
+	labelEpoch     = "epoch"      // index = session epoch (child-seed fork)
 	labelSubmitter = "submission" // reserved for external submission tooling
 )

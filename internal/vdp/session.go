@@ -1,0 +1,380 @@
+package vdp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// SessionOptions configures a streaming aggregation session.
+type SessionOptions struct {
+	// Parallelism is the worker-pool width of the underlying execution
+	// engine: 0 selects runtime.GOMAXPROCS(0), 1 forces sequential
+	// execution. Submission-time verification and every Finalize stage run
+	// on this pool.
+	Parallelism int
+	// Rand is the randomness source (nil = crypto/rand). When set, a single
+	// root seed is read once at NewSession and expanded into independent
+	// per-task substreams, so the same seed produces a byte-identical
+	// transcript at every Parallelism — identical to what the legacy Run
+	// produces for the same seed. Later epochs (after Reset) fork
+	// independent child seeds, so no epoch ever repeats another's noise.
+	Rand io.Reader
+	// Malice assigns deviations to prover indices for adversarial testing;
+	// absent provers are honest.
+	Malice map[int]Malice
+	// DeferVerification postpones client board verification from Submit to
+	// Finalize, where the whole board is decided by one batched Σ-OR check.
+	// Submit then never rejects (except duplicates) and is nearly free; the
+	// batch check is cheaper in total but gives no per-client verdict until
+	// the end. This is the mode the legacy Run compatibility wrappers use.
+	// The default (eager) mode verifies each submission as it arrives and
+	// returns its accept/reject verdict from Submit directly.
+	DeferVerification bool
+}
+
+// sessionState is the Submit/Finalize/Reset lifecycle position.
+type sessionState int
+
+const (
+	sessionOpen sessionState = iota
+	sessionFinalizing
+	sessionFinalized
+)
+
+func (s sessionState) String() string {
+	switch s {
+	case sessionOpen:
+		return "open"
+	case sessionFinalizing:
+		return "finalizing"
+	default:
+		return "finalized"
+	}
+}
+
+// sessionClient is one submitted client with its session-owned verification
+// state.
+type sessionClient struct {
+	public   *ClientPublic
+	payloads []*ClientPayload
+	decided  bool  // verdict reached at Submit time (eager mode)
+	reject   error // non-nil = publicly attributable rejection reason
+}
+
+// Session is the streaming protocol surface: a stateful aggregation window
+// over one deployment. Clients are admitted incrementally with Submit —
+// verified eagerly, on the engine's worker pool, as they arrive — and the
+// release is produced by Finalize, which reuses the already-verified client
+// set instead of re-deciding the board. Reset reopens the session for the
+// next epoch, so one engine serves many releases.
+//
+// Submit is safe for concurrent use from many goroutines; Finalize and
+// Reset serialize against in-flight Submits. The legacy batch entry points
+// (Run, RunWithSubmissions, Count, Histogram) are thin wrappers over a
+// one-epoch session with DeferVerification set.
+type Session struct {
+	pub  *Public
+	eng  *Engine
+	opts SessionOptions
+	root *randSource
+
+	// flight lets Submits proceed concurrently (read side) while Finalize
+	// and Reset wait for them to drain (write side). Lock order: flight
+	// before mu.
+	flight sync.RWMutex
+
+	mu       sync.Mutex
+	state    sessionState
+	epoch    int
+	rs       *randSource // current epoch's substream source
+	order    []*sessionClient
+	byID     map[int]*sessionClient
+	rejected map[int]error
+}
+
+// NewSession opens a streaming session over pub. The options' Rand is read
+// once, immediately, to fix the session's root seed (see SessionOptions).
+func NewSession(pub *Public, opts SessionOptions) (*Session, error) {
+	return newSessionWithEngine(NewEngine(pub, opts.Parallelism), opts)
+}
+
+// newSessionWithEngine builds a session on an existing engine, used by the
+// engine's own Run wrappers so they honour their configured pool width.
+func newSessionWithEngine(e *Engine, opts SessionOptions) (*Session, error) {
+	root, err := newRandSource(opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		pub:      e.pub,
+		eng:      e,
+		opts:     opts,
+		root:     root,
+		rs:       root,
+		byID:     make(map[int]*sessionClient),
+		rejected: make(map[int]error),
+	}, nil
+}
+
+// Epoch returns the session's current epoch number (0 before the first
+// Reset).
+func (s *Session) Epoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Submitted returns how many clients the current epoch has admitted
+// (accepted and rejected alike) so far.
+func (s *Session) Submitted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Rejected returns a snapshot of the current epoch's rejection reasons by
+// client ID.
+func (s *Session) Rejected() map[int]error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]error, len(s.rejected))
+	for id, err := range s.rejected {
+		out[id] = err
+	}
+	return out
+}
+
+// NewClientSubmission builds client material for the current epoch from the
+// session's deterministic substream for clientID (or crypto/rand when the
+// session is unseeded). It is how the Run compatibility wrappers — and
+// reproducibility tests — generate the same per-client material the legacy
+// batch path did; real deployments receive submissions built remotely by
+// Public.NewClientSubmission instead.
+func (s *Session) NewClientSubmission(clientID, choice int) (*ClientSubmission, error) {
+	s.mu.Lock()
+	rs := s.rs
+	s.mu.Unlock()
+	return s.pub.NewClientSubmission(clientID, choice, rs.stream(labelClient, clientID))
+}
+
+// Submit admits one client into the current epoch. In the default eager
+// mode the client's board proof and per-prover share openings are verified
+// immediately, fanned out over the engine's worker pool, and the verdict is
+// the return value: nil admits the client to the roster; an
+// ErrClientReject-wrapped error records the rejection. A client whose
+// *board proof* fails still appears on the bulletin board with its public
+// verdict, exactly as in the batch path; a client whose *payload* fails
+// (bad or missing share openings — a private-channel dispute) is refused
+// outright and never posted, keeping the transcript publicly auditable.
+// Duplicate IDs and submissions after Finalize fail without being
+// recorded. A cancelled ctx aborts the verification and withdraws the
+// submission, returning ctx.Err().
+//
+// Submit is safe for concurrent use; verdicts are per-client and
+// independent of interleaving.
+func (s *Session) Submit(ctx context.Context, sub *ClientSubmission) error {
+	if sub == nil || sub.Public == nil {
+		return fmt.Errorf("%w: nil submission", ErrClientReject)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	s.flight.RLock()
+	defer s.flight.RUnlock()
+
+	cl := &sessionClient{public: sub.Public, payloads: sub.Payloads}
+	s.mu.Lock()
+	if s.state != sessionOpen {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: session is %s", ErrBadConfig, s.state)
+	}
+	if _, dup := s.byID[sub.Public.ID]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: duplicate submission from client %d", ErrClientReject, sub.Public.ID)
+	}
+	s.byID[sub.Public.ID] = cl
+	s.order = append(s.order, cl)
+	s.mu.Unlock()
+
+	if s.opts.DeferVerification {
+		return nil
+	}
+
+	verdict, onBoard, err := s.verify(ctx, sub)
+	if err != nil {
+		// Cancelled mid-verification: withdraw the reservation so a retry
+		// of the same client is not a duplicate.
+		s.withdraw(cl)
+		return err
+	}
+	s.mu.Lock()
+	cl.decided = true
+	cl.reject = verdict
+	if verdict != nil {
+		s.rejected[sub.Public.ID] = verdict
+		if !onBoard {
+			// The failure happened on the private channel (bad or missing
+			// share openings), so the submission is refused outright and its
+			// public part never reaches the bulletin board. Posting it would
+			// break public auditability: the auditor recomputes the roster
+			// from board proofs alone, and Line 13's commitment product must
+			// cover every board-valid client. The ID stays reserved.
+			s.removeFromOrderLocked(cl)
+		}
+	}
+	s.mu.Unlock()
+	return verdict
+}
+
+// verify decides one submission eagerly: the board legality proof via the
+// batched Σ-OR verifier (a batch of one, multi-exponentiations chunked
+// across the engine's pool) and the K per-prover share-opening checks fanned
+// out over the same pool. The verdict — including the exact rejection
+// sentinel and reason — matches what the batch-at-finalize path would
+// produce for the same submission. onBoard reports whether the public part
+// belongs on the bulletin board: board-level failures are publicly
+// attributable and stay on the board (as in the batch path), while
+// private-channel payload failures mean the submission is refused outright.
+// A non-nil err means cancellation, not a verdict.
+func (s *Session) verify(ctx context.Context, sub *ClientSubmission) (verdict error, onBoard bool, err error) {
+	_, rej, err := s.pub.filterValidClientsBatch(ctx, []*ClientPublic{sub.Public}, s.eng.workers)
+	if err != nil {
+		return nil, false, err
+	}
+	if r, ok := rej[sub.Public.ID]; ok {
+		return r, true, nil
+	}
+	k := s.pub.cfg.Provers
+	if len(sub.Payloads) != k {
+		return fmt.Errorf("%w: client %d supplied %d per-prover payloads, want %d",
+			ErrClientReject, sub.Public.ID, len(sub.Payloads), k), false, nil
+	}
+	rejects := make([]error, k)
+	ferr := forEach(ctx, s.eng.workers, k, func(pk int) error {
+		rejects[pk] = s.pub.checkPayloadOpenings(sub.Public, sub.Payloads[pk], pk)
+		return nil
+	})
+	if ferr != nil {
+		return nil, false, ferr
+	}
+	for _, r := range rejects { // lowest prover index names the reason
+		if r != nil {
+			return r, false, nil
+		}
+	}
+	return nil, true, nil
+}
+
+// removeFromOrderLocked splices one client out of the submission order.
+// Callers hold s.mu.
+func (s *Session) removeFromOrderLocked(cl *sessionClient) {
+	for i, c := range s.order {
+		if c == cl {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// withdraw removes a reserved client whose verification never completed,
+// releasing its ID for a retry.
+func (s *Session) withdraw(cl *sessionClient) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.byID, cl.public.ID)
+	s.removeFromOrderLocked(cl)
+}
+
+// Finalize closes the current epoch and runs the remaining protocol stages —
+// noise-coin commitment and Σ-OR proving, Morra public-coin sampling,
+// prover outputs, the Line 13 product check, and aggregation — over the
+// already-verified client set. It waits for in-flight Submits to drain, then
+// refuses new ones. On success the session is finalized until Reset. A
+// cancelled ctx returns ctx.Err() promptly from the next stage boundary and
+// reopens the session, so a timed-out Finalize can be retried (the
+// deterministic substreams make the retry produce the identical transcript).
+func (s *Session) Finalize(ctx context.Context) (*RunResult, error) {
+	s.flight.Lock()
+	s.mu.Lock()
+	if s.state != sessionOpen {
+		st := s.state
+		s.mu.Unlock()
+		s.flight.Unlock()
+		return nil, fmt.Errorf("%w: session is %s", ErrBadConfig, st)
+	}
+	s.state = sessionFinalizing
+	order := make([]*sessionClient, len(s.order))
+	copy(order, s.order)
+	rejected := make(map[int]error, len(s.rejected))
+	for id, rerr := range s.rejected {
+		rejected[id] = rerr
+	}
+	rs := s.rs
+	s.mu.Unlock()
+	s.flight.Unlock()
+
+	publics := make([]*ClientPublic, len(order))
+	payloads := make(map[int][]*ClientPayload, len(order))
+	var pre *fixedRoster
+	if !s.opts.DeferVerification {
+		// Seed with every recorded verdict: payload-rejected clients are
+		// not in order (they never reached the board) but their reasons
+		// still belong in the result.
+		pre = &fixedRoster{rejected: rejected, payloadsChecked: true}
+	}
+	for i, cl := range order {
+		publics[i] = cl.public
+		if cl.payloads != nil {
+			payloads[cl.public.ID] = cl.payloads
+		}
+		if pre != nil {
+			switch {
+			case cl.reject != nil:
+				pre.rejected[cl.public.ID] = cl.reject
+			case cl.decided:
+				pre.valid = append(pre.valid, cl.public)
+			default:
+				// Unreachable in eager mode: every recorded client is
+				// decided. Guard anyway so a future bug fails loudly.
+				pre.rejected[cl.public.ID] = fmt.Errorf("%w: client %d was never verified",
+					ErrClientReject, cl.public.ID)
+			}
+		}
+	}
+
+	res, err := s.eng.run(ctx, publics, payloads, &RunOptions{Malice: s.opts.Malice}, rs, pre)
+
+	s.mu.Lock()
+	if err != nil && ctxErr(ctx) != nil && errors.Is(err, ctxErr(ctx)) {
+		s.state = sessionOpen // cancelled, not consumed: allow retry
+	} else {
+		s.state = sessionFinalized
+	}
+	s.mu.Unlock()
+	return res, err
+}
+
+// Reset reopens a finalized session for the next epoch: the client roster
+// and verdicts are cleared and the epoch counter advances. A seeded
+// session forks an independent child seed per epoch, so epochs never share
+// noise substreams while the whole multi-epoch schedule stays reproducible.
+// Resetting an open epoch discards its pending submissions.
+func (s *Session) Reset() error {
+	s.flight.Lock()
+	defer s.flight.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == sessionFinalizing {
+		return fmt.Errorf("%w: session is finalizing", ErrBadConfig)
+	}
+	s.epoch++
+	s.rs = s.root.fork(s.epoch)
+	s.state = sessionOpen
+	s.order = nil
+	s.byID = make(map[int]*sessionClient)
+	s.rejected = make(map[int]error)
+	return nil
+}

@@ -1,6 +1,7 @@
 package vdp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -43,9 +44,27 @@ func NewVerifierParallel(pub *Public, workers int) *Verifier {
 // The whole board is decided by one batched Σ-OR check (falling back to
 // per-client verification only to attribute a failure).
 func (v *Verifier) VerifyClients(pubs []*ClientPublic) (accepted int, rejected map[int]error) {
-	v.valid, rejected = v.pub.filterValidClientsBatch(pubs, v.workers)
-	return len(v.valid), rejected
+	accepted, rejected, _ = v.verifyClients(context.Background(), pubs)
+	return accepted, rejected
 }
+
+// verifyClients is VerifyClients with cancellation: a cancelled ctx returns
+// ctx.Err() without fixing any roster.
+func (v *Verifier) verifyClients(ctx context.Context, pubs []*ClientPublic) (accepted int, rejected map[int]error, err error) {
+	valid, rejected, err := v.pub.filterValidClientsBatch(ctx, pubs, v.workers)
+	if err != nil {
+		return 0, nil, err
+	}
+	v.valid = valid
+	return len(v.valid), rejected, nil
+}
+
+// adoptRoster installs a roster whose verdicts were already decided — by a
+// Session verifying submissions eagerly as they arrived — so the pipeline
+// does not re-verify the board. The session's per-client verdicts are
+// identical to the batch check's, which is what keeps eager and batch
+// transcripts interchangeable.
+func (v *Verifier) adoptRoster(valid []*ClientPublic) { v.valid = valid }
 
 // ValidClients returns the roster fixed by VerifyClients.
 func (v *Verifier) ValidClients() []*ClientPublic { return v.valid }

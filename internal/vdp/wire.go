@@ -16,8 +16,19 @@ import (
 // group-element and scalar encodings with explicit counts; decoding
 // validates every component (group membership, canonical scalars), so a
 // malformed submission fails to parse rather than corrupting the verifier.
+//
+// Every encoding starts with a one-byte format version. Decoders reject
+// unknown versions outright, so the session protocol can evolve its message
+// layout without old and new peers silently misparsing each other's bytes.
+
+// WireVersion is the current wire-format version, the leading byte of every
+// encoding produced by this package.
+const WireVersion = 1
 
 type wireWriter struct{ b []byte }
+
+// version emits the leading format-version byte.
+func (w *wireWriter) version() { w.b = append(w.b, WireVersion) }
 
 func (w *wireWriter) u32(v uint32) {
 	var tmp [4]byte
@@ -30,6 +41,22 @@ func (w *wireWriter) bytes(b []byte) { w.b = append(w.b, b...) }
 type wireReader struct {
 	b   []byte
 	err error
+}
+
+// version consumes and checks the leading format-version byte.
+func (r *wireReader) version() {
+	if r.err != nil {
+		return
+	}
+	if len(r.b) < 1 {
+		r.err = errors.New("vdp: truncated encoding")
+		return
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	if v != WireVersion {
+		r.err = fmt.Errorf("vdp: unsupported wire format version %d (this build speaks %d)", v, WireVersion)
+	}
 }
 
 func (r *wireReader) u32() uint32 {
@@ -75,6 +102,7 @@ const maxWireDim = 1 << 20
 // EncodeClientPublic serializes a bulletin-board submission.
 func (p *Public) EncodeClientPublic(cp *ClientPublic) []byte {
 	var w wireWriter
+	w.version()
 	w.u32(uint32(cp.ID))
 	w.u32(uint32(len(cp.ShareCommitments)))
 	for _, row := range cp.ShareCommitments {
@@ -102,6 +130,7 @@ func (p *Public) EncodeClientPublic(cp *ClientPublic) []byte {
 // DecodeClientPublic parses and validates a bulletin-board submission.
 func (p *Public) DecodeClientPublic(b []byte) (*ClientPublic, error) {
 	r := wireReader{b: b}
+	r.version()
 	cp := &ClientPublic{ID: int(r.u32())}
 	rows := r.u32()
 	if r.err == nil && rows > maxWireDim {
@@ -160,6 +189,7 @@ func (p *Public) DecodeClientPublic(b []byte) (*ClientPublic, error) {
 // EncodeClientPayload serializes a private per-prover payload.
 func (p *Public) EncodeClientPayload(pl *ClientPayload) []byte {
 	var w wireWriter
+	w.version()
 	w.u32(uint32(pl.ClientID))
 	w.u32(uint32(pl.Prover))
 	w.u32(uint32(len(pl.Openings)))
@@ -173,6 +203,7 @@ func (p *Public) EncodeClientPayload(pl *ClientPayload) []byte {
 // DecodeClientPayload parses a private payload.
 func (p *Public) DecodeClientPayload(b []byte) (*ClientPayload, error) {
 	r := wireReader{b: b}
+	r.version()
 	pl := &ClientPayload{ClientID: int(r.u32()), Prover: int(r.u32())}
 	n := r.u32()
 	if r.err == nil && n > maxWireDim {
@@ -205,6 +236,7 @@ func (p *Public) DecodeClientPayload(b []byte) (*ClientPayload, error) {
 // EncodeProverOutput serializes a prover's (y, z) message.
 func (p *Public) EncodeProverOutput(out *ProverOutput) []byte {
 	var w wireWriter
+	w.version()
 	w.u32(uint32(out.Prover))
 	w.u32(uint32(len(out.Y)))
 	for j := range out.Y {
@@ -217,6 +249,7 @@ func (p *Public) EncodeProverOutput(out *ProverOutput) []byte {
 // DecodeProverOutput parses a prover output message.
 func (p *Public) DecodeProverOutput(b []byte) (*ProverOutput, error) {
 	r := wireReader{b: b}
+	r.version()
 	out := &ProverOutput{Prover: int(r.u32())}
 	n := r.u32()
 	if r.err == nil && n > maxWireDim {

@@ -62,9 +62,48 @@ func TestClientPublicWireRejectsGarbage(t *testing.T) {
 		}
 	}
 	// Absurd dimension claims are bounded.
-	huge := []byte{0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff}
+	huge := []byte{WireVersion, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff}
 	if _, err := pub.DecodeClientPublic(huge); err == nil {
 		t.Error("absurd bin count accepted")
+	}
+}
+
+// TestWireVersionNegotiation: every encoding leads with the format version;
+// decoders reject unknown versions instead of misparsing, and the error
+// names both versions so operators can diagnose mixed deployments.
+func TestWireVersionNegotiation(t *testing.T) {
+	pub := wireTestPublic(t, 2, 1)
+	sub, err := pub.NewClientSubmission(3, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &ProverOutput{Prover: 0, Y: []*field.Element{pub.Field().FromInt64(4)}, Z: []*field.Element{pub.Field().FromInt64(5)}}
+	encodings := map[string][]byte{
+		"client-public":  pub.EncodeClientPublic(sub.Public),
+		"client-payload": pub.EncodeClientPayload(sub.Payloads[0]),
+		"prover-output":  pub.EncodeProverOutput(out),
+	}
+	decode := map[string]func([]byte) error{
+		"client-public":  func(b []byte) error { _, err := pub.DecodeClientPublic(b); return err },
+		"client-payload": func(b []byte) error { _, err := pub.DecodeClientPayload(b); return err },
+		"prover-output":  func(b []byte) error { _, err := pub.DecodeProverOutput(b); return err },
+	}
+	for name, enc := range encodings {
+		if enc[0] != WireVersion {
+			t.Errorf("%s: leading byte %d, want version %d", name, enc[0], WireVersion)
+		}
+		if err := decode[name](enc); err != nil {
+			t.Errorf("%s: current version rejected: %v", name, err)
+		}
+		for _, v := range []byte{0, WireVersion + 1, 0xff} {
+			bad := append([]byte{v}, enc[1:]...)
+			if err := decode[name](bad); err == nil {
+				t.Errorf("%s: unknown version %d accepted", name, v)
+			}
+		}
+		if err := decode[name](nil); err == nil {
+			t.Errorf("%s: empty encoding accepted", name)
+		}
 	}
 }
 
@@ -109,7 +148,7 @@ func TestClientPayloadWireRejectsGarbage(t *testing.T) {
 	if _, err := pub.DecodeClientPayload(enc[:len(enc)-1]); err == nil {
 		t.Error("truncated payload accepted")
 	}
-	if _, err := pub.DecodeClientPayload([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}); err == nil {
+	if _, err := pub.DecodeClientPayload([]byte{WireVersion, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}); err == nil {
 		t.Error("absurd opening count accepted")
 	}
 }

@@ -23,12 +23,17 @@
 //	err = verifiabledp.Audit(res.Public, res.Transcript)
 //
 // For the multi-server (MPC) deployment and histograms, see Histogram and
-// the Setup/Run layer re-exported from internal/vdp. The examples/
-// directory contains runnable end-to-end scenarios including attack
-// detection and third-party auditing.
+// the Setup/Run layer re-exported from internal/vdp. Services that receive
+// submissions over time should use the streaming Session API (NewSession /
+// Submit / Finalize / Reset), which verifies each client eagerly on arrival
+// and turns one engine into many releases; Count, Histogram and Run are
+// batch conveniences over a one-epoch session. The examples/ directory
+// contains runnable end-to-end scenarios including streaming aggregation,
+// attack detection and third-party auditing.
 package verifiabledp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -65,6 +70,13 @@ type (
 	Verifier = vdp.Verifier
 	// Engine is the staged worker-pool execution engine behind Run.
 	Engine = vdp.Engine
+	// Session is the streaming aggregation surface: Submit clients
+	// incrementally (verified eagerly as they arrive), Finalize the epoch's
+	// release, Reset for the next epoch.
+	Session = vdp.Session
+	// SessionOptions configures a Session (parallelism, determinism seed,
+	// verification timing).
+	SessionOptions = vdp.SessionOptions
 	// Group is a commitment group (see GroupP256, GroupSchnorr2048).
 	Group = group.Group
 )
@@ -88,17 +100,40 @@ func GroupSchnorr2048() Group { return group.Schnorr2048() }
 // Setup validates a configuration and derives public parameters.
 func Setup(cfg Config) (*Public, error) { return vdp.Setup(cfg) }
 
+// NewSession opens a streaming aggregation session over pub: submissions
+// are admitted (and verified) one at a time with Submit, the verifiable
+// release is produced by Finalize, and Reset reopens the session for the
+// next epoch. This is the primary API for services that receive client
+// submissions incrementally; Run and the Count/Histogram helpers are batch
+// conveniences layered on top of it.
+func NewSession(pub *Public, opts SessionOptions) (*Session, error) {
+	return vdp.NewSession(pub, opts)
+}
+
 // Run executes a complete protocol instance locally (clients, K provers,
 // public verifier, Morra coin sampling) and returns the verified release
-// with its audit transcript.
+// with its audit transcript. It is a compatibility wrapper over a one-epoch
+// Session with batched verification.
 func Run(pub *Public, choices []int, opts *RunOptions) (*RunResult, error) {
 	return vdp.Run(pub, choices, opts)
+}
+
+// RunContext is Run with cancellation: the staged pipeline checks ctx
+// between (and inside) stages and returns ctx.Err() promptly once it is
+// cancelled.
+func RunContext(ctx context.Context, pub *Public, choices []int, opts *RunOptions) (*RunResult, error) {
+	return vdp.RunContext(ctx, pub, choices, opts)
 }
 
 // Audit replays every public check from a transcript; nil means an
 // independent auditor accepts the release. Client-board and coin proofs are
 // verified with random-linear-combination batches spread over every core.
 func Audit(pub *Public, t *Transcript) error { return vdp.Audit(pub, t) }
+
+// AuditContext is Audit with cancellation.
+func AuditContext(ctx context.Context, pub *Public, t *Transcript) error {
+	return vdp.AuditContext(ctx, pub, t)
+}
 
 // AuditParallel is Audit with an explicit worker-pool width (0 = all cores,
 // 1 = sequential). The verdict is identical at every width.
