@@ -10,10 +10,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/store"
 	"repro/internal/vdp"
 )
 
@@ -258,6 +260,84 @@ func BenchmarkSessionSubmit(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkStoreReplay measures raw board-log replay throughput: 10k framed,
+// CRC-checked records streamed back from disk. This bounds how fast a
+// restarted server can re-read its bulletin board before any crypto runs.
+func BenchmarkStoreReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "board.log")
+	logFile, err := store.OpenFileLog(path, store.WithNoSync())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 10000
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < records; i++ {
+		if err := logFile.Append(&store.Record{Kind: 1, Epoch: 0, Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := logFile.Replay(func(rec *store.Record) error {
+			n++
+			return nil
+		})
+		if err != nil || n != records {
+			b.Fatalf("replay: n=%d err=%v", n, err)
+		}
+	}
+	b.StopTimer()
+	logFile.Close()
+	b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkSessionRecovery measures ResumeSession over a file-backed board
+// of 64 eagerly-verified submissions: the time from "process restarted" to
+// "session ready to accept client 65". Verdicts are already persisted, so
+// recovery is pure replay + decode — no proof re-verification.
+func BenchmarkSessionRecovery(b *testing.B) {
+	pub, err := Setup(Config{Provers: 1, Bins: 1, Coins: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64
+	path := filepath.Join(b.TempDir(), "board.log")
+	logFile, err := store.OpenFileLog(path, store.WithNoSync())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, err := NewSession(pub, SessionOptions{Store: logFile})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		sub, err := pub.NewClientSubmission(i, i%2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.Submit(ctx, sub); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resumed, err := vdp.ResumeSession(ctx, pub, SessionOptions{Store: logFile})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resumed.Submitted() != n {
+			b.Fatalf("recovered %d submissions, want %d", resumed.Submitted(), n)
+		}
+	}
+	b.StopTimer()
+	logFile.Close()
 }
 
 // BenchmarkCheatDetection measures how quickly the verifier catches a

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	vdpbench [-scale quick|standard|paper] [-parallel 1,2,4,8]
-//	         [-only table1,figure3,figure4,table2,micro,dperror,parallel]
+//	         [-only table1,figure3,figure4,table2,micro,dperror,parallel,durability]
 //
 // The default runs every experiment at quick scale (seconds). Standard
 // scale takes minutes; paper scale uses the paper's literal workload sizes
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick|standard|paper")
-	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror,parallel")
+	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror,parallel,durability")
 	parallelFlag := flag.String("parallel", "", "comma-separated worker counts for the engine sweep (default 1,2,4,8)")
 	flag.Parse()
 
@@ -69,6 +69,7 @@ func main() {
 		{"micro", func() (interface{ Format() string }, error) { return experiments.Microbench() }},
 		{"dperror", func() (interface{ Format() string }, error) { return experiments.DPErrorAtScale(scale) }},
 		{"parallel", func() (interface{ Format() string }, error) { return experiments.ParallelSweepAtScale(scale, workers) }},
+		{"durability", func() (interface{ Format() string }, error) { return experiments.DurabilitySweepAtScale(scale) }},
 	}
 
 	fmt.Printf("verifiable-dp benchmark suite (scale=%s)\n", scale)

@@ -3,34 +3,48 @@
 // attaches the zero-knowledge legality proof, and sends the bundle over
 // TCP. The deployment flags must match the server's.
 //
-// Example:
+// With -audit-store it instead plays the third-party auditor, entirely
+// offline: the server's durable board log is replayed, a sealed epoch's
+// transcript is decoded, every proof and the final aggregate are
+// re-verified, and the seal is cross-checked against the log's own
+// per-arrival records. No network, no server cooperation — the log file is
+// the whole input.
+//
+// Examples:
 //
 //	vdpclient -addr 127.0.0.1:7001 -id 0 -choice 1 -bins 2 -coins 32
+//	vdpclient -audit-store /var/lib/vdp -bins 2 -coins 32          # latest epoch
+//	vdpclient -audit-store /var/lib/vdp -epoch 0 -bins 2 -coins 32 # specific epoch
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
 	"time"
 
 	"repro/internal/group"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/vdp"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7001", "server address")
-		id      = flag.Int("id", 0, "client ID (unique per deployment)")
-		choice  = flag.Int("choice", 0, "input: the bit for -bins 1, else the bin index")
-		bins    = flag.Int("bins", 1, "histogram bins (must match server)")
-		coins   = flag.Int("coins", 64, "noise coins (must match server)")
-		eps     = flag.Float64("eps", 1.0, "epsilon (must match server when -coins 0)")
-		delta   = flag.Float64("delta", 1e-6, "delta (must match server when -coins 0)")
-		grp     = flag.String("group", "p256", "commitment group (must match server)")
-		timeout = flag.Duration("timeout", 30*time.Second, "submission round-trip deadline (0 = none)")
+		addr       = flag.String("addr", "127.0.0.1:7001", "server address")
+		id         = flag.Int("id", 0, "client ID (unique per deployment)")
+		choice     = flag.Int("choice", 0, "input: the bit for -bins 1, else the bin index")
+		bins       = flag.Int("bins", 1, "histogram bins (must match server)")
+		coins      = flag.Int("coins", 64, "noise coins (must match server)")
+		eps        = flag.Float64("eps", 1.0, "epsilon (must match server when -coins 0)")
+		delta      = flag.Float64("delta", 1e-6, "delta (must match server when -coins 0)")
+		grp        = flag.String("group", "p256", "commitment group (must match server)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "submission round-trip deadline (0 = none)")
+		auditStore = flag.String("audit-store", "", "audit a server's board log directory offline instead of submitting")
+		epoch      = flag.Int("epoch", -1, "epoch to audit with -audit-store (-1 = latest sealed)")
 	)
 	flag.Parse()
 
@@ -41,6 +55,20 @@ func main() {
 	pub, err := vdp.Setup(vdp.Config{Group: g, Provers: 1, Bins: *bins, Coins: *coins, Epsilon: *eps, Delta: *delta})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *auditStore != "" {
+		// The -timeout default is sized for a network round trip, not for
+		// re-verifying a whole epoch; only bound the offline audit when the
+		// operator set the flag explicitly.
+		auditDeadline := time.Duration(0)
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "timeout" {
+				auditDeadline = *timeout
+			}
+		})
+		auditOffline(pub, *auditStore, *epoch, auditDeadline)
+		return
 	}
 	sub, err := pub.NewClientSubmission(*id, *choice, nil)
 	if err != nil {
@@ -81,4 +109,46 @@ func main() {
 	default:
 		log.Fatalf("client %d: unexpected reply %q", *id, reply.Kind)
 	}
+}
+
+// auditOffline replays the board log under dir and re-verifies a sealed
+// epoch, exactly as an independent third party would. The log is opened
+// read-only: the auditor never creates, truncates, or otherwise touches the
+// evidence, so a write-protected published copy audits fine.
+func auditOffline(pub *vdp.Public, dir string, epoch int, timeout time.Duration) {
+	boardLog, err := store.OpenFileLogReadOnly(filepath.Join(dir, "board.log"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer boardLog.Close()
+	if tb := boardLog.Truncated(); tb > 0 {
+		log.Printf("note: log ends in a %d-byte torn tail (interrupted append); auditing the intact prefix", tb)
+	}
+
+	sealed, err := vdp.SealedEpochs(boardLog)
+	if err != nil {
+		log.Fatalf("replaying board log: %v", err)
+	}
+	fmt.Printf("board log: %d records, sealed epochs %v\n", boardLog.Len(), sealed)
+	latest := epoch < 0
+	if latest && len(sealed) > 0 {
+		// Resolve "latest" here so AuditLog needn't rescan the log for it.
+		epoch = sealed[len(sealed)-1]
+	}
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if err := vdp.AuditLog(ctx, pub, boardLog, epoch, 0); err != nil {
+		log.Fatalf("offline audit FAILED: %v", err)
+	}
+	which := fmt.Sprintf("epoch %d", epoch)
+	if latest {
+		which = fmt.Sprintf("latest sealed epoch (%d)", epoch)
+	}
+	fmt.Printf("offline audit of %s: PASSED — every proof, coin and aggregate checks out,\n", which)
+	fmt.Println("and the sealed transcript matches the per-arrival submission records")
 }

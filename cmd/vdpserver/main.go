@@ -7,18 +7,29 @@
 // generation, Σ-OR proving, Morra and the audit transcript all run over the
 // already-verified client set, and the verified release is printed.
 //
+// Durability: with -store-dir set, the bulletin board is an append-only,
+// checksummed log on disk (internal/store). Every accepted submission and
+// verdict is fsync'd before the client hears back, and Finalize seals the
+// epoch's full transcript into the same log. A vdpserver killed mid-epoch
+// and restarted with the same -store-dir recovers the session from the log
+// — same roster, same board order — and finishes the epoch as if it had
+// never died; the sealed transcript can then be audited offline with
+// `vdpclient -audit-store <dir>`. Without -store-dir the board lives in
+// memory and a crash discards the epoch (the pre-durability behavior).
+//
 // Graceful shutdown: on SIGINT/SIGTERM the listener closes, in-flight
-// submissions drain, and the session is finalized with whatever clients
-// were accepted so far (or abandoned cleanly when none were) instead of
-// dying mid-protocol.
+// submissions drain, the session is finalized with whatever clients were
+// accepted so far (or abandoned cleanly when none were), and the board log
+// is flushed and closed.
 //
 // The deployment configuration flags must match the ones clients use, since
 // the Σ-proof session context binds submissions to the exact deployment.
 //
 // Example (two shells):
 //
-//	vdpserver -addr 127.0.0.1:7001 -clients 3 -bins 2 -coins 32
+//	vdpserver -addr 127.0.0.1:7001 -clients 3 -bins 2 -coins 32 -store-dir /var/lib/vdp
 //	for i in 0 1 2; do vdpclient -addr 127.0.0.1:7001 -id $i -choice 1 -bins 2 -coins 32; done
+//	vdpclient -audit-store /var/lib/vdp -bins 2 -coins 32   # offline audit
 package main
 
 import (
@@ -29,33 +40,35 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/group"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/vdp"
 )
 
+// boardLogName is the log file created under -store-dir.
+const boardLogName = "board.log"
+
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7001", "listen address")
-		clients = flag.Int("clients", 3, "number of accepted client submissions to wait for")
-		bins    = flag.Int("bins", 1, "histogram bins (1 = counting query)")
-		coins   = flag.Int("coins", 64, "noise coins nb (0 = calibrate from -eps/-delta)")
-		eps     = flag.Float64("eps", 1.0, "epsilon (used when -coins 0)")
-		delta   = flag.Float64("delta", 1e-6, "delta (used when -coins 0)")
-		grp     = flag.String("group", "p256", "commitment group: p256|schnorr2048")
-		grace   = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining and finalizing")
+		addr     = flag.String("addr", "127.0.0.1:7001", "listen address")
+		clients  = flag.Int("clients", 3, "number of accepted client submissions to wait for")
+		bins     = flag.Int("bins", 1, "histogram bins (1 = counting query)")
+		coins    = flag.Int("coins", 64, "noise coins nb (0 = calibrate from -eps/-delta)")
+		eps      = flag.Float64("eps", 1.0, "epsilon (used when -coins 0)")
+		delta    = flag.Float64("delta", 1e-6, "delta (used when -coins 0)")
+		grp      = flag.String("group", "p256", "commitment group: p256|schnorr2048")
+		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining and finalizing")
+		storeDir = flag.String("store-dir", "", "directory for the durable board log (empty = in-memory board)")
 	)
 	flag.Parse()
 
 	pub, err := setupFromFlags(*grp, *bins, *coins, *eps, *delta)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sess, err := vdp.NewSession(pub, vdp.SessionOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,12 +77,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	sess, boardLog, err := openSession(ctx, pub, *storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if boardLog != nil {
+		defer boardLog.Close()
+	}
+
 	var (
-		accepted int
+		accepted = sess.Accepted() // non-zero after recovery from a board log
 		mu       sync.Mutex
 		done     = make(chan struct{})
 		doneOnce sync.Once
 	)
+	if accepted >= *clients {
+		doneOnce.Do(func() { close(done) })
+	}
 	handler := func(f *transport.Frame) ([]*transport.Frame, error) {
 		if f.Kind != "submit" {
 			return nil, fmt.Errorf("unexpected frame kind %q", f.Kind)
@@ -80,7 +104,8 @@ func main() {
 		}
 		// Eager verification on the session's worker pool: the verdict goes
 		// straight back on this client's connection, and Finalize will not
-		// re-check anything.
+		// re-check anything. With -store-dir the submission and verdict are
+		// durable before the reply is written.
 		if err := sess.Submit(ctx, &vdp.ClientSubmission{Public: cp, Payloads: []*vdp.ClientPayload{pl}}); err != nil {
 			return nil, err
 		}
@@ -99,8 +124,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("verifiable-dp curator listening on %s (K=1, M=%d, nb=%d, group=%s)",
-		srv.Addr(), pub.Bins(), pub.Coins(), *grp)
+	log.Printf("verifiable-dp curator listening on %s (K=1, M=%d, nb=%d, group=%s, store=%s)",
+		srv.Addr(), pub.Bins(), pub.Coins(), *grp, storeDesc(*storeDir))
 
 	select {
 	case <-done:
@@ -144,6 +169,64 @@ func main() {
 		log.Fatalf("self-audit failed: %v", err)
 	}
 	fmt.Println("transcript audit: PASSED")
+	if *storeDir != "" {
+		fmt.Printf("epoch %d sealed in %s; audit offline with: vdpclient -audit-store %s\n",
+			sess.Epoch(), filepath.Join(*storeDir, boardLogName), *storeDir)
+	}
+}
+
+// openSession opens the board log under storeDir (creating the directory)
+// and either starts a fresh durable session or — when the log already holds
+// records — recovers the interrupted one. An empty storeDir keeps the board
+// in memory.
+func openSession(ctx context.Context, pub *vdp.Public, storeDir string) (*vdp.Session, *store.FileLog, error) {
+	if storeDir == "" {
+		sess, err := vdp.NewSession(pub, vdp.SessionOptions{})
+		return sess, nil, err
+	}
+	if err := os.MkdirAll(storeDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	boardLog, err := store.OpenFileLog(filepath.Join(storeDir, boardLogName))
+	if err != nil {
+		return nil, nil, err
+	}
+	if tb := boardLog.Truncated(); tb > 0 {
+		log.Printf("board log: discarded %d torn-tail bytes from an interrupted append", tb)
+	}
+	opts := vdp.SessionOptions{Store: boardLog}
+	if boardLog.Len() == 0 {
+		sess, err := vdp.NewSession(pub, opts)
+		if err != nil {
+			boardLog.Close()
+			return nil, nil, err
+		}
+		return sess, boardLog, nil
+	}
+	sess, err := vdp.ResumeSession(ctx, pub, opts)
+	if err != nil {
+		boardLog.Close()
+		return nil, nil, fmt.Errorf("recovering board log: %w", err)
+	}
+	if sess.Finalized() {
+		// The previous incarnation sealed its epoch; open the next one.
+		if err := sess.Reset(); err != nil {
+			boardLog.Close()
+			return nil, nil, err
+		}
+		log.Printf("recovered board log: last epoch sealed, opening epoch %d", sess.Epoch())
+	} else {
+		log.Printf("recovered board log: resuming epoch %d with %d submissions (%d rejected)",
+			sess.Epoch(), sess.Submitted(), len(sess.Rejected()))
+	}
+	return sess, boardLog, nil
+}
+
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
 }
 
 func setupFromFlags(grpName string, bins, coins int, eps, delta float64) (*vdp.Public, error) {

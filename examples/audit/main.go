@@ -7,13 +7,21 @@
 // statistics release (the paper's census motivation, including the Alabama
 // v. Department of Commerce dispute over DP noise).
 //
+// The final act audits a *durable* board: the bureau runs its epoch against
+// an append-only board log (what vdpserver -store-dir writes), and the
+// auditor replays the log file offline — no cooperation from the bureau
+// beyond publishing the file.
+//
 // Run with: go run ./examples/audit
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	verifiabledp "repro"
 )
@@ -60,4 +68,52 @@ func main() {
 	} else {
 		log.Fatalf("BUG: forged release passed the audit (err=%v)", err)
 	}
+
+	// --- Auditing a durable board, offline -------------------------------
+	// The bureau now runs the same release against an append-only board log
+	// (a vdpserver with -store-dir would produce exactly this file). Every
+	// submission, verdict and the sealed transcript are on disk.
+	dir, err := os.MkdirTemp("", "vdp-audit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	boardLog, err := verifiabledp.OpenFileLog(filepath.Join(dir, "board.log"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer boardLog.Close()
+
+	ctx := context.Background()
+	sess, err := verifiabledp.NewSession(auditorView, verifiabledp.SessionOptions{Store: boardLog})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, b := range bits {
+		sub, err := auditorView.NewClientSubmission(i, boolToChoice(b), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sess.Submit(ctx, sub); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := sess.Finalize(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// The auditor's whole input is the log file: replay it, re-verify the
+	// sealed epoch, and cross-check the seal against the arrival records.
+	if err := verifiabledp.AuditLog(ctx, auditorView, boardLog, 0, 0); err != nil {
+		log.Fatalf("offline log audit rejected the epoch: %v", err)
+	}
+	fmt.Println("offline audit of the durable board log: PASSED — the sealed epoch")
+	fmt.Println("matches its own per-arrival records, proof by proof")
+}
+
+func boolToChoice(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

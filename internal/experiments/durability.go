@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/vdp"
+)
+
+// The durability experiment measures what the durable bulletin board
+// (internal/store + vdp.ResumeSession) costs and buys: raw log replay
+// throughput (records/sec through the framed, CRC-checked decoder), the
+// per-submission overhead of persisting the board at Submit time, and the
+// recovery latency — how long a restarted server takes to go from "board
+// log on disk" to "session ready to accept the next client". Recovery is
+// pure replay + decode when verdicts were persisted, so it is orders of
+// magnitude cheaper than re-verifying the epoch from scratch.
+
+// DurabilityConfig sets the workload for the durability experiment.
+type DurabilityConfig struct {
+	RawRecords int // records for the raw replay-throughput measurement
+	Clients    int // submissions for the recovery-latency measurement
+	Coins      int // nb for the deployment under recovery
+}
+
+// durabilityConfigFor returns the workload at a given scale.
+func durabilityConfigFor(s Scale) DurabilityConfig {
+	switch s {
+	case Paper:
+		return DurabilityConfig{RawRecords: 100000, Clients: 10000, Coins: 8}
+	case Standard:
+		return DurabilityConfig{RawRecords: 50000, Clients: 1024, Coins: 8}
+	default:
+		return DurabilityConfig{RawRecords: 10000, Clients: 128, Coins: 8}
+	}
+}
+
+// DurabilityResult holds the measurements.
+type DurabilityResult struct {
+	Config DurabilityConfig
+
+	RawReplay     time.Duration // streaming RawRecords back through the decoder
+	RawThroughput float64       // records/sec
+
+	SubmitPlain   time.Duration // total Submit time, in-memory board
+	SubmitDurable time.Duration // total Submit time, file-backed board (no fsync)
+
+	LogRecords int           // records in the recovered board log
+	LogBytes   int64         // size of the recovered board log
+	Recovery   time.Duration // ResumeSession: replay + decode + reconstruct
+}
+
+// DurabilitySweep runs the experiment: a raw log round trip, then a full
+// eager session persisted to a file-backed board log, crashed (dropped
+// without Finalize), and recovered with ResumeSession. The recovered
+// session is finalized and audited so a broken recovery cannot report a
+// fast time.
+func DurabilitySweep(cfg DurabilityConfig) (*DurabilityResult, error) {
+	if cfg.RawRecords < 1 || cfg.Clients < 1 || cfg.Coins < 1 {
+		return nil, fmt.Errorf("experiments: invalid durability config %+v", cfg)
+	}
+	dir, err := os.MkdirTemp("", "vdp-durability")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	res := &DurabilityResult{Config: cfg}
+
+	// Raw replay throughput: protocol-free records through the framed
+	// decoder, the floor under any recovery.
+	rawLog, err := store.OpenFileLog(filepath.Join(dir, "raw.log"), store.WithNoSync())
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, 256)
+	for i := 0; i < cfg.RawRecords; i++ {
+		if err := rawLog.Append(&store.Record{Kind: 1, Payload: payload}); err != nil {
+			return nil, err
+		}
+	}
+	n := 0
+	res.RawReplay, err = timeIt(func() error {
+		return rawLog.Replay(func(*store.Record) error { n++; return nil })
+	})
+	if err != nil {
+		return nil, err
+	}
+	rawLog.Close()
+	if n != cfg.RawRecords {
+		return nil, fmt.Errorf("experiments: raw replay saw %d/%d records", n, cfg.RawRecords)
+	}
+	res.RawThroughput = float64(n) / res.RawReplay.Seconds()
+
+	// A real epoch: generate submissions once, measure Submit with and
+	// without the durable store, crash, recover.
+	pub, err := vdp.Setup(vdp.Config{Provers: 1, Bins: 1, Coins: cfg.Coins})
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]*vdp.ClientSubmission, cfg.Clients)
+	for i := range subs {
+		sub, err := pub.NewClientSubmission(i, i%2, nil)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = sub
+	}
+	ctx := context.Background()
+
+	plain, err := vdp.NewSession(pub, vdp.SessionOptions{})
+	if err != nil {
+		return nil, err
+	}
+	res.SubmitPlain, err = timeIt(func() error {
+		for _, sub := range subs {
+			if err := plain.Submit(ctx, sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	boardPath := filepath.Join(dir, "board.log")
+	boardLog, err := store.OpenFileLog(boardPath, store.WithNoSync())
+	if err != nil {
+		return nil, err
+	}
+	durable, err := vdp.NewSession(pub, vdp.SessionOptions{Store: boardLog})
+	if err != nil {
+		return nil, err
+	}
+	res.SubmitDurable, err = timeIt(func() error {
+		for _, sub := range subs {
+			if err := durable.Submit(ctx, sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The crash: drop the session, close the file, reopen cold.
+	if err := boardLog.Close(); err != nil {
+		return nil, err
+	}
+	boardLog, err = store.OpenFileLog(boardPath, store.WithNoSync())
+	if err != nil {
+		return nil, err
+	}
+	defer boardLog.Close()
+	res.LogRecords = boardLog.Len()
+	if info, err := os.Stat(boardPath); err == nil {
+		res.LogBytes = info.Size()
+	}
+
+	var recovered *vdp.Session
+	res.Recovery, err = timeIt(func() error {
+		s, err := vdp.ResumeSession(ctx, pub, vdp.SessionOptions{Store: boardLog})
+		recovered = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if recovered.Submitted() != cfg.Clients {
+		return nil, fmt.Errorf("experiments: recovered %d/%d submissions", recovered.Submitted(), cfg.Clients)
+	}
+	out, err := recovered.Finalize(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := vdp.Audit(pub, out.Transcript); err != nil {
+		return nil, fmt.Errorf("experiments: recovered epoch failed audit: %w", err)
+	}
+	return res, nil
+}
+
+// Format renders the measurements.
+func (r *DurabilityResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Durable board log (n=%d clients, nb=%d, %d raw records)\n",
+		r.Config.Clients, r.Config.Coins, r.Config.RawRecords)
+	fmt.Fprintf(&b, "%-34s %-14s %s\n", "measurement", "elapsed", "derived")
+	fmt.Fprintf(&b, "%-34s %-14s %.0f records/s\n", "raw log replay", fmtDuration(r.RawReplay), r.RawThroughput)
+	perPlain := r.SubmitPlain / time.Duration(r.Config.Clients)
+	perDurable := r.SubmitDurable / time.Duration(r.Config.Clients)
+	fmt.Fprintf(&b, "%-34s %-14s %s/submission\n", "eager Submit, in-memory board", fmtDuration(r.SubmitPlain), fmtDuration(perPlain))
+	fmt.Fprintf(&b, "%-34s %-14s %s/submission (+%.1f%%)\n", "eager Submit, durable board",
+		fmtDuration(r.SubmitDurable), fmtDuration(perDurable),
+		100*(float64(r.SubmitDurable)/float64(r.SubmitPlain)-1))
+	fmt.Fprintf(&b, "%-34s %-14s %d records, %.1f KiB\n", "recovery (ResumeSession)", fmtDuration(r.Recovery),
+		r.LogRecords, float64(r.LogBytes)/1024)
+	fmt.Fprintf(&b, "%-34s %-14s\n", "  per recovered submission", fmtDuration(r.Recovery/time.Duration(r.Config.Clients)))
+	return b.String()
+}
+
+// DurabilitySweepAtScale runs the durability experiment at a named scale.
+func DurabilitySweepAtScale(s Scale) (*DurabilityResult, error) {
+	return DurabilitySweep(durabilityConfigFor(s))
+}

@@ -14,6 +14,11 @@
 //	            elliptic-curve groups
 //	§7 series — central vs local DP error as a function of population size
 //
+// Beyond the paper, the suite measures this repository's own additions: the
+// parallel execution engine's worker sweep (ParallelSweep) and the durable
+// bulletin board's replay throughput, submit overhead and recovery latency
+// (DurabilitySweep).
+//
 // Each experiment returns a structured result with a Format method that
 // renders the same rows/series the paper reports. Absolute timings depend
 // on the host and on Go's math/big (the paper used Rust + OpenSSL on an

@@ -1,0 +1,37 @@
+// Package store persists the public bulletin board: an append-only,
+// replayable log of every record a verifiable-DP deployment publishes —
+// client submissions, per-client verdicts, epoch seals — so the transcript
+// survives a process crash and becomes the system of record rather than an
+// ephemeral in-memory artifact.
+//
+// The package is deliberately oblivious to the protocol layer: records are
+// (kind, epoch, payload) triples whose payloads are opaque bytes produced by
+// the wire encoders in internal/vdp. That keeps the dependency arrow
+// pointing one way (vdp imports store, never the reverse) and means a
+// hostile or corrupted log can only deliver bytes that the vdp decoders
+// fully validate on replay.
+//
+// Two BoardLog implementations ship:
+//
+//   - MemLog keeps records in memory. It is the default when no durability
+//     is requested and preserves the pre-durability behavior exactly: a
+//     crash discards the epoch.
+//
+//   - FileLog appends records to a single file with per-record length
+//     framing and a CRC-32 checksum, fsync'd on every append by default.
+//     Opening an existing file replays it to the last intact record and
+//     truncates a torn tail (the partial record a crash mid-append leaves
+//     behind), which is what makes restart-without-data-loss work: the
+//     bytes that were acknowledged are the bytes that are replayed.
+//
+// The on-disk format is:
+//
+//	file   := magic record*
+//	magic  := "vdplog" version(1 byte)
+//	record := u32 length | body | u32 crc32(body)
+//	body   := kind(1 byte) | u32 epoch | payload
+//
+// All integers are big-endian. EncodeRecord and DecodeRecord expose the
+// record framing directly; DecodeRecord is fuzzed in CI because log bytes
+// are an attack surface when boards are shared between parties.
+package store

@@ -1,0 +1,38 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRecord exercises the log-record decoder with hostile bytes: any
+// input either fails to parse or round-trips through the canonical encoder.
+// Board logs can be handed between parties (a server's log is an auditor's
+// input), so the decoder must never panic or over-allocate on garbage. CI
+// runs this target as a short -fuzztime smoke pass alongside the vdp wire
+// decoders.
+func FuzzDecodeRecord(f *testing.F) {
+	for _, rec := range []*Record{
+		{Kind: 1, Epoch: 0, Payload: []byte("submission")},
+		{Kind: 3, Epoch: 7, Payload: nil},
+	} {
+		f.Add(EncodeRecord(rec))
+	}
+	valid := EncodeRecord(&Record{Kind: 2, Epoch: 1, Payload: bytes.Repeat([]byte{7}, 40)})
+	f.Add(valid[:len(valid)/2])                       // torn tail
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // hostile length
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, n, err := DecodeRecord(b)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("consumed %d bytes of %d", n, len(b))
+		}
+		enc := EncodeRecord(rec)
+		if !bytes.Equal(enc, b[:n]) {
+			t.Fatalf("accepted record is not canonical: %x re-encodes to %x", b[:n], enc)
+		}
+	})
+}

@@ -1,0 +1,393 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testRecords() []*Record {
+	return []*Record{
+		{Kind: 1, Epoch: 0, Payload: []byte("client-0")},
+		{Kind: 2, Epoch: 0, Payload: []byte{}},
+		{Kind: 1, Epoch: 0, Payload: bytes.Repeat([]byte{0xab}, 300)},
+		{Kind: 3, Epoch: 1, Payload: []byte("seal")},
+	}
+}
+
+func checkRecords(t *testing.T, got, want []*Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].Epoch != want[i].Epoch ||
+			!bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMemLogRoundTrip(t *testing.T) {
+	l := NewMemLog()
+	want := testRecords()
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, got, want)
+	if l.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(want))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(want[0]); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestFileLogRoundTripAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "board.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	for _, rec := range want[:2] {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the two records survive, further appends extend the log.
+	l, err = OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", l.Len())
+	}
+	for _, rec := range want[2:] {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, got, want)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileLogTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "board.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: half of a fifth record makes it to disk.
+	frag := EncodeRecord(&Record{Kind: 9, Epoch: 1, Payload: []byte("interrupted")})
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frag[:len(frag)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, err = OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer l.Close()
+	if l.Truncated() == 0 {
+		t.Fatal("torn tail was not reported as truncated")
+	}
+	if l.Len() != len(want) {
+		t.Fatalf("Len = %d after torn-tail recovery, want %d", l.Len(), len(want))
+	}
+	got, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, got, want)
+
+	// The recovered log accepts appends again at the truncated offset.
+	extra := &Record{Kind: 5, Epoch: 1, Payload: []byte("after recovery")}
+	if err := l.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	got, err = l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, got, append(want, extra))
+}
+
+// TestFileLogTornWriteWithGarbageBody: a crash can persist a final record's
+// length prefix while its body pages never hit the disk (writeback
+// ordering), leaving a full-length record of garbage at EOF. That is a torn
+// tail — recoverable — not corruption, because nothing follows it.
+func TestFileLogTornWriteWithGarbageBody(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "board.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Full frame, zeroed body: length prefix says 20 bytes, CRC can't match.
+	torn := EncodeRecord(&Record{Kind: 7, Epoch: 1, Payload: bytes.Repeat([]byte{9}, 15)})
+	for i := 4; i < len(torn); i++ {
+		torn[i] = 0
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, err = OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("open with garbage-body torn write: %v", err)
+	}
+	defer l.Close()
+	if l.Truncated() == 0 {
+		t.Error("garbage-body tail not reported as truncated")
+	}
+	got, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, got, want)
+}
+
+// TestFileLogRecoversTornHeader: a crash before the magic header is fsync'd
+// leaves a partial-header file; reopening must rewrite it, not refuse it.
+func TestFileLogRecoversTornHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "board.log")
+	if err := os.WriteFile(path, fileMagic[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("open with torn header: %v", err)
+	}
+	defer l.Close()
+	if err := l.Append(&Record{Kind: 1, Payload: []byte("first")}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestFileLogDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "board.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range testRecords() {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the first record's payload: the CRC must catch it,
+	// and because intact records follow, this is corruption — not a torn
+	// tail — so opening must fail loudly instead of silently truncating.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(fileMagic)+4+2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileLog(path); err == nil {
+		t.Fatal("corrupted record body was accepted")
+	}
+}
+
+func TestFileLogRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-log")
+	if err := os.WriteFile(path, []byte("something else entirely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileLog(path); err == nil {
+		t.Fatal("foreign file was accepted as a board log")
+	}
+}
+
+func TestFileLogRefusesOversizedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "board.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// A record the decoder would reject must be refused at append time;
+	// writing it would brick the log.
+	huge := &Record{Kind: 1, Payload: make([]byte, maxRecordLen)}
+	if err := l.Append(huge); err == nil {
+		t.Fatal("oversized record was appended")
+	}
+	// The log is still usable afterwards.
+	if err := l.Append(&Record{Kind: 1, Payload: []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+// TestFileLogReadOnly: the audit path must work on evidence it cannot (and
+// must not) modify — a write-protected file with a torn tail is replayed to
+// its intact prefix, byte-for-byte untouched, and appends are refused. A
+// missing path errors instead of fabricating an empty log.
+func TestFileLogReadOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "board.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	frag := EncodeRecord(&Record{Kind: 9, Epoch: 1, Payload: []byte("torn")})
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frag[:len(frag)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(path, 0o444); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(path, 0o644)
+
+	ro, err := OpenFileLogReadOnly(path)
+	if err != nil {
+		t.Fatalf("read-only open of a write-protected log: %v", err)
+	}
+	defer ro.Close()
+	if ro.Truncated() == 0 {
+		t.Error("torn tail not reported")
+	}
+	got, err := ro.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, got, want)
+	if err := ro.Append(want[0]); err == nil {
+		t.Error("append to a read-only log succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("read-only open modified the evidence file")
+	}
+	if _, err := OpenFileLogReadOnly(filepath.Join(t.TempDir(), "nope.log")); err == nil {
+		t.Error("read-only open fabricated a missing log")
+	}
+}
+
+// failingReader returns a non-EOF error mid-stream, standing in for a disk
+// that faults during the recovery scan.
+type failingReader struct{ n int }
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, errors.New("simulated EIO")
+	}
+	if len(p) > r.n {
+		p = p[:r.n]
+	}
+	for i := range p {
+		p[i] = 0
+	}
+	r.n -= len(p)
+	return len(p), nil
+}
+
+// TestReadRecordDistinguishesIOErrors: only running out of bytes is a torn
+// tail; a genuine read fault must propagate as itself so recovery never
+// truncates committed records in response to a flaky disk.
+func TestReadRecordDistinguishesIOErrors(t *testing.T) {
+	_, _, err := readRecord(&failingReader{n: 2})
+	if err == nil || errors.Is(err, errTruncated) {
+		t.Fatalf("mid-header EIO reported as %v, want a distinct I/O error", err)
+	}
+	enc := EncodeRecord(&Record{Kind: 1, Epoch: 0, Payload: []byte("x")})
+	_, _, err = readRecord(bytes.NewReader(enc[:len(enc)-2]))
+	if !errors.Is(err, errTruncated) {
+		t.Fatalf("short stream reported as %v, want errTruncated", err)
+	}
+}
+
+func TestDecodeRecordRoundTrip(t *testing.T) {
+	for _, rec := range testRecords() {
+		enc := EncodeRecord(rec)
+		got, n, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d bytes", n, len(enc))
+		}
+		checkRecords(t, []*Record{got}, []*Record{rec})
+	}
+}

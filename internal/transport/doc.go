@@ -1,0 +1,19 @@
+// Package transport provides the message-passing substrate for running the
+// verifiable DP protocol across processes: a length-prefixed framed codec
+// over any io.ReadWriter, a TCP server that dispatches frames to a handler,
+// and an in-memory duplex connection for tests.
+//
+// The protocol layers above exchange opaque []byte payloads produced by the
+// wire encoders in internal/vdp, so the transport needs no knowledge of
+// commitments or proofs — and, symmetrically, a hostile transport peer can
+// only deliver bytes that the vdp decoders fully validate. The same
+// division of labour applies downward: the durable bulletin board
+// (internal/store) persists those payloads without interpreting them, so
+// transport, store and protocol evolve independently behind the versioned
+// wire format.
+//
+// Server supports graceful shutdown (Shutdown): the listener closes, frames
+// already on the wire drain through the handler, and only then does the
+// caller finalize its session — which is how cmd/vdpserver turns
+// SIGINT/SIGTERM into a sealed epoch instead of a dead one.
+package transport

@@ -1,12 +1,3 @@
-// Package transport provides the message-passing substrate for running the
-// verifiable DP protocol across processes: a length-prefixed framed codec
-// over any io.ReadWriter, a TCP server that dispatches frames to a handler,
-// and an in-memory duplex connection for tests.
-//
-// The protocol layers above exchange opaque []byte payloads produced by the
-// wire encoders in internal/vdp, so the transport needs no knowledge of
-// commitments or proofs — and, symmetrically, a hostile transport peer can
-// only deliver bytes that the vdp decoders fully validate.
 package transport
 
 import (

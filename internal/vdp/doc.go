@@ -1,0 +1,67 @@
+// Package vdp implements ΠBin, the verifiable differential privacy protocol
+// for counting queries and M-bin histograms from Section 4 of the paper
+// (Figure 2), in both the trusted-curator (K = 1) and client-server MPC
+// (K ≥ 2) settings.
+//
+// # Roles
+//
+//   - Clients hold inputs in the language L: a bit for the single counting
+//     query (M = 1) or a one-hot vector for an M-bin histogram. Each client
+//     additively secret-shares its input across the K provers, broadcasts
+//     Pedersen commitments to every share on the public bulletin board, and
+//     attaches a zero-knowledge proof that the (derived) committed input is
+//     legal (Lines 2-3 of Figure 2).
+//
+//   - Provers (the curator when K = 1) aggregate the shares they received,
+//     generate nb private noise bits each, commit to them, prove in zero
+//     knowledge that each commitment opens to a bit (Σ-OR proofs, Lines
+//     4-6), XOR them against public Morra coins (Lines 7-9), and publish
+//     their noisy share total together with the aggregate commitment
+//     randomness (Lines 10-11).
+//
+//   - The public Verifier validates every proof, homomorphically flips the
+//     noise-bit commitments using the public coins (Line 12), and checks
+//     that the product of all client-share and adjusted noise commitments
+//     equals a commitment to the claimed output (Line 13). Anyone can
+//     re-run the verifier from the public transcript (package-level Audit),
+//     which is what makes the release *publicly* auditable.
+//
+// The output of an honest run is y = Σ_k y_k = Q(X) + Σ_k Binomial(nb, ½):
+// the counting query plus K independent copies of Binomial noise, exactly
+// the ideal functionality M_Bin (equation (7)). Every deviation a
+// computationally bounded prover can attempt — non-bit noise commitments,
+// biased public coins, tampered aggregates, dropped or injected client
+// inputs — is either prevented or detected and attributed (Theorem 4.1).
+//
+// # Execution surfaces
+//
+// The protocol runs on a staged worker-pool pipeline (Engine) whose
+// randomness is derived per logical task, never per schedule, so a fixed
+// seed yields a byte-identical transcript at every parallelism
+// (TranscriptDigest states the property; rand.go implements it). Three
+// entry points drive the pipeline:
+//
+//   - Run / RunWithSubmissions / Audit: batch execution over a complete
+//     board, with one random-linear-combination Σ-OR check deciding client
+//     legality for the whole board at once.
+//
+//   - Session: the streaming surface. Submit admits clients one at a time
+//     (verified eagerly on the pool, verdict returned to the caller),
+//     Finalize closes the epoch over the already-verified roster, Reset
+//     reopens the session for the next epoch.
+//
+//   - ResumeSession: crash recovery. A Session given SessionOptions.Store
+//     appends every submission, verdict, epoch seal and reset to an
+//     append-only board log (internal/store); ResumeSession replays that
+//     log to reconstruct the interrupted epoch — same roster, same board
+//     order, and therefore (under the same seed) the same
+//     TranscriptDigest. AuditLog re-verifies a sealed epoch offline from
+//     the log alone.
+//
+// Wire encodings for every message that crosses a process boundary — or
+// lands in the board log — live in wire.go and wirelog.go. All encodings
+// lead with a format-version byte (WireVersion) and validate every
+// component on decode, so hostile bytes fail to parse instead of
+// corrupting a verifier or a recovered session; the decoders are fuzzed in
+// CI.
+package vdp

@@ -76,6 +76,32 @@ func FuzzDecodeClientPayload(f *testing.F) {
 	})
 }
 
+// FuzzDecodeClientSubmission covers the durable-board record body: the
+// combined public + per-prover-payload encoding that ResumeSession replays
+// straight out of the log file.
+func FuzzDecodeClientSubmission(f *testing.F) {
+	pub := fuzzPublic(f)
+	sub, err := pub.NewClientSubmission(3, 0, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := pub.EncodeClientSubmission(sub)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/3])
+	f.Add([]byte{WireVersion, 0, 0, 0, 4, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		sub, err := pub.DecodeClientSubmission(b)
+		if err != nil {
+			return
+		}
+		enc := pub.EncodeClientSubmission(sub)
+		if _, err := pub.DecodeClientSubmission(enc); err != nil {
+			t.Fatalf("re-encoding of accepted submission fails to decode: %v", err)
+		}
+	})
+}
+
 func FuzzDecodeProverOutput(f *testing.F) {
 	pub := fuzzPublic(f)
 	fld := pub.Field()

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"repro/internal/store"
 )
 
 // SessionOptions configures a streaming aggregation session.
@@ -33,6 +35,14 @@ type SessionOptions struct {
 	// The default (eager) mode verifies each submission as it arrives and
 	// returns its accept/reject verdict from Submit directly.
 	DeferVerification bool
+	// Store, when non-nil, makes the bulletin board durable: every admitted
+	// submission and verdict is appended to the log before Submit returns,
+	// Finalize seals the epoch's full transcript, and Reset marks the epoch
+	// boundary. After a crash, ResumeSession replays the log to continue the
+	// same epoch without data loss. NewSession requires an empty log; a log
+	// with history must go through ResumeSession. Nil (the default) keeps
+	// the board in memory only — the pre-durability behavior.
+	Store store.BoardLog
 }
 
 // sessionState is the Submit/Finalize/Reset lifecycle position.
@@ -89,6 +99,7 @@ type Session struct {
 	mu       sync.Mutex
 	state    sessionState
 	epoch    int
+	resumed  bool        // reconstructed from a board log by ResumeSession
 	rs       *randSource // current epoch's substream source
 	order    []*sessionClient
 	byID     map[int]*sessionClient
@@ -97,7 +108,19 @@ type Session struct {
 
 // NewSession opens a streaming session over pub. The options' Rand is read
 // once, immediately, to fix the session's root seed (see SessionOptions).
+// When opts.Store is set it must be empty: a log with history belongs to an
+// earlier session incarnation and must be recovered with ResumeSession, not
+// silently appended to.
 func NewSession(pub *Public, opts SessionOptions) (*Session, error) {
+	if opts.Store != nil {
+		err := opts.Store.Replay(func(*store.Record) error { return errLogNotEmpty })
+		if errors.Is(err, errLogNotEmpty) {
+			return nil, fmt.Errorf("%w: board log already holds records; use ResumeSession to recover it", ErrBadConfig)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 	return newSessionWithEngine(NewEngine(pub, opts.Parallelism), opts)
 }
 
@@ -127,12 +150,40 @@ func (s *Session) Epoch() int {
 	return s.epoch
 }
 
+// Resumed reports whether the session was reconstructed from a board log by
+// ResumeSession rather than opened fresh.
+func (s *Session) Resumed() bool { return s.resumed }
+
+// Finalized reports whether the current epoch has been sealed by Finalize
+// (and not yet reopened by Reset). A resumed session whose log ended in a
+// sealed epoch starts out finalized.
+func (s *Session) Finalized() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == sessionFinalized
+}
+
 // Submitted returns how many clients the current epoch has admitted
 // (accepted and rejected alike) so far.
 func (s *Session) Submitted() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.order)
+}
+
+// Accepted returns how many of the current epoch's submissions hold a clean
+// (accepting) verdict so far. Deferred-verification sessions report 0 until
+// Finalize decides the board.
+func (s *Session) Accepted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, cl := range s.order {
+		if cl.decided && cl.reject == nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Rejected returns a snapshot of the current epoch's rejection reasons by
@@ -185,6 +236,14 @@ func (s *Session) Submit(ctx context.Context, sub *ClientSubmission) error {
 	s.flight.RLock()
 	defer s.flight.RUnlock()
 
+	// Encode the durable submission record outside the roster lock; it is
+	// appended *inside* the lock so log order always equals board order —
+	// the property that makes a recovered transcript byte-identical.
+	var subRec []byte
+	if s.opts.Store != nil {
+		subRec = s.pub.EncodeClientSubmission(sub)
+	}
+
 	cl := &sessionClient{public: sub.Public, payloads: sub.Payloads}
 	s.mu.Lock()
 	if s.state != sessionOpen {
@@ -195,9 +254,33 @@ func (s *Session) Submit(ctx context.Context, sub *ClientSubmission) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: duplicate submission from client %d", ErrClientReject, sub.Public.ID)
 	}
+	if subRec != nil {
+		// Ordered write inside the lock; the fsync is deferred to the
+		// group-commit below so concurrent Submits don't serialize on disk.
+		if err := s.appendRecordOrdered(RecordSubmission, s.epoch, subRec); err != nil {
+			// Not durable, not admitted: the reservation was never made.
+			s.mu.Unlock()
+			return err
+		}
+	}
 	s.byID[sub.Public.ID] = cl
 	s.order = append(s.order, cl)
+	epoch := s.epoch
 	s.mu.Unlock()
+
+	if subRec != nil {
+		// Group commit: one fsync covers this submission record and any
+		// neighbours that were written since the last flush. It must land
+		// before the client hears anything — verdict or deferred ack.
+		if err := s.syncStore(); err != nil {
+			s.mu.Lock()
+			delete(s.byID, sub.Public.ID)
+			s.removeFromOrderLocked(cl)
+			_ = s.appendRecord(RecordWithdraw, epoch, encodeWithdraw(sub.Public.ID))
+			s.mu.Unlock()
+			return err
+		}
+	}
 
 	if s.opts.DeferVerification {
 		return nil
@@ -226,6 +309,27 @@ func (s *Session) Submit(ctx context.Context, sub *ClientSubmission) error {
 		}
 	}
 	s.mu.Unlock()
+
+	// The verdict append (an fsync on a durable store) runs outside the
+	// roster lock: only submission records need log order to equal board
+	// order, and the flight read-lock held for the whole Submit keeps
+	// Finalize/Reset from sealing the epoch under us.
+	if err := s.appendRecord(RecordVerdict, epoch, encodeVerdict(sub.Public.ID, verdict, onBoard)); err != nil {
+		// The verdict cannot be made durable; rather than let log and
+		// session diverge, withdraw the submission entirely (best-effort
+		// withdrawal record — the store is already failing) and report the
+		// storage error instead of a verdict. The withdraw append stays
+		// inside the roster lock so a concurrent retry of the same ID
+		// cannot slot its submission record between the removal and the
+		// withdrawal, which would make the log unreplayable.
+		s.mu.Lock()
+		delete(s.byID, sub.Public.ID)
+		delete(s.rejected, sub.Public.ID)
+		s.removeFromOrderLocked(cl)
+		_ = s.appendRecord(RecordWithdraw, epoch, encodeWithdraw(sub.Public.ID))
+		s.mu.Unlock()
+		return err
+	}
 	return verdict
 }
 
@@ -280,12 +384,16 @@ func (s *Session) removeFromOrderLocked(cl *sessionClient) {
 }
 
 // withdraw removes a reserved client whose verification never completed,
-// releasing its ID for a retry.
+// releasing its ID for a retry. The withdrawal is recorded in the board log
+// (best effort — the submission's own record is already durable, and a
+// replay treats an unwithdrawn, verdict-less submission as "re-verify") so
+// a resumed session agrees with this one about the client's absence.
 func (s *Session) withdraw(cl *sessionClient) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.byID, cl.public.ID)
 	s.removeFromOrderLocked(cl)
+	_ = s.appendRecord(RecordWithdraw, s.epoch, encodeWithdraw(cl.public.ID))
 }
 
 // Finalize closes the current epoch and runs the remaining protocol stages —
@@ -313,6 +421,7 @@ func (s *Session) Finalize(ctx context.Context) (*RunResult, error) {
 		rejected[id] = rerr
 	}
 	rs := s.rs
+	epoch := s.epoch
 	s.mu.Unlock()
 	s.flight.Unlock()
 
@@ -347,6 +456,19 @@ func (s *Session) Finalize(ctx context.Context) (*RunResult, error) {
 
 	res, err := s.eng.run(ctx, publics, payloads, &RunOptions{Malice: s.opts.Malice}, rs, pre)
 
+	if err == nil {
+		// Seal the epoch: the full public transcript becomes one durable
+		// record, sufficient for ResumeSession (skip the epoch) and for
+		// AuditLog (re-verify it offline). An unsealable epoch stays open so
+		// the deterministic Finalize can be retried once the store recovers.
+		if serr := s.appendSeal(epoch, s.pub.EncodeTranscript(res.Transcript)); serr != nil {
+			s.mu.Lock()
+			s.state = sessionOpen
+			s.mu.Unlock()
+			return nil, serr
+		}
+	}
+
 	s.mu.Lock()
 	if err != nil && ctxErr(ctx) != nil && errors.Is(err, ctxErr(ctx)) {
 		s.state = sessionOpen // cancelled, not consumed: allow retry
@@ -369,6 +491,9 @@ func (s *Session) Reset() error {
 	defer s.mu.Unlock()
 	if s.state == sessionFinalizing {
 		return fmt.Errorf("%w: session is finalizing", ErrBadConfig)
+	}
+	if err := s.appendRecord(RecordReset, s.epoch, nil); err != nil {
+		return err
 	}
 	s.epoch++
 	s.rs = s.root.fork(s.epoch)

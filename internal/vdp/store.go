@@ -1,0 +1,647 @@
+package vdp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// Durable bulletin board: the session's integration with internal/store.
+//
+// A Session given SessionOptions.Store appends every admitted submission and
+// every per-client verdict to the board log at Submit time, seals the full
+// transcript at Finalize, and marks epoch boundaries at Reset. ResumeSession
+// replays that log to reconstruct the session after a crash, so a restarted
+// server continues the same epoch — with the same roster, in the same board
+// order — and finalizes to a byte-identical TranscriptDigest (given the same
+// seed). AuditLog lets a third party audit a sealed epoch offline from the
+// log alone.
+//
+// Record layout (store.Record.Kind):
+//
+//	RecordSubmission  payload = EncodeClientSubmission (public + K payloads)
+//	RecordVerdict     payload = client ID, accepted, on-board, reason
+//	RecordWithdraw    payload = client ID (cancelled mid-verification)
+//	RecordSeal        payload = EncodeTranscript (the epoch's full board)
+//	RecordSealChunk   payload = index, total, piece (oversized seal split)
+//	RecordReset       payload = empty (epoch closed by Reset)
+//
+// Submission records are appended while the session's reservation lock is
+// held, so log order always equals board order — that is what makes the
+// recovered transcript byte-identical rather than merely equivalent.
+const (
+	RecordSubmission uint8 = 1
+	RecordVerdict    uint8 = 2
+	RecordSeal       uint8 = 3
+	RecordReset      uint8 = 4
+	RecordWithdraw   uint8 = 5
+	// RecordSealChunk carries one piece of a sealed transcript too large
+	// for a single store record (an epoch with very many clients or coins).
+	// Chunks are appended in order; the epoch counts as sealed only when
+	// the final chunk lands, and a chunk with index 0 restarts assembly (a
+	// crash mid-seal leaves a partial sequence that the Finalize retry
+	// supersedes).
+	RecordSealChunk uint8 = 6
+)
+
+// sealChunkSize caps one seal record's payload. It sits well under the
+// store's per-record decode limit; a var so tests can shrink it to exercise
+// chunked assembly without gigabyte transcripts.
+var sealChunkSize = 16 << 20
+
+// encodeSealChunk serializes one piece of an oversized seal.
+func encodeSealChunk(index, total int, piece []byte) []byte {
+	var w wireWriter
+	w.version()
+	w.u32(uint32(index))
+	w.u32(uint32(total))
+	w.bytes(piece)
+	return w.b
+}
+
+// decodeSealChunk parses a seal-chunk record body.
+func decodeSealChunk(b []byte) (index, total int, piece []byte, err error) {
+	r := wireReader{b: b}
+	r.version()
+	index = int(r.u32())
+	total = int(r.u32())
+	piece = r.b
+	if r.err != nil {
+		return 0, 0, nil, r.err
+	}
+	if total < 1 || index < 0 || index >= total {
+		return 0, 0, nil, fmt.Errorf("vdp: seal chunk %d of %d out of range", index, total)
+	}
+	return index, total, piece, nil
+}
+
+// sealAssembly accumulates seal chunks during replay.
+type sealAssembly struct {
+	total  int
+	next   int
+	pieces [][]byte
+}
+
+// inProgress reports whether a chunk sequence has started but not finished.
+func (a *sealAssembly) inProgress() bool { return a.total > 0 && a.next < a.total }
+
+// add folds one chunk in, returning the completed seal payload once the
+// final chunk lands (nil otherwise). A chunk with index 0 restarts the
+// assembly; an out-of-sequence chunk is a grammar violation.
+func (a *sealAssembly) add(body []byte) ([]byte, error) {
+	index, total, piece, err := decodeSealChunk(body)
+	if err != nil {
+		return nil, err
+	}
+	if index == 0 {
+		a.total, a.next, a.pieces = total, 0, nil
+	}
+	if total != a.total || index != a.next {
+		return nil, fmt.Errorf("vdp: seal chunk %d of %d arrived out of sequence (expected %d of %d)",
+			index, total, a.next, a.total)
+	}
+	a.pieces = append(a.pieces, piece)
+	a.next++
+	if a.next < a.total {
+		return nil, nil
+	}
+	var out []byte
+	for _, p := range a.pieces {
+		out = append(out, p...)
+	}
+	a.total, a.next, a.pieces = 0, 0, nil
+	return out, nil
+}
+
+// track advances the assembly without retaining chunk bytes, for callers
+// that only need to know when a chunked seal completes (SealedEpochs).
+func (a *sealAssembly) track(body []byte) (complete bool, err error) {
+	index, total, _, err := decodeSealChunk(body)
+	if err != nil {
+		return false, err
+	}
+	if index == 0 {
+		a.total, a.next, a.pieces = total, 0, nil
+	}
+	if total != a.total || index != a.next {
+		return false, fmt.Errorf("vdp: seal chunk %d of %d arrived out of sequence (expected %d of %d)",
+			index, total, a.next, a.total)
+	}
+	a.next++
+	if a.next < a.total {
+		return false, nil
+	}
+	a.total, a.next = 0, 0
+	return true, nil
+}
+
+// appendSeal persists a sealed transcript, splitting it across chunk
+// records when it exceeds one store record's capacity.
+func (s *Session) appendSeal(epoch int, payload []byte) error {
+	if len(payload) <= sealChunkSize {
+		return s.appendRecord(RecordSeal, epoch, payload)
+	}
+	total := (len(payload) + sealChunkSize - 1) / sealChunkSize
+	for i := 0; i < total; i++ {
+		lo := i * sealChunkSize
+		hi := lo + sealChunkSize
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		if err := s.appendRecord(RecordSealChunk, epoch, encodeSealChunk(i, total, payload[lo:hi])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeVerdict serializes a per-client verdict record body.
+func encodeVerdict(id int, reject error, onBoard bool) []byte {
+	var w wireWriter
+	w.version()
+	w.u32(uint32(id))
+	accepted := byte(1)
+	reason := ""
+	if reject != nil {
+		accepted = 0
+		reason = reject.Error()
+	}
+	board := byte(0)
+	if onBoard {
+		board = 1
+	}
+	w.bytes([]byte{accepted, board})
+	w.lpBytes([]byte(reason))
+	return w.b
+}
+
+// decodeVerdict parses a verdict record body. A recorded rejection is
+// rehydrated as an ErrClientReject-wrapped error with the original reason,
+// so errors.Is checks behave identically before and after a restart.
+func decodeVerdict(b []byte) (id int, reject error, onBoard bool, err error) {
+	r := wireReader{b: b}
+	r.version()
+	id = int(r.u32())
+	flags := r.take(2)
+	reason := r.lpBytes()
+	if ferr := r.finish(); ferr != nil {
+		return 0, nil, false, ferr
+	}
+	onBoard = flags[1] == 1
+	if flags[0] == 0 {
+		s := strings.TrimPrefix(string(reason), ErrClientReject.Error()+": ")
+		reject = fmt.Errorf("%w: %s", ErrClientReject, s)
+	}
+	return id, reject, onBoard, nil
+}
+
+// encodeWithdraw serializes a withdraw record body.
+func encodeWithdraw(id int) []byte {
+	var w wireWriter
+	w.version()
+	w.u32(uint32(id))
+	return w.b
+}
+
+// decodeWithdraw parses a withdraw record body.
+func decodeWithdraw(b []byte) (int, error) {
+	r := wireReader{b: b}
+	r.version()
+	id := int(r.u32())
+	if err := r.finish(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// appendRecord persists one record for the session's current epoch. A nil
+// store is a no-op (the in-memory default).
+func (s *Session) appendRecord(kind uint8, epoch int, payload []byte) error {
+	if s.opts.Store == nil {
+		return nil
+	}
+	if err := s.opts.Store.Append(&store.Record{Kind: kind, Epoch: uint32(epoch), Payload: payload}); err != nil {
+		return fmt.Errorf("vdp: board log append: %w", err)
+	}
+	return nil
+}
+
+// groupCommitLog is the optional store fast path for records appended under
+// the roster lock: the ordered write happens inside the lock (log order
+// must equal board order), while the expensive durability flush is deferred
+// to a Sync outside it, so concurrent Submits share one group-commit fsync
+// instead of serializing a flush each. FileLog implements it.
+type groupCommitLog interface {
+	AppendNoSync(*store.Record) error
+	Sync() error
+}
+
+// appendRecordOrdered writes one record in log order without forcing it to
+// stable storage when the store supports deferred syncing; the caller must
+// follow up with syncStore before acknowledging the record. Stores without
+// the fast path get a plain (synchronous) Append.
+func (s *Session) appendRecordOrdered(kind uint8, epoch int, payload []byte) error {
+	if s.opts.Store == nil {
+		return nil
+	}
+	gc, ok := s.opts.Store.(groupCommitLog)
+	if !ok {
+		return s.appendRecord(kind, epoch, payload)
+	}
+	if err := gc.AppendNoSync(&store.Record{Kind: kind, Epoch: uint32(epoch), Payload: payload}); err != nil {
+		return fmt.Errorf("vdp: board log append: %w", err)
+	}
+	return nil
+}
+
+// syncStore makes every record appended so far durable. A no-op for stores
+// without deferred syncing (their Appends were already synchronous).
+func (s *Session) syncStore() error {
+	gc, ok := s.opts.Store.(groupCommitLog)
+	if !ok {
+		return nil
+	}
+	if err := gc.Sync(); err != nil {
+		return fmt.Errorf("vdp: board log sync: %w", err)
+	}
+	return nil
+}
+
+// replayedClient is one submission reconstructed from the board log.
+type replayedClient struct {
+	sub     *ClientSubmission
+	decided bool
+	reject  error
+	onBoard bool
+}
+
+// replayState folds a board log into the roster of its last open epoch.
+type replayState struct {
+	epoch  int
+	sealed bool
+	seal   sealAssembly
+	order  []*replayedClient
+	byID   map[int]*replayedClient
+}
+
+// removeFromOrder splices one replayed client out of the submission order,
+// mirroring Session.removeFromOrderLocked.
+func (st *replayState) removeFromOrder(rc *replayedClient) {
+	for j, c := range st.order {
+		if c == rc {
+			st.order = append(st.order[:j], st.order[j+1:]...)
+			return
+		}
+	}
+}
+
+// replayLog reconstructs the per-epoch state machine from a board log. It
+// validates that every record belongs to the epoch that was current when it
+// was appended and that the submission/verdict/seal/reset grammar holds —
+// a log that violates it was not written by a Session and is rejected.
+func replayLog(pub *Public, log store.BoardLog) (*replayState, error) {
+	st := &replayState{byID: make(map[int]*replayedClient)}
+	i := -1
+	err := log.Replay(func(rec *store.Record) error {
+		i++
+		if int(rec.Epoch) != st.epoch {
+			return fmt.Errorf("vdp: board log record %d belongs to epoch %d, current epoch is %d",
+				i, rec.Epoch, st.epoch)
+		}
+		switch rec.Kind {
+		case RecordSubmission:
+			if st.sealed {
+				return fmt.Errorf("vdp: board log record %d: submission after epoch %d was sealed", i, st.epoch)
+			}
+			sub, err := pub.DecodeClientSubmission(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("vdp: board log record %d: %w", i, err)
+			}
+			if prev, dup := st.byID[sub.Public.ID]; dup {
+				if prev.decided {
+					return fmt.Errorf("vdp: board log record %d: duplicate submission from client %d", i, sub.Public.ID)
+				}
+				// An undecided earlier submission followed by a retry means
+				// the earlier one was withdrawn live but its withdrawal
+				// record was lost (withdrawals are best-effort by design:
+				// they compensate for a store that is already failing). The
+				// live session could only have admitted the retry if the
+				// original was gone, so the retry supersedes it.
+				st.removeFromOrder(prev)
+			}
+			rc := &replayedClient{sub: sub}
+			st.byID[sub.Public.ID] = rc
+			st.order = append(st.order, rc)
+		case RecordVerdict:
+			if st.sealed {
+				return fmt.Errorf("vdp: board log record %d: verdict after epoch %d was sealed", i, st.epoch)
+			}
+			id, reject, onBoard, err := decodeVerdict(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("vdp: board log record %d: %w", i, err)
+			}
+			rc, ok := st.byID[id]
+			if !ok {
+				return fmt.Errorf("vdp: board log record %d: verdict for unknown client %d", i, id)
+			}
+			rc.decided = true
+			rc.reject = reject
+			rc.onBoard = onBoard
+		case RecordWithdraw:
+			if st.sealed {
+				return fmt.Errorf("vdp: board log record %d: withdrawal after epoch %d was sealed", i, st.epoch)
+			}
+			id, err := decodeWithdraw(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("vdp: board log record %d: %w", i, err)
+			}
+			rc, ok := st.byID[id]
+			if !ok {
+				return fmt.Errorf("vdp: board log record %d: withdrawal of unknown client %d", i, id)
+			}
+			if rc.decided {
+				// A live session only withdraws clients whose verification
+				// never completed; withdrawing a decided client is not a
+				// state a Session can produce.
+				return fmt.Errorf("vdp: board log record %d: withdrawal of decided client %d", i, id)
+			}
+			delete(st.byID, id)
+			st.removeFromOrder(rc)
+		case RecordSeal:
+			if st.sealed {
+				return fmt.Errorf("vdp: board log record %d: epoch %d sealed twice", i, st.epoch)
+			}
+			st.sealed = true
+		case RecordSealChunk:
+			if st.sealed {
+				return fmt.Errorf("vdp: board log record %d: epoch %d sealed twice", i, st.epoch)
+			}
+			done, err := st.seal.add(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("vdp: board log record %d: %w", i, err)
+			}
+			if done != nil {
+				st.sealed = true
+			}
+		case RecordReset:
+			st.epoch++
+			st.sealed = false
+			st.seal = sealAssembly{}
+			st.order = nil
+			st.byID = make(map[int]*replayedClient)
+		default:
+			return fmt.Errorf("vdp: board log record %d: unknown kind %d", i, rec.Kind)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ResumeSession reconstructs a session from its board log after a restart.
+// The log is replayed to the last epoch boundary: sealed and reset epochs
+// are skipped over, and the final epoch's submissions are re-admitted in
+// their original board order. Submissions whose verdicts were persisted are
+// installed verbatim; submissions that never got one (the process died
+// between the submission append and the verdict append, or the session ran
+// with DeferVerification) are re-verified now — on the engine pool, with the
+// same checks Submit would have run — and their recovered verdicts are
+// appended to the log. The resumed session therefore finalizes to the exact
+// TranscriptDigest an uninterrupted run would have produced (byte-identical
+// when opts.Rand carries the original seed).
+//
+// If the last epoch in the log is already sealed, the session resumes in the
+// finalized state: call Reset to open the next epoch. opts.Store must be the
+// replayed log; it receives all further records.
+func ResumeSession(ctx context.Context, pub *Public, opts SessionOptions) (*Session, error) {
+	if opts.Store == nil {
+		return nil, fmt.Errorf("%w: ResumeSession needs SessionOptions.Store", ErrBadConfig)
+	}
+	st, err := replayLog(pub, opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSessionWithEngine(NewEngine(pub, opts.Parallelism), opts)
+	if err != nil {
+		return nil, err
+	}
+	s.resumed = true
+	s.epoch = st.epoch
+	s.rs = s.root.fork(st.epoch)
+	if st.sealed {
+		s.state = sessionFinalized
+	}
+
+	for _, rc := range st.order {
+		cl := &sessionClient{public: rc.sub.Public, payloads: rc.sub.Payloads}
+		if !rc.decided && !opts.DeferVerification && !st.sealed {
+			// The crash hit between the submission and verdict appends (or
+			// the original session deferred). Re-verify with Submit's exact
+			// checks and persist the recovered verdict so the log converges.
+			verdict, onBoard, err := s.verify(ctx, rc.sub)
+			if err != nil {
+				return nil, fmt.Errorf("vdp: re-verifying client %d during resume: %w", rc.sub.Public.ID, err)
+			}
+			rc.decided, rc.reject, rc.onBoard = true, verdict, onBoard
+			if err := s.appendRecord(RecordVerdict, st.epoch, encodeVerdict(rc.sub.Public.ID, verdict, onBoard)); err != nil {
+				return nil, err
+			}
+		}
+		cl.decided = rc.decided
+		cl.reject = rc.reject
+		s.byID[cl.public.ID] = cl
+		if rc.reject != nil {
+			s.rejected[cl.public.ID] = rc.reject
+		}
+		if rc.decided && rc.reject != nil && !rc.onBoard {
+			// Payload-refused: ID stays reserved, public part never reaches
+			// the board — same as the live Submit path.
+			continue
+		}
+		s.order = append(s.order, cl)
+	}
+	return s, nil
+}
+
+// AuditLog audits a sealed epoch offline, from the board log alone: the
+// epoch's sealed transcript is decoded and fully re-verified (every client
+// proof, coin proof, Morra record, Line-13 product and the aggregation —
+// exactly Audit), and the seal is cross-checked against the log's own
+// submission records, so a log whose per-arrival records disagree with the
+// transcript it sealed is rejected even if the transcript verifies in
+// isolation. epoch < 0 selects the latest sealed epoch. workers follows the
+// AuditParallel convention (0 = all cores).
+func AuditLog(ctx context.Context, pub *Public, log store.BoardLog, epoch, workers int) error {
+	er := struct {
+		seal    []byte
+		pubs    map[int][]byte // client ID -> encoded ClientPublic from submissions
+		onBoard map[int]bool   // verdict-recorded board membership
+	}{pubs: make(map[int][]byte), onBoard: make(map[int]bool)}
+	if epoch < 0 {
+		// Resolve "latest sealed" with a cheap seal-only scan before the
+		// decoding pass, so auditing never decodes epochs it will not check.
+		sealed, err := SealedEpochs(log)
+		if err != nil {
+			return err
+		}
+		if len(sealed) == 0 {
+			return fmt.Errorf("%w: board log holds no sealed epoch", ErrAuditFail)
+		}
+		epoch = sealed[len(sealed)-1]
+	}
+	var chunks sealAssembly
+	err := log.Replay(func(rec *store.Record) error {
+		if int(rec.Epoch) != epoch {
+			return nil
+		}
+		// The live session appends nothing to an epoch after sealing it
+		// except the Reset that closes it (Finalize drains in-flight Submits
+		// first), and nothing interleaves with a chunked seal's append loop.
+		// Any other record following (or splicing into) the seal is log
+		// tampering — typically an attempt to erase or rewrite the evidence
+		// the cross-check below relies on.
+		if er.seal != nil && rec.Kind != RecordReset {
+			return fmt.Errorf("%w: epoch %d has records after its seal", ErrAuditFail, epoch)
+		}
+		if chunks.inProgress() && rec.Kind != RecordSealChunk {
+			return fmt.Errorf("%w: epoch %d has records interleaved with its seal chunks", ErrAuditFail, epoch)
+		}
+		// Per-record grammar identical to replayLog's: the auditor must
+		// never certify a log the server's own recovery would refuse.
+		switch rec.Kind {
+		case RecordSubmission:
+			sub, err := pub.DecodeClientSubmission(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("%w: board log submission: %v", ErrAuditFail, err)
+			}
+			id := sub.Public.ID
+			if _, has := er.pubs[id]; has {
+				if _, decided := er.onBoard[id]; decided {
+					return fmt.Errorf("%w: epoch %d holds a duplicate submission from decided client %d",
+						ErrAuditFail, epoch, id)
+				}
+				// Undecided earlier submission + retry = lost withdrawal;
+				// the retry supersedes it, as in replayLog.
+			}
+			er.pubs[id] = pub.EncodeClientPublic(sub.Public)
+		case RecordVerdict:
+			id, _, onBoard, err := decodeVerdict(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("%w: board log verdict: %v", ErrAuditFail, err)
+			}
+			if _, has := er.pubs[id]; !has {
+				return fmt.Errorf("%w: epoch %d holds a verdict for unknown client %d", ErrAuditFail, epoch, id)
+			}
+			er.onBoard[id] = onBoard
+		case RecordWithdraw:
+			id, err := decodeWithdraw(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("%w: board log withdrawal: %v", ErrAuditFail, err)
+			}
+			if _, has := er.pubs[id]; !has {
+				return fmt.Errorf("%w: epoch %d withdraws unknown client %d", ErrAuditFail, epoch, id)
+			}
+			if _, decided := er.onBoard[id]; decided {
+				// A session only withdraws clients whose verification never
+				// completed; a withdrawal of a verdict-decided client is a
+				// forgery trying to erase that client from the cross-check.
+				return fmt.Errorf("%w: epoch %d withdraws client %d after its verdict was recorded",
+					ErrAuditFail, epoch, id)
+			}
+			delete(er.pubs, id)
+			delete(er.onBoard, id)
+		case RecordSeal:
+			er.seal = rec.Payload
+		case RecordSealChunk:
+			done, err := chunks.add(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrAuditFail, err)
+			}
+			if done != nil {
+				er.seal = done
+			}
+		case RecordReset:
+			// The epoch-closing marker carries no evidence.
+		default:
+			// Reject what a Session cannot have written, mirroring
+			// replayLog: the auditor must never certify a log the server's
+			// own recovery would refuse.
+			return fmt.Errorf("%w: epoch %d holds a record of unknown kind %d", ErrAuditFail, epoch, rec.Kind)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if er.seal == nil {
+		return fmt.Errorf("%w: epoch %d is not sealed in the board log", ErrAuditFail, epoch)
+	}
+	t, err := pub.DecodeTranscript(er.seal)
+	if err != nil {
+		return fmt.Errorf("%w: sealed transcript for epoch %d: %v", ErrAuditFail, epoch, err)
+	}
+
+	// The seal must agree with the log's own arrival records: every client
+	// on the sealed board was logged at Submit time with identical bytes,
+	// and every client the log marked board-worthy made it onto the seal.
+	onSeal := make(map[int]bool, len(t.Clients))
+	for _, cp := range t.Clients {
+		onSeal[cp.ID] = true
+		logged, ok := er.pubs[cp.ID]
+		if !ok {
+			return fmt.Errorf("%w: epoch %d seal lists client %d, but the log holds no submission for it",
+				ErrAuditFail, epoch, cp.ID)
+		}
+		if sealed := pub.EncodeClientPublic(cp); string(sealed) != string(logged) {
+			return fmt.Errorf("%w: epoch %d seal disagrees with the logged submission of client %d",
+				ErrAuditFail, epoch, cp.ID)
+		}
+	}
+	for id, board := range er.onBoard {
+		if board && !onSeal[id] {
+			return fmt.Errorf("%w: epoch %d: client %d was admitted to the board but is missing from the seal",
+				ErrAuditFail, epoch, id)
+		}
+	}
+	return auditParallel(ctx, pub, t, workers)
+}
+
+// SealedEpochs returns the epochs a board log has sealed, in order. A
+// chunk-split seal counts once its final chunk lands.
+func SealedEpochs(log store.BoardLog) ([]int, error) {
+	var out []int
+	assemblies := make(map[int]*sealAssembly)
+	err := log.Replay(func(rec *store.Record) error {
+		switch rec.Kind {
+		case RecordSeal:
+			out = append(out, int(rec.Epoch))
+		case RecordSealChunk:
+			a := assemblies[int(rec.Epoch)]
+			if a == nil {
+				a = &sealAssembly{}
+				assemblies[int(rec.Epoch)] = a
+			}
+			done, err := a.track(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if done {
+				out = append(out, int(rec.Epoch))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// errLogNotEmpty distinguishes "the store already holds records" inside
+// NewSession's emptiness probe.
+var errLogNotEmpty = errors.New("vdp: board log is not empty")

@@ -1,37 +1,3 @@
-// Package vdp implements ΠBin, the verifiable differential privacy protocol
-// for counting queries and M-bin histograms from Section 4 of the paper
-// (Figure 2), in both the trusted-curator (K = 1) and client-server MPC
-// (K ≥ 2) settings.
-//
-// Roles:
-//
-//   - Clients hold inputs in the language L: a bit for the single counting
-//     query (M = 1) or a one-hot vector for an M-bin histogram. Each client
-//     additively secret-shares its input across the K provers, broadcasts
-//     Pedersen commitments to every share on the public bulletin board, and
-//     attaches a zero-knowledge proof that the (derived) committed input is
-//     legal (Lines 2-3 of Figure 2).
-//
-//   - Provers (the curator when K = 1) aggregate the shares they received,
-//     generate nb private noise bits each, commit to them, prove in zero
-//     knowledge that each commitment opens to a bit (Σ-OR proofs, Lines
-//     4-6), XOR them against public Morra coins (Lines 7-9), and publish
-//     their noisy share total together with the aggregate commitment
-//     randomness (Lines 10-11).
-//
-//   - The public Verifier validates every proof, homomorphically flips the
-//     noise-bit commitments using the public coins (Line 12), and checks
-//     that the product of all client-share and adjusted noise commitments
-//     equals a commitment to the claimed output (Line 13). Anyone can
-//     re-run the verifier from the public transcript (package-level Audit),
-//     which is what makes the release *publicly* auditable.
-//
-// The output of an honest run is y = Σ_k y_k = Q(X) + Σ_k Binomial(nb, ½):
-// the counting query plus K independent copies of Binomial noise, exactly
-// the ideal functionality M_Bin (equation (7)). Every deviation a
-// computationally bounded prover can attempt — non-bit noise commitments,
-// biased public coins, tampered aggregates, dropped or injected client
-// inputs — is either prevented or detected and attributed (Theorem 4.1).
 package vdp
 
 import (

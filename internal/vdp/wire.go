@@ -76,7 +76,9 @@ func (r *wireReader) take(n int) []byte {
 	if r.err != nil {
 		return nil
 	}
-	if len(r.b) < n {
+	// n < 0 guards 32-bit builds, where a hostile uint32 length prefix
+	// converted to int can go negative and would otherwise panic the slice.
+	if n < 0 || len(r.b) < n {
 		r.err = errors.New("vdp: truncated encoding")
 		return nil
 	}

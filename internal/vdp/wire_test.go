@@ -178,3 +178,30 @@ func TestProverOutputWireRoundTrip(t *testing.T) {
 		t.Error("truncated output accepted")
 	}
 }
+
+// TestLpBytesLargeAndHostile: a length-prefixed segment bigger than the old
+// 8 MiB heuristic cap (a seal for a high-nb deployment produces these
+// legitimately) must round-trip, while a hostile length prefix with no
+// bytes behind it must fail as truncation without allocating.
+func TestLpBytesLargeAndHostile(t *testing.T) {
+	big := make([]byte, 9<<20)
+	big[0], big[len(big)-1] = 1, 2
+	var w wireWriter
+	w.lpBytes(big)
+	r := wireReader{b: w.b}
+	got := r.lpBytes()
+	if err := r.finish(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(big) || got[0] != 1 || got[len(got)-1] != 2 {
+		t.Fatal("large length-prefixed segment did not round-trip")
+	}
+
+	hostile := wireReader{b: []byte{0xff, 0xff, 0xff, 0xff}}
+	if out := hostile.lpBytes(); out != nil {
+		t.Fatal("hostile length prefix returned data")
+	}
+	if hostile.finish() == nil {
+		t.Fatal("hostile length prefix accepted")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"io"
 
 	"repro/internal/group"
+	"repro/internal/store"
 	"repro/internal/vdp"
 )
 
@@ -75,10 +76,21 @@ type (
 	// release, Reset for the next epoch.
 	Session = vdp.Session
 	// SessionOptions configures a Session (parallelism, determinism seed,
-	// verification timing).
+	// verification timing, durable store).
 	SessionOptions = vdp.SessionOptions
 	// Group is a commitment group (see GroupP256, GroupSchnorr2048).
 	Group = group.Group
+	// BoardLog is the append-only, replayable bulletin-board store a
+	// durable Session writes to (see SessionOptions.Store, OpenFileLog,
+	// NewMemLog).
+	BoardLog = store.BoardLog
+	// FileLog is the durable file-backed BoardLog: length-framed,
+	// CRC-checksummed records, fsync'd on append, torn-tail recovery on
+	// open.
+	FileLog = store.FileLog
+	// MemLog is the in-memory BoardLog (the implicit default: the board
+	// dies with the process).
+	MemLog = store.MemLog
 )
 
 // Sentinel errors re-exported for errors.Is checks.
@@ -109,6 +121,46 @@ func Setup(cfg Config) (*Public, error) { return vdp.Setup(cfg) }
 func NewSession(pub *Public, opts SessionOptions) (*Session, error) {
 	return vdp.NewSession(pub, opts)
 }
+
+// OpenFileLog opens (or creates) a durable board log at path, recovering a
+// torn tail left by a crash mid-append. Hand it to SessionOptions.Store to
+// make the session's bulletin board survive restarts, and to ResumeSession
+// to pick an interrupted epoch back up.
+func OpenFileLog(path string, opts ...store.Option) (*FileLog, error) {
+	return store.OpenFileLog(path, opts...)
+}
+
+// OpenFileLogReadOnly opens an existing board log for offline auditing:
+// the file is never created, written, or truncated, so a write-protected
+// published copy is valid input. Appending to it fails.
+func OpenFileLogReadOnly(path string) (*FileLog, error) {
+	return store.OpenFileLogReadOnly(path)
+}
+
+// NewMemLog creates an in-memory board log, useful in tests and as an
+// explicit stand-in for the durable store.
+func NewMemLog() *MemLog { return store.NewMemLog() }
+
+// ResumeSession reconstructs a session from its board log after a crash or
+// restart: the last open epoch's submissions are re-admitted in their
+// original board order (re-verifying any whose verdicts were not yet
+// persisted), so the resumed session finalizes to the same transcript an
+// uninterrupted run would have produced — byte-identical when opts.Rand
+// carries the original seed.
+func ResumeSession(ctx context.Context, pub *Public, opts SessionOptions) (*Session, error) {
+	return vdp.ResumeSession(ctx, pub, opts)
+}
+
+// AuditLog audits a sealed epoch offline from a board log alone: the sealed
+// transcript is fully re-verified (exactly Audit) and cross-checked against
+// the log's own per-arrival submission records. epoch < 0 selects the
+// latest sealed epoch; workers follows the AuditParallel convention.
+func AuditLog(ctx context.Context, pub *Public, log BoardLog, epoch, workers int) error {
+	return vdp.AuditLog(ctx, pub, log, epoch, workers)
+}
+
+// SealedEpochs lists the epochs a board log has sealed, in order.
+func SealedEpochs(log BoardLog) ([]int, error) { return vdp.SealedEpochs(log) }
 
 // Run executes a complete protocol instance locally (clients, K provers,
 // public verifier, Morra coin sampling) and returns the verified release
@@ -185,8 +237,12 @@ func (o Options) config(bins int) Config {
 
 // CountResult is the outcome of a high-level helper run.
 type CountResult struct {
-	Public     *Public
-	Release    *Release
+	// Public holds the deployment's public parameters; an auditor can
+	// reconstruct an equivalent value from the configuration alone.
+	Public *Public
+	// Release is the verified noisy release with debiased estimates.
+	Release *Release
+	// Transcript is the public record behind the release; pass it to Audit.
 	Transcript *Transcript
 	// Rejected maps client index to the (publicly attributable) reason the
 	// input was excluded.
