@@ -3,15 +3,17 @@
 //
 // Usage:
 //
-//	vdpbench [-scale quick|standard|paper] [-parallel 1,2,4,8]
-//	         [-only table1,figure3,figure4,table2,micro,dperror,parallel,durability]
+//	vdpbench [-scale quick|standard|paper] [-parallel 1,2,4,8] [-shards 1,2,4,8]
+//	         [-only table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding]
 //
 // The default runs every experiment at quick scale (seconds). Standard
 // scale takes minutes; paper scale uses the paper's literal workload sizes
 // (n = 10^6 clients, nb = 262144 coins) and can take hours with math/big
 // arithmetic — see EXPERIMENTS.md for recorded results. The parallel
 // experiment sweeps the execution engine's worker-pool widths (-parallel
-// overrides the swept widths).
+// overrides the swept widths); the sharding experiment sweeps the sharded
+// session's shard counts (-shards overrides them), measuring front-door
+// lock contention and the merged finalize/audit path.
 package main
 
 import (
@@ -27,20 +29,20 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick|standard|paper")
-	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror,parallel,durability")
+	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding")
 	parallelFlag := flag.String("parallel", "", "comma-separated worker counts for the engine sweep (default 1,2,4,8)")
+	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the sharding sweep (default 1,2,4,8)")
 	flag.Parse()
 
-	var workers []int
-	if *parallelFlag != "" {
-		for _, s := range strings.Split(*parallelFlag, ",") {
-			w, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || w < 1 {
-				fmt.Fprintf(os.Stderr, "invalid -parallel entry %q\n", s)
-				os.Exit(2)
-			}
-			workers = append(workers, w)
-		}
+	workers, err := parseCounts(*parallelFlag, "-parallel")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	shardCounts, err := parseCounts(*shardsFlag, "-shards")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	scale, err := experiments.ParseScale(*scaleFlag)
@@ -70,6 +72,9 @@ func main() {
 		{"dperror", func() (interface{ Format() string }, error) { return experiments.DPErrorAtScale(scale) }},
 		{"parallel", func() (interface{ Format() string }, error) { return experiments.ParallelSweepAtScale(scale, workers) }},
 		{"durability", func() (interface{ Format() string }, error) { return experiments.DurabilitySweepAtScale(scale) }},
+		{"sharding", func() (interface{ Format() string }, error) {
+			return experiments.ShardingSweepAtScale(scale, shardCounts)
+		}},
 	}
 
 	fmt.Printf("verifiable-dp benchmark suite (scale=%s)\n", scale)
@@ -91,4 +96,20 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// parseCounts parses a comma-separated list of positive counts.
+func parseCounts(arg, flagName string) ([]int, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, s := range strings.Split(arg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid %s entry %q", flagName, s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

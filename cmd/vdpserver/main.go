@@ -7,15 +7,27 @@
 // generation, Σ-OR proving, Morra and the audit transcript all run over the
 // already-verified client set, and the verified release is printed.
 //
+// Sharding: with -shards N the bulletin board is split across N independent
+// sub-sessions, consistent-hashed by client ID (vdp.ShardOf), so concurrent
+// submissions routed to different shards never contend on a shared roster
+// lock or board log. Finalize closes every shard in parallel and merges the
+// per-shard transcripts into one combined release pinned by the merged
+// transcript digest.
+//
 // Durability: with -store-dir set, the bulletin board is an append-only,
-// checksummed log on disk (internal/store). Every accepted submission and
-// verdict is fsync'd before the client hears back, and Finalize seals the
-// epoch's full transcript into the same log. A vdpserver killed mid-epoch
-// and restarted with the same -store-dir recovers the session from the log
-// — same roster, same board order — and finishes the epoch as if it had
-// never died; the sealed transcript can then be audited offline with
-// `vdpclient -audit-store <dir>`. Without -store-dir the board lives in
-// memory and a crash discards the epoch (the pre-durability behavior).
+// checksummed log on disk (internal/store) — one file for an unsharded
+// server, a manifest plus one segment per shard for a sharded one. Every
+// accepted submission and verdict is fsync'd before the client hears back,
+// and Finalize seals the epoch's transcript(s) into the same store. A
+// vdpserver killed mid-epoch and restarted with the same -store-dir
+// recovers the session from the log — same roster, same board order — and
+// finishes the epoch as if it had never died. A segmented layout is
+// detected by its manifest and adopted with its recorded shard count, so
+// -shards need not be repeated on restart (a mismatching explicit count is
+// refused — the shard map is fixed at creation); the sealed transcript can
+// then be audited offline with `vdpclient -audit-store <dir>`, which
+// detects the layout the same way. Without -store-dir the board lives in
+// memory and a crash discards the epoch.
 //
 // Graceful shutdown: on SIGINT/SIGTERM the listener closes, in-flight
 // submissions drain, the session is finalized with whatever clients were
@@ -27,7 +39,7 @@
 //
 // Example (two shells):
 //
-//	vdpserver -addr 127.0.0.1:7001 -clients 3 -bins 2 -coins 32 -store-dir /var/lib/vdp
+//	vdpserver -addr 127.0.0.1:7001 -clients 3 -bins 2 -coins 32 -shards 4 -store-dir /var/lib/vdp
 //	for i in 0 1 2; do vdpclient -addr 127.0.0.1:7001 -id $i -choice 1 -bins 2 -coins 32; done
 //	vdpclient -audit-store /var/lib/vdp -bins 2 -coins 32   # offline audit
 package main
@@ -51,8 +63,18 @@ import (
 	"repro/internal/vdp"
 )
 
-// boardLogName is the log file created under -store-dir.
+// boardLogName is the log file created under -store-dir for an unsharded
+// server; a sharded server lays out a manifest plus per-shard segments in
+// the same directory instead.
 const boardLogName = "board.log"
+
+// aggregator is the part of the session surface the serving loop needs; both
+// vdp.Session and vdp.ShardedSession implement it. Finalization stays
+// type-specific because the sharded result carries per-shard transcripts.
+type aggregator interface {
+	Submit(ctx context.Context, sub *vdp.ClientSubmission) error
+	Accepted() int
+}
 
 func main() {
 	var (
@@ -65,8 +87,12 @@ func main() {
 		grp      = flag.String("group", "p256", "commitment group: p256|schnorr2048")
 		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining and finalizing")
 		storeDir = flag.String("store-dir", "", "directory for the durable board log (empty = in-memory board)")
+		shards   = flag.Int("shards", 1, "independent board shards (client IDs are consistent-hashed across them)")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		log.Fatalf("-shards must be at least 1, got %d", *shards)
+	}
 
 	pub, err := setupFromFlags(*grp, *bins, *coins, *eps, *delta)
 	if err != nil {
@@ -77,16 +103,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	sess, boardLog, err := openSession(ctx, pub, *storeDir)
+	sess, sharded, closeStore, err := openSession(ctx, pub, *storeDir, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if boardLog != nil {
-		defer boardLog.Close()
+	if closeStore != nil {
+		defer closeStore()
+	}
+	var agg aggregator = sess
+	if sharded != nil {
+		agg = sharded
 	}
 
 	var (
-		accepted = sess.Accepted() // non-zero after recovery from a board log
+		accepted = agg.Accepted() // non-zero after recovery from a board log
 		mu       sync.Mutex
 		done     = make(chan struct{})
 		doneOnce sync.Once
@@ -102,11 +132,11 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		// Eager verification on the session's worker pool: the verdict goes
-		// straight back on this client's connection, and Finalize will not
-		// re-check anything. With -store-dir the submission and verdict are
-		// durable before the reply is written.
-		if err := sess.Submit(ctx, &vdp.ClientSubmission{Public: cp, Payloads: []*vdp.ClientPayload{pl}}); err != nil {
+		// Eager verification on the owning shard's worker pool: the verdict
+		// goes straight back on this client's connection, and Finalize will
+		// not re-check anything. With -store-dir the submission and verdict
+		// are durable before the reply is written.
+		if err := agg.Submit(ctx, &vdp.ClientSubmission{Public: cp, Payloads: []*vdp.ClientPayload{pl}}); err != nil {
 			return nil, err
 		}
 		mu.Lock()
@@ -124,8 +154,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("verifiable-dp curator listening on %s (K=1, M=%d, nb=%d, group=%s, store=%s)",
-		srv.Addr(), pub.Bins(), pub.Coins(), *grp, storeDesc(*storeDir))
+	log.Printf("verifiable-dp curator listening on %s (K=1, M=%d, nb=%d, group=%s, shards=%d, store=%s)",
+		srv.Addr(), pub.Bins(), pub.Coins(), *grp, *shards, storeDesc(*storeDir))
 
 	select {
 	case <-done:
@@ -157,14 +187,15 @@ func main() {
 
 	finalizeCtx, cancelFinalize := context.WithTimeout(context.Background(), *grace)
 	defer cancelFinalize()
+	if sharded != nil {
+		finalizeSharded(finalizeCtx, pub, sharded, *storeDir)
+		return
+	}
 	res, err := sess.Finalize(finalizeCtx)
 	if err != nil {
 		log.Fatalf("protocol finalize failed: %v", err)
 	}
-	fmt.Println("verified release:")
-	for j, raw := range res.Release.Raw {
-		fmt.Printf("  bin %d: raw=%d estimate=%.1f (±%.1f)\n", j, raw, res.Release.Estimate[j], res.Release.Stddev)
-	}
+	printRelease(res.Release)
 	if err := vdp.AuditContext(finalizeCtx, pub, res.Transcript); err != nil {
 		log.Fatalf("self-audit failed: %v", err)
 	}
@@ -175,21 +206,61 @@ func main() {
 	}
 }
 
-// openSession opens the board log under storeDir (creating the directory)
-// and either starts a fresh durable session or — when the log already holds
-// records — recovers the interrupted one. An empty storeDir keeps the board
-// in memory.
-func openSession(ctx context.Context, pub *vdp.Public, storeDir string) (*vdp.Session, *store.FileLog, error) {
+// finalizeSharded closes every shard in parallel, prints the merged release
+// with the per-shard breakdown, and self-audits the merged epoch.
+func finalizeSharded(ctx context.Context, pub *vdp.Public, sharded *vdp.ShardedSession, storeDir string) {
+	res, err := sharded.Finalize(ctx)
+	if err != nil {
+		log.Fatalf("protocol finalize failed: %v", err)
+	}
+	printRelease(res.Release)
+	for i, sr := range res.Shards {
+		fmt.Printf("  shard %d: %d clients on its board\n", i, len(sr.Transcript.Clients))
+	}
+	if err := vdp.AuditMerged(ctx, pub, res.Transcripts(), res.Release, 0); err != nil {
+		log.Fatalf("merged self-audit failed: %v", err)
+	}
+	fmt.Printf("merged transcript audit: PASSED (digest %x...)\n", res.Digest[:8])
+	if storeDir != "" {
+		fmt.Printf("epoch %d sealed across %d segments in %s; audit offline with: vdpclient -audit-store %s\n",
+			sharded.Epoch(), sharded.Shards(), storeDir, storeDir)
+	}
+}
+
+func printRelease(rel *vdp.Release) {
+	fmt.Println("verified release:")
+	for j, raw := range rel.Raw {
+		fmt.Printf("  bin %d: raw=%d estimate=%.1f (±%.1f)\n", j, raw, rel.Estimate[j], rel.Stddev)
+	}
+}
+
+// openSession opens the board store under storeDir (creating the directory)
+// and either starts a fresh durable session or — when the store already
+// holds records — recovers the interrupted one. Exactly one of the returned
+// sessions is non-nil: the plain one for shards <= 1, the sharded one
+// otherwise. An empty storeDir keeps the board in memory.
+func openSession(ctx context.Context, pub *vdp.Public, storeDir string, shards int) (*vdp.Session, *vdp.ShardedSession, func() error, error) {
+	if shards > 1 {
+		return openShardedSession(ctx, pub, storeDir, shards)
+	}
 	if storeDir == "" {
 		sess, err := vdp.NewSession(pub, vdp.SessionOptions{})
-		return sess, nil, err
+		return sess, nil, nil, err
+	}
+	// A directory laid out by a sharded incarnation (even with one shard —
+	// OpenSegmentedLog(dir, 1) is valid library usage) must be recovered
+	// through the segmented path, never shadowed by a fresh unsharded board
+	// next to the old evidence. Adopt the manifest's recorded shard count.
+	if store.IsSegmented(storeDir) {
+		log.Printf("%s holds a segmented board log; adopting its recorded shard count", storeDir)
+		return openShardedSession(ctx, pub, storeDir, 0)
 	}
 	if err := os.MkdirAll(storeDir, 0o755); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	boardLog, err := store.OpenFileLog(filepath.Join(storeDir, boardLogName))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if tb := boardLog.Truncated(); tb > 0 {
 		log.Printf("board log: discarded %d torn-tail bytes from an interrupted append", tb)
@@ -199,27 +270,70 @@ func openSession(ctx context.Context, pub *vdp.Public, storeDir string) (*vdp.Se
 		sess, err := vdp.NewSession(pub, opts)
 		if err != nil {
 			boardLog.Close()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return sess, boardLog, nil
+		return sess, nil, boardLog.Close, nil
 	}
 	sess, err := vdp.ResumeSession(ctx, pub, opts)
 	if err != nil {
 		boardLog.Close()
-		return nil, nil, fmt.Errorf("recovering board log: %w", err)
+		return nil, nil, nil, fmt.Errorf("recovering board log: %w", err)
 	}
 	if sess.Finalized() {
 		// The previous incarnation sealed its epoch; open the next one.
 		if err := sess.Reset(); err != nil {
 			boardLog.Close()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		log.Printf("recovered board log: last epoch sealed, opening epoch %d", sess.Epoch())
 	} else {
 		log.Printf("recovered board log: resuming epoch %d with %d submissions (%d rejected)",
 			sess.Epoch(), sess.Submitted(), len(sess.Rejected()))
 	}
-	return sess, boardLog, nil
+	return sess, nil, boardLog.Close, nil
+}
+
+// openShardedSession is openSession's sharded counterpart: the store is a
+// segmented log (manifest + one segment per shard) under storeDir.
+func openShardedSession(ctx context.Context, pub *vdp.Public, storeDir string, shards int) (*vdp.Session, *vdp.ShardedSession, func() error, error) {
+	if storeDir == "" {
+		ss, err := vdp.NewShardedSession(pub, vdp.SessionOptions{Shards: shards})
+		return nil, ss, nil, err
+	}
+	// The converse of the unsharded guard: an unsharded incarnation's board
+	// must be recovered without -shards, not buried under a fresh manifest.
+	if _, err := os.Stat(filepath.Join(storeDir, boardLogName)); err == nil {
+		return nil, nil, nil, fmt.Errorf("%s holds an unsharded board log; restart without -shards to recover it", storeDir)
+	}
+	seg, err := store.OpenSegmentedLog(storeDir, shards)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opts := vdp.SessionOptions{Segmented: seg}
+	if seg.Empty() {
+		ss, err := vdp.NewShardedSession(pub, opts)
+		if err != nil {
+			seg.Close()
+			return nil, nil, nil, err
+		}
+		return nil, ss, seg.Close, nil
+	}
+	ss, err := vdp.ResumeShardedSession(ctx, pub, opts)
+	if err != nil {
+		seg.Close()
+		return nil, nil, nil, fmt.Errorf("recovering segmented board log: %w", err)
+	}
+	if ss.Finalized() {
+		if err := ss.Reset(); err != nil {
+			seg.Close()
+			return nil, nil, nil, err
+		}
+		log.Printf("recovered segmented board log: last epoch sealed, opening epoch %d", ss.Epoch())
+	} else {
+		log.Printf("recovered segmented board log: resuming epoch %d with %d submissions across %d shards (%d rejected)",
+			ss.Epoch(), ss.Submitted(), ss.Shards(), len(ss.Rejected()))
+	}
+	return nil, ss, seg.Close, nil
 }
 
 func storeDesc(dir string) string {

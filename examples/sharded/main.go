@@ -1,0 +1,146 @@
+// Sharded: scale-out aggregation with merged verifiable transcripts.
+//
+// A single Session serializes every admission through one roster lock and
+// one board log — fine for thousands of clients, a bottleneck for millions.
+// A ShardedSession splits the bulletin board across independent shards:
+// client IDs are consistent-hashed (ShardOf) so concurrent submissions for
+// different clients land on different shards and never contend, each shard
+// keeps its own durable board-log segment, and Finalize closes every shard
+// in parallel before merging the per-shard transcripts into one combined
+// release pinned by MergedTranscriptDigest.
+//
+// The example runs a durable 4-shard deployment: 40 clients submitted from
+// 8 concurrent goroutines (one forged submission rejected at the door), a
+// crash after the submissions, recovery from the segmented log, the merged
+// finalize, and both the in-memory merged audit and the fully offline
+// segmented-log audit a third party would run.
+//
+// Run with: go run ./examples/sharded
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	verifiabledp "repro"
+)
+
+func main() {
+	pub, err := verifiabledp.Setup(verifiabledp.Config{Provers: 1, Bins: 1, Coins: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "vdp-sharded")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	storeDir := filepath.Join(dir, "board")
+	ctx := context.Background()
+
+	const shards, clients, submitters = 4, 40, 8
+
+	// ---- The serving process: a durable sharded session. -----------------
+	seg, err := verifiabledp.OpenSegmentedLog(storeDir, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := verifiabledp.NewShardedSession(pub, verifiabledp.SessionOptions{Segmented: seg})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Clients submit concurrently; the hash router spreads them across the
+	// shards so no two goroutines share a roster lock unless they share a
+	// shard. Client 13 forges its proof and is turned away at the door.
+	subs := make([]*verifiabledp.ClientSubmission, clients)
+	for i := range subs {
+		bit := 0
+		if i%3 == 0 {
+			bit = 1
+		}
+		sub, err := pub.NewClientSubmission(i, bit, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		subs[i] = sub
+	}
+	forged, err := pub.NewClientSubmission(999, 1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	subs[13].Public.BitProof = forged.Public.BitProof
+
+	var wg sync.WaitGroup
+	verdicts := make([]error, clients)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < clients; i += submitters {
+				verdicts[i] = sess.Submit(ctx, subs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	accepted := 0
+	for i, v := range verdicts {
+		if v == nil {
+			accepted++
+		} else {
+			fmt.Printf("client %2d rejected on shard %d: %v\n", i, verifiabledp.ShardOf(i, shards), v)
+		}
+	}
+	fmt.Printf("accepted %d/%d clients across %d shards:", accepted, clients, shards)
+	for i := 0; i < shards; i++ {
+		fmt.Printf(" shard%d=%d", i, sess.Shard(i).Submitted())
+	}
+	fmt.Println()
+
+	// ---- The crash: the process dies before Finalize. --------------------
+	if err := seg.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("simulated crash: segmented board log closed mid-epoch")
+
+	// ---- The restart: recover every shard from its segment. --------------
+	seg, err = verifiabledp.OpenSegmentedLog(storeDir, 0) // adopt the recorded shard count
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer seg.Close()
+	recovered, err := verifiabledp.ResumeShardedSession(ctx, pub, verifiabledp.SessionOptions{Segmented: seg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered %d submissions (%d rejected) from %d segments\n",
+		recovered.Submitted(), len(recovered.Rejected()), seg.Shards())
+
+	// ---- Finalize: per-shard in parallel, then merge. --------------------
+	res, err := recovered.Finalize(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged release: raw=%d estimate=%.1f (±%.1f), digest %x...\n",
+		res.Release.Raw[0], res.Release.Estimate[0], res.Release.Stddev, res.Digest[:8])
+
+	// ---- Audits: in-memory merged, then fully offline from the log. ------
+	if err := verifiabledp.AuditMerged(ctx, pub, res.Transcripts(), res.Release, 0); err != nil {
+		log.Fatalf("merged audit FAILED: %v", err)
+	}
+	fmt.Println("merged audit: PASSED (every shard verified, shard map clean, release = Σ shards)")
+
+	ro, err := verifiabledp.OpenSegmentedLogReadOnly(storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ro.Close()
+	if err := verifiabledp.AuditSegmentedLog(ctx, pub, ro, -1, 0); err != nil {
+		log.Fatalf("offline segmented audit FAILED: %v", err)
+	}
+	fmt.Println("offline segmented audit: PASSED (segments cross-checked, merged digest matches manifest)")
+}

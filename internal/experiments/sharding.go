@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/vdp"
+)
+
+// The sharding experiment measures what the sharded front door
+// (vdp.ShardedSession) buys. A single Session serializes every admission
+// through one roster lock and one board log: the lock bounds how fast
+// submissions can be admitted, and — far more visibly — the log imposes one
+// ordered-append + group-commit fsync stream on the entire board. Sharding
+// splits both by the shard factor: S roster locks, S segment logs whose
+// fsync streams overlap in the kernel even on a single-core host (fsync
+// latency is I/O wait, not CPU).
+//
+// Two flood phases with deferred verification (so admission bookkeeping,
+// not proof crypto, dominates), then an end-to-end phase with real
+// submissions, eager verification, the parallel per-shard Finalize and the
+// merged audit.
+
+// ShardingConfig sets the workload for the sharding experiment.
+type ShardingConfig struct {
+	ShardCounts []int // swept shard counts
+	MemFlood    int   // synthetic submissions for the in-memory flood
+	DurFlood    int   // synthetic submissions for the durable (fsync) flood
+	Goroutines  int   // concurrent submitters
+	E2EClients  int   // real clients for the end-to-end phase
+	Coins       int   // nb for the end-to-end deployment
+}
+
+// shardingConfigFor returns the workload at a given scale.
+func shardingConfigFor(s Scale) ShardingConfig {
+	switch s {
+	case Paper:
+		return ShardingConfig{ShardCounts: []int{1, 2, 4, 8, 16}, MemFlood: 2_000_000, DurFlood: 20_000, Goroutines: 16, E2EClients: 1024, Coins: 8}
+	case Standard:
+		return ShardingConfig{ShardCounts: []int{1, 2, 4, 8}, MemFlood: 500_000, DurFlood: 8_000, Goroutines: 8, E2EClients: 256, Coins: 8}
+	default:
+		return ShardingConfig{ShardCounts: []int{1, 2, 4, 8}, MemFlood: 100_000, DurFlood: 2_000, Goroutines: 8, E2EClients: 64, Coins: 6}
+	}
+}
+
+// ShardingPoint is one swept shard count's measurements.
+type ShardingPoint struct {
+	Shards      int
+	FloodMem    time.Duration // in-memory deferred-submit flood (roster locks only)
+	FloodDur    time.Duration // durable deferred-submit flood (per-shard logs, fsync on)
+	SubmitE2E   time.Duration // eager concurrent submit of E2EClients real submissions
+	FinalizeE2E time.Duration // parallel per-shard finalize + merge
+	AuditE2E    time.Duration // AuditMerged over the shard transcripts
+}
+
+// ShardingResult holds the sweep.
+type ShardingResult struct {
+	Config ShardingConfig
+	Points []ShardingPoint
+}
+
+// ShardingSweep runs the experiment over cfg.ShardCounts.
+func ShardingSweep(cfg ShardingConfig) (*ShardingResult, error) {
+	if len(cfg.ShardCounts) == 0 || cfg.MemFlood < 1 || cfg.DurFlood < 1 || cfg.Goroutines < 1 || cfg.E2EClients < 1 {
+		return nil, fmt.Errorf("experiments: invalid sharding config %+v", cfg)
+	}
+	pub, err := vdp.Setup(vdp.Config{Provers: 1, Bins: 1, Coins: cfg.Coins})
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "vdp-sharding")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Real client material for the end-to-end phase, built once. Synthetic
+	// ID-only submissions feed the floods: deferred verification never
+	// touches the proofs, so they isolate the admission path.
+	subs := make([]*vdp.ClientSubmission, cfg.E2EClients)
+	for i := range subs {
+		sub, err := pub.NewClientSubmission(i, i%2, nil)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = sub
+	}
+	synthetic := func(n int) []*vdp.ClientSubmission {
+		out := make([]*vdp.ClientSubmission, n)
+		for i := range out {
+			out[i] = &vdp.ClientSubmission{Public: &vdp.ClientPublic{ID: i}}
+		}
+		return out
+	}
+	memFlood := synthetic(cfg.MemFlood)
+	durFlood := synthetic(cfg.DurFlood)
+
+	res := &ShardingResult{Config: cfg}
+	for _, shards := range cfg.ShardCounts {
+		pt := ShardingPoint{Shards: shards}
+
+		mem, err := vdp.NewShardedSession(pub, vdp.SessionOptions{Shards: shards, DeferVerification: true})
+		if err != nil {
+			return nil, err
+		}
+		pt.FloodMem, err = timeIt(func() error {
+			return submitAll(ctx, mem, memFlood, cfg.Goroutines)
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		seg, err := store.OpenSegmentedLog(filepath.Join(dir, fmt.Sprintf("flood-%d", shards)), shards)
+		if err != nil {
+			return nil, err
+		}
+		dur, err := vdp.NewShardedSession(pub, vdp.SessionOptions{Segmented: seg, DeferVerification: true})
+		if err != nil {
+			seg.Close()
+			return nil, err
+		}
+		pt.FloodDur, err = timeIt(func() error {
+			return submitAll(ctx, dur, durFlood, cfg.Goroutines)
+		})
+		seg.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		e2e, err := vdp.NewShardedSession(pub, vdp.SessionOptions{Shards: shards})
+		if err != nil {
+			return nil, err
+		}
+		pt.SubmitE2E, err = timeIt(func() error {
+			return submitAll(ctx, e2e, subs, cfg.Goroutines)
+		})
+		if err != nil {
+			return nil, err
+		}
+		var out *vdp.ShardedResult
+		pt.FinalizeE2E, err = timeIt(func() error {
+			r, err := e2e.Finalize(ctx)
+			out = r
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt.AuditE2E, err = timeIt(func() error {
+			return vdp.AuditMerged(ctx, pub, out.Transcripts(), out.Release, 0)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: merged audit at %d shards: %w", shards, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// submitAll drives Submit from g goroutines, round-robin over the
+// submissions.
+func submitAll(ctx context.Context, ss *vdp.ShardedSession, subs []*vdp.ClientSubmission, g int) error {
+	var wg sync.WaitGroup
+	errs := make([]error, g)
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(subs); i += g {
+				if err := ss.Submit(ctx, subs[i]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Format renders the sweep.
+func (r *ShardingResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded session sweep (%d mem / %d durable flood submissions, %d real clients, %d submitter goroutines, nb=%d, GOMAXPROCS=%d)\n",
+		r.Config.MemFlood, r.Config.DurFlood, r.Config.E2EClients, r.Config.Goroutines, r.Config.Coins, runtime.GOMAXPROCS(0))
+	// The speedup column is relative to the first swept shard count (S=1
+	// for the stock sweep, but -shards can start anywhere).
+	baseLabel := "vs —"
+	if len(r.Points) > 0 {
+		baseLabel = fmt.Sprintf("vs S=%d", r.Points[0].Shards)
+	}
+	fmt.Fprintf(&b, "%-8s %-16s %-18s %-10s %-14s %-14s %s\n",
+		"shards", "mem flood/sub", "durable flood/sub", baseLabel, "submit e2e", "finalize", "audit")
+	var base time.Duration
+	for i, pt := range r.Points {
+		perDur := pt.FloodDur / time.Duration(r.Config.DurFlood)
+		if i == 0 {
+			base = perDur
+		}
+		rel := "—"
+		if i > 0 && perDur > 0 {
+			rel = fmt.Sprintf("%.2fx", float64(base)/float64(perDur))
+		}
+		perMem := pt.FloodMem / time.Duration(r.Config.MemFlood)
+		fmt.Fprintf(&b, "%-8d %-16s %-18s %-10s %-14s %-14s %s\n",
+			pt.Shards, fmt.Sprintf("%d ns", perMem.Nanoseconds()), fmtDuration(perDur), rel,
+			fmtDuration(pt.SubmitE2E), fmtDuration(pt.FinalizeE2E), fmtDuration(pt.AuditE2E))
+	}
+	b.WriteString("durable flood = deferred Submit against fsync'd per-shard board logs: one log is one ordered\n")
+	b.WriteString("group-commit stream (the single-session bottleneck); S segments overlap S streams, so the\n")
+	b.WriteString("per-submission cost falls with the shard count even on a single-core host. finalize grows with\n")
+	b.WriteString("shards because each shard is an independent protocol instance (S×K noise draws and proofs).\n")
+	return b.String()
+}
+
+// ShardingSweepAtScale runs the sharding experiment at a named scale. When
+// shardCounts is non-empty it overrides the swept counts.
+func ShardingSweepAtScale(s Scale, shardCounts []int) (*ShardingResult, error) {
+	cfg := shardingConfigFor(s)
+	if len(shardCounts) > 0 {
+		cfg.ShardCounts = shardCounts
+	}
+	return ShardingSweep(cfg)
+}

@@ -24,6 +24,11 @@
 //     behind), which is what makes restart-without-data-loss work: the
 //     bytes that were acknowledged are the bytes that are replayed.
 //
+// SegmentedLog composes FileLogs into the sharded layout: one directory
+// holding a manifest log (whose first record fixes the shard count) plus
+// one segment log per shard, each speaking the exact single-log grammar, so
+// a shard's segment replays, resumes, and audits like a standalone board.
+//
 // The on-disk format is:
 //
 //	file   := magic record*

@@ -1,0 +1,322 @@
+package vdp
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// Adversarial client harness: a table-driven generator of malicious
+// submissions — bit-flipped commitments, replayed proofs, equivocating and
+// truncated payloads — asserted against BOTH front doors (Session and
+// ShardedSession). Every corruption must be rejected with the documented
+// sentinel, the honest clients must be unaffected, the bulletin board must
+// contain the corrupt client's public part exactly when its failure is
+// publicly attributable, and the finalized transcript must still audit.
+
+// adversarySurface abstracts the two front doors for the harness.
+type adversarySurface struct {
+	name string
+	open func(t *testing.T, pub *Public) adversaryDoor
+}
+
+type adversaryDoor interface {
+	Submit(ctx context.Context, sub *ClientSubmission) error
+	finalizeForHarness(t *testing.T, pub *Public) (*Transcript, map[int]error)
+}
+
+type sessionDoor struct{ *Session }
+
+func (d sessionDoor) finalizeForHarness(t *testing.T, pub *Public) (*Transcript, map[int]error) {
+	res, err := d.Finalize(context.Background())
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	if err := Audit(pub, res.Transcript); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	return res.Transcript, res.RejectedClients
+}
+
+type shardedDoor struct{ *ShardedSession }
+
+func (d shardedDoor) finalizeForHarness(t *testing.T, pub *Public) (*Transcript, map[int]error) {
+	res, err := d.Finalize(context.Background())
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	if err := AuditMerged(context.Background(), pub, res.Transcripts(), res.Release, 0); err != nil {
+		t.Fatalf("merged audit: %v", err)
+	}
+	// Flatten the shard boards for the harness's membership checks.
+	merged := &Transcript{}
+	for _, sr := range res.Shards {
+		merged.Clients = append(merged.Clients, sr.Transcript.Clients...)
+	}
+	return merged, res.RejectedClients
+}
+
+func adversarySurfaces() []adversarySurface {
+	return []adversarySurface{
+		{"session", func(t *testing.T, pub *Public) adversaryDoor {
+			s, err := NewSession(pub, SessionOptions{Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sessionDoor{s}
+		}},
+		{"sharded", func(t *testing.T, pub *Public) adversaryDoor {
+			s, err := NewShardedSession(pub, SessionOptions{Shards: 4, Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return shardedDoor{s}
+		}},
+	}
+}
+
+// TestAdversarialClients drives the corruption table through both front
+// doors.
+func TestAdversarialClients(t *testing.T) {
+	pub := testPublic(t, 2, 1, 4)
+	f := pub.Field()
+
+	// Each corruption mutates the target submission, given a well-formed
+	// donor from the same deployment. wantOnBoard states whether the corrupt
+	// client's public part still belongs on the bulletin board (board-proof
+	// failures are publicly attributable; payload failures are refused
+	// outright so the transcript stays auditable).
+	cases := []struct {
+		name        string
+		corrupt     func(sub, donor *ClientSubmission)
+		wantOnBoard bool
+	}{
+		{"bit-flipped-commitment", func(sub, donor *ClientSubmission) {
+			// The commitment no longer matches the Σ-proof statement.
+			sub.Public.ShareCommitments[0][0] = donor.Public.ShareCommitments[0][0]
+		}, true},
+		{"replayed-proof", func(sub, donor *ClientSubmission) {
+			// A transplanted proof is well-formed but bound to the donor's
+			// identity and statement.
+			sub.Public.BitProof = donor.Public.BitProof
+		}, true},
+		{"swapped-commitment-rows", func(sub, donor *ClientSubmission) {
+			// Same commitments, permuted across provers. The homomorphic
+			// product — the board proof's statement — is invariant under the
+			// swap, so the public proof still verifies; the corruption is
+			// caught on the private channel when prover 0's opening fails
+			// against the swapped commitment, which is a non-attributable
+			// dispute: refused outright, never posted.
+			row := sub.Public.ShareCommitments[0]
+			row[0], row[1] = row[1], row[0]
+		}, false},
+		{"equivocating-payload", func(sub, donor *ClientSubmission) {
+			// The private opening no longer matches the public commitment.
+			sub.Payloads[1].Openings[0].X = sub.Payloads[1].Openings[0].X.Add(f.One())
+		}, false},
+		{"truncated-payloads", func(sub, donor *ClientSubmission) {
+			sub.Payloads = sub.Payloads[:1]
+		}, false},
+		{"payload-for-wrong-client", func(sub, donor *ClientSubmission) {
+			// Payload transplanted from the donor: openings for the wrong
+			// commitments.
+			sub.Payloads = donor.Payloads
+		}, false},
+	}
+
+	for _, surface := range adversarySurfaces() {
+		for _, tc := range cases {
+			t.Run(surface.name+"/"+tc.name, func(t *testing.T) {
+				const n, target = 6, 3
+				subs := make([]*ClientSubmission, n)
+				for i := range subs {
+					sub, err := pub.NewClientSubmission(i, 1, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					subs[i] = sub
+				}
+				donor, err := pub.NewClientSubmission(100+target, 1, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tc.corrupt(subs[target], donor)
+
+				door := surface.open(t, pub)
+				for i, sub := range subs {
+					err := door.Submit(context.Background(), sub)
+					if i == target {
+						if !errors.Is(err, ErrClientReject) {
+							t.Fatalf("corrupt client verdict = %v, want ErrClientReject", err)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("honest client %d rejected: %v", i, err)
+					}
+				}
+				// The reserved ID cannot be replayed after rejection.
+				if err := door.Submit(context.Background(), subs[target]); !errors.Is(err, ErrClientReject) {
+					t.Fatalf("rejected client resubmitted: %v", err)
+				}
+
+				board, rejected := door.finalizeForHarness(t, pub)
+				if !errors.Is(rejected[target], ErrClientReject) {
+					t.Errorf("finalized rejections %v, want client %d with ErrClientReject", rejected, target)
+				}
+				onBoard := false
+				for _, cp := range board.Clients {
+					if cp.ID == target {
+						onBoard = true
+					}
+				}
+				if onBoard != tc.wantOnBoard {
+					t.Errorf("corrupt client on board = %v, want %v (%s)", onBoard, tc.wantOnBoard, tc.name)
+				}
+				wantClients := n - 1
+				if tc.wantOnBoard {
+					wantClients = n
+				}
+				if len(board.Clients) != wantClients {
+					t.Errorf("board holds %d clients, want %d", len(board.Clients), wantClients)
+				}
+			})
+		}
+	}
+}
+
+// TestAdversarialDuplicates: replayed submissions and forged IDs cannot
+// enter twice — on the plain session, and through the sharded router, where
+// a duplicate ID always hashes to the same shard no matter which goroutine
+// or connection carries it.
+func TestAdversarialDuplicates(t *testing.T) {
+	pub := testPublic(t, 1, 1, 4)
+	for _, surface := range adversarySurfaces() {
+		t.Run(surface.name, func(t *testing.T) {
+			door := surface.open(t, pub)
+			sub, err := pub.NewClientSubmission(42, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := door.Submit(context.Background(), sub); err != nil {
+				t.Fatal(err)
+			}
+			// Byte-identical replay.
+			if err := door.Submit(context.Background(), sub); !errors.Is(err, ErrClientReject) {
+				t.Errorf("replayed submission: %v, want ErrClientReject", err)
+			}
+			// Fresh material under the same stolen ID.
+			imp, err := pub.NewClientSubmission(42, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := door.Submit(context.Background(), imp); !errors.Is(err, ErrClientReject) {
+				t.Errorf("impersonating submission: %v, want ErrClientReject", err)
+			}
+		})
+	}
+
+	// Cross-shard: even submitted concurrently from many goroutines, one ID
+	// yields exactly one admission, because the hash router sends every copy
+	// to the same shard's duplicate guard.
+	ss, err := NewShardedSession(pub, SessionOptions{Shards: 4, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := pub.NewClientSubmission(7, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const attempts = 8
+	errs := make([]error, attempts)
+	done := make(chan int, attempts)
+	for g := 0; g < attempts; g++ {
+		go func(g int) {
+			errs[g] = ss.Submit(context.Background(), sub)
+			done <- g
+		}(g)
+	}
+	for i := 0; i < attempts; i++ {
+		<-done
+	}
+	admitted := 0
+	for _, err := range errs {
+		if err == nil {
+			admitted++
+		} else if !errors.Is(err, ErrClientReject) {
+			t.Errorf("duplicate flood verdict: %v", err)
+		}
+	}
+	if admitted != 1 {
+		t.Errorf("duplicate flood admitted %d copies, want exactly 1", admitted)
+	}
+	if got := ss.Submitted(); got != 1 {
+		t.Errorf("roster holds %d entries, want 1", got)
+	}
+}
+
+// TestAdversarialStaleEpoch: submissions cannot enter a sealed epoch — on
+// either front door — and a Reset opens a fresh roster that accepts the
+// client's new material.
+func TestAdversarialStaleEpoch(t *testing.T) {
+	pub := testPublic(t, 1, 1, 4)
+	for _, surface := range adversarySurfaces() {
+		t.Run(surface.name, func(t *testing.T) {
+			door := surface.open(t, pub)
+			sub, err := pub.NewClientSubmission(0, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := door.Submit(context.Background(), sub); err != nil {
+				t.Fatal(err)
+			}
+			door.finalizeForHarness(t, pub)
+			// The epoch is sealed: a late submission — fresh or replayed —
+			// must bounce with the lifecycle sentinel, not be half-admitted.
+			late, err := pub.NewClientSubmission(1, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := door.Submit(context.Background(), late); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("stale-epoch submission: %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+// TestAdversarialEncodingBitflips is the property-based half of the
+// harness: random single-bit corruptions of a valid wire-encoded public
+// submission must either fail to decode or be rejected by verification —
+// never be admitted as a different valid client.
+func TestAdversarialEncodingBitflips(t *testing.T) {
+	pub := testPublic(t, 1, 1, 4)
+	sub, err := pub.NewClientSubmission(5, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := pub.EncodeClientPublic(sub.Public)
+	rng := rand.New(rand.NewSource(1))
+	const trials = 24
+	for trial := 0; trial < trials; trial++ {
+		flipped := append([]byte(nil), honest...)
+		bit := rng.Intn(len(flipped) * 8)
+		flipped[bit/8] ^= 1 << (bit % 8)
+
+		cp, err := pub.DecodeClientPublic(flipped)
+		if err != nil {
+			continue // malformed on arrival: rejected before any protocol state
+		}
+		sess, err := NewSession(pub, SessionOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdict := sess.Submit(context.Background(), &ClientSubmission{Public: cp, Payloads: sub.Payloads})
+		if verdict == nil {
+			t.Fatalf("trial %d: bit %d flipped in the encoding yet the submission was admitted", trial, bit)
+		}
+		if !errors.Is(verdict, ErrClientReject) {
+			t.Errorf("trial %d: verdict %v, want ErrClientReject", trial, verdict)
+		}
+	}
+}

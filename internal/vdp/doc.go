@@ -58,6 +58,15 @@
 //     TranscriptDigest. AuditLog re-verifies a sealed epoch offline from
 //     the log alone.
 //
+//   - ShardedSession: the scale-out front door. Client IDs are
+//     consistent-hashed (ShardOf) across independent sub-sessions — one
+//     roster lock, engine slice, substream fork and board-log segment each
+//     (store.SegmentedLog) — so Submits on different shards never contend;
+//     Finalize closes the shards in parallel and merges their transcripts
+//     into one epoch pinned by MergedTranscriptDigest.
+//     ResumeShardedSession and AuditSegmentedLog are the sharded
+//     counterparts of ResumeSession and AuditLog.
+//
 // Wire encodings for every message that crosses a process boundary — or
 // lands in the board log — live in wire.go and wirelog.go. All encodings
 // lead with a format-version byte (WireVersion) and validate every

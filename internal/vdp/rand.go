@@ -115,6 +115,25 @@ func (rs *randSource) fork(epoch int) *randSource {
 	return &randSource{seed: child}
 }
 
+// forkShard derives the randSource for one shard of a sharded session. A
+// single-shard session keeps the root itself, so ShardedSession with
+// Shards = 1 reproduces a plain Session's transcript bit for bit; with more
+// shards each reads an independent child seed from the root's shard
+// substream, so shards never share noise substreams while the whole sharded
+// schedule stays a pure function of the root seed. An unseeded source forks
+// to itself (still crypto/rand).
+func (rs *randSource) forkShard(shard, shards int) *randSource {
+	if rs.seed == nil || shards <= 1 {
+		return rs
+	}
+	child := make([]byte, seedLen)
+	if _, err := io.ReadFull(rs.stream(labelShard, shard), child); err != nil {
+		// hashStream.Read never fails; keep the compiler honest.
+		panic(fmt.Sprintf("vdp: shard fork: %v", err))
+	}
+	return &randSource{seed: child}
+}
+
 // Substream labels. Each logical sampling site in the protocol gets its own
 // namespace; indices flatten multi-dimensional task coordinates.
 const (
@@ -122,5 +141,6 @@ const (
 	labelCoin      = "coin"       // index = (prover·M + bin)·nb + coin
 	labelMorra     = "morra"      // index = prover·2 + party
 	labelEpoch     = "epoch"      // index = session epoch (child-seed fork)
+	labelShard     = "shard"      // index = shard (child-seed fork, ShardedSession)
 	labelSubmitter = "submission" // reserved for external submission tooling
 )

@@ -43,6 +43,19 @@ type SessionOptions struct {
 	// with history must go through ResumeSession. Nil (the default) keeps
 	// the board in memory only — the pre-durability behavior.
 	Store store.BoardLog
+	// Shards selects the sharded front door: NewShardedSession splits the
+	// session into this many independent sub-sessions (consistent-hashed by
+	// client ID) so Submits on different shards never contend on a shared
+	// lock. 0 and 1 mean unsharded. NewSession rejects Shards > 1 — a
+	// sharded session must be opened with NewShardedSession, whose Finalize
+	// merges the per-shard transcripts.
+	Shards int
+	// Segmented is the durable store of a sharded session: one board-log
+	// segment per shard plus a manifest, each segment speaking the exact
+	// single-session record grammar. Only NewShardedSession and
+	// ResumeShardedSession accept it; it is the sharded counterpart of
+	// Store, and the two are mutually exclusive.
+	Segmented *store.SegmentedLog
 }
 
 // sessionState is the Submit/Finalize/Reset lifecycle position.
@@ -104,6 +117,7 @@ type Session struct {
 	order    []*sessionClient
 	byID     map[int]*sessionClient
 	rejected map[int]error
+	sealedT  *Transcript // current epoch's sealed transcript, once finalized
 }
 
 // NewSession opens a streaming session over pub. The options' Rand is read
@@ -112,16 +126,30 @@ type Session struct {
 // earlier session incarnation and must be recovered with ResumeSession, not
 // silently appended to.
 func NewSession(pub *Public, opts SessionOptions) (*Session, error) {
-	if opts.Store != nil {
-		err := opts.Store.Replay(func(*store.Record) error { return errLogNotEmpty })
-		if errors.Is(err, errLogNotEmpty) {
-			return nil, fmt.Errorf("%w: board log already holds records; use ResumeSession to recover it", ErrBadConfig)
-		}
-		if err != nil {
-			return nil, err
-		}
+	if opts.Shards > 1 {
+		return nil, fmt.Errorf("%w: SessionOptions.Shards = %d needs NewShardedSession", ErrBadConfig, opts.Shards)
+	}
+	if opts.Segmented != nil {
+		return nil, fmt.Errorf("%w: a segmented store belongs to a sharded session; use NewShardedSession", ErrBadConfig)
+	}
+	if err := ensureEmptyLog(opts.Store); err != nil {
+		return nil, err
 	}
 	return newSessionWithEngine(NewEngine(pub, opts.Parallelism), opts)
+}
+
+// ensureEmptyLog verifies that a board log holds no records yet; a log with
+// history belongs to an earlier session incarnation and must be recovered
+// with ResumeSession, not silently appended to. A nil log is trivially empty.
+func ensureEmptyLog(log store.BoardLog) error {
+	if log == nil {
+		return nil
+	}
+	err := log.Replay(func(*store.Record) error { return errLogNotEmpty })
+	if errors.Is(err, errLogNotEmpty) {
+		return fmt.Errorf("%w: board log already holds records; use ResumeSession to recover it", ErrBadConfig)
+	}
+	return err
 }
 
 // newSessionWithEngine builds a session on an existing engine, used by the
@@ -131,6 +159,14 @@ func newSessionWithEngine(e *Engine, opts SessionOptions) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newSessionFromSource(e, opts, root), nil
+}
+
+// newSessionFromSource builds a session whose deterministic substreams hang
+// off an already-derived root source, used by the sharded front door to give
+// every shard an independent fork of one root seed without re-reading
+// SessionOptions.Rand per shard.
+func newSessionFromSource(e *Engine, opts SessionOptions, root *randSource) *Session {
 	return &Session{
 		pub:      e.pub,
 		eng:      e,
@@ -139,7 +175,7 @@ func newSessionWithEngine(e *Engine, opts SessionOptions) (*Session, error) {
 		rs:       root,
 		byID:     make(map[int]*sessionClient),
 		rejected: make(map[int]error),
-	}, nil
+	}
 }
 
 // Epoch returns the session's current epoch number (0 before the first
@@ -474,9 +510,22 @@ func (s *Session) Finalize(ctx context.Context) (*RunResult, error) {
 		s.state = sessionOpen // cancelled, not consumed: allow retry
 	} else {
 		s.state = sessionFinalized
+		if err == nil {
+			s.sealedT = res.Transcript
+		}
 	}
 	s.mu.Unlock()
 	return res, err
+}
+
+// SealedTranscript returns the current epoch's sealed transcript: non-nil
+// once Finalize succeeded (or when ResumeSession recovered an epoch that was
+// already sealed in the board log), nil again after Reset. The sharded front
+// door uses it to re-merge an epoch whose shards sealed before a crash.
+func (s *Session) SealedTranscript() *Transcript {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealedT
 }
 
 // Reset reopens a finalized session for the next epoch: the client roster
@@ -501,5 +550,6 @@ func (s *Session) Reset() error {
 	s.order = nil
 	s.byID = make(map[int]*sessionClient)
 	s.rejected = make(map[int]error)
+	s.sealedT = nil
 	return nil
 }

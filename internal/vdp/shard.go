@@ -1,0 +1,536 @@
+package vdp
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// Sharded streaming aggregation: one logical session spread over K
+// independent sub-sessions so that Submits routed to different shards never
+// contend on a shared roster lock or board log.
+//
+// The front door (ShardedSession) consistent-hashes every client ID to one
+// shard with ShardOf and routes the whole Submit there; each shard is a
+// complete Session with its own engine worker slice, its own deterministic
+// substream fork of the root seed, and — when durable — its own board-log
+// segment. Finalize fans the per-shard finalizations out in parallel and
+// merges the K sealed transcripts, in shard order, into one combined epoch
+// release whose integrity is pinned by MergedTranscriptDigest. With
+// Shards = 1 the whole construction collapses to a plain Session: same
+// substreams, same board order, byte-identical transcript digest.
+
+// ShardOf returns the shard that owns clientID in a deployment with the
+// given shard count: FNV-1a over the ID's 8-byte big-endian encoding, mod
+// shards. The map is a pure function of (clientID, shards), so every party —
+// front door, resuming server, offline auditor, remote submission router —
+// derives the same assignment independently.
+func ShardOf(clientID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(int64(clientID)))
+	h.Write(b[:])
+	return int(h.Sum64() % uint64(shards))
+}
+
+// ShardedSession is the scale-out front door over K independent Sessions.
+// Submit routes each client to its ShardOf shard without taking any shared
+// lock, so submissions on different shards proceed fully concurrently;
+// Finalize closes every shard in parallel and merges the results. The
+// zero-contention property is the point: a single Session serializes all
+// admissions through one roster lock and one board log, which is the
+// bottleneck this type removes.
+type ShardedSession struct {
+	pub    *Public
+	opts   SessionOptions
+	root   *randSource
+	shards []*Session
+
+	mu      sync.Mutex
+	state   sessionState
+	epoch   int
+	resumed bool
+}
+
+// NewShardedSession opens a sharded session over pub. opts.Shards fixes the
+// shard count (0 and 1 both mean one shard); opts.Parallelism is the total
+// engine width, divided evenly across the shards (each shard gets at least
+// one worker). A durable sharded session sets opts.Segmented — one board-log
+// segment per shard plus a manifest — instead of opts.Store, and every
+// segment must be empty: a segmented log with history belongs to an earlier
+// incarnation and must be recovered with ResumeShardedSession. opts.Rand is
+// read once for the root seed; each shard derives an independent child seed
+// from it, and with Shards = 1 the shard inherits the root itself, so the
+// merged transcript digest is byte-identical to a plain Session's under the
+// same seed.
+func NewShardedSession(pub *Public, opts SessionOptions) (*ShardedSession, error) {
+	if opts.Store != nil {
+		return nil, fmt.Errorf("%w: a sharded session stores its board in SessionOptions.Segmented, not Store", ErrBadConfig)
+	}
+	shards, err := resolveShardCount(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Segmented != nil {
+		if !opts.Segmented.Empty() {
+			return nil, fmt.Errorf("%w: segmented board log already holds records; use ResumeShardedSession to recover it", ErrBadConfig)
+		}
+	}
+	root, err := newRandSource(opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+	ss := &ShardedSession{pub: pub, opts: opts, root: root}
+	per := perShardWorkers(opts.Parallelism, shards)
+	for i := 0; i < shards; i++ {
+		so := subSessionOptions(opts, per)
+		if opts.Segmented != nil {
+			so.Store = opts.Segmented.Segment(i)
+		}
+		ss.shards = append(ss.shards, newSessionFromSource(NewEngine(pub, per), so, root.forkShard(i, shards)))
+	}
+	return ss, nil
+}
+
+// resolveShardCount reconciles opts.Shards with the segmented store's fixed
+// count: either may be left unset (0), but when both are present they must
+// agree.
+func resolveShardCount(opts SessionOptions) (int, error) {
+	shards := opts.Shards
+	if opts.Segmented != nil {
+		if shards != 0 && shards != opts.Segmented.Shards() {
+			return 0, fmt.Errorf("%w: SessionOptions.Shards = %d but the segmented log was created with %d shards",
+				ErrBadConfig, shards, opts.Segmented.Shards())
+		}
+		shards = opts.Segmented.Shards()
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	return shards, nil
+}
+
+// perShardWorkers divides the total engine width across shards, at least one
+// worker each.
+func perShardWorkers(parallelism, shards int) int {
+	total := parallelism
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	per := total / shards
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// subSessionOptions strips the shard-routing fields off the caller's options
+// so each sub-session is an ordinary unsharded Session. Rand is cleared
+// because the root seed was already read — shards get their substreams via
+// forkShard, never by re-reading the caller's reader.
+func subSessionOptions(opts SessionOptions, workers int) SessionOptions {
+	opts.Shards = 0
+	opts.Segmented = nil
+	opts.Store = nil
+	opts.Rand = nil
+	opts.Parallelism = workers
+	return opts
+}
+
+// Shards returns the shard count.
+func (ss *ShardedSession) Shards() int { return len(ss.shards) }
+
+// Shard returns the sub-session for shard i, for introspection (per-shard
+// counters) and tests. Submitting to it directly bypasses the router only in
+// the sense that the caller must pick the right shard; the duplicate and
+// verification semantics are unchanged.
+func (ss *ShardedSession) Shard(i int) *Session { return ss.shards[i] }
+
+// ShardFor returns the shard that owns clientID under this session's shard
+// count.
+func (ss *ShardedSession) ShardFor(clientID int) int { return ShardOf(clientID, len(ss.shards)) }
+
+// Epoch returns the current epoch number.
+func (ss *ShardedSession) Epoch() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.epoch
+}
+
+// Resumed reports whether the session was reconstructed from a segmented
+// board log by ResumeShardedSession.
+func (ss *ShardedSession) Resumed() bool { return ss.resumed }
+
+// Finalized reports whether the current epoch has been sealed by Finalize
+// (and not yet reopened by Reset).
+func (ss *ShardedSession) Finalized() bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.state == sessionFinalized
+}
+
+// Submitted returns how many clients the current epoch has admitted across
+// all shards.
+func (ss *ShardedSession) Submitted() int {
+	n := 0
+	for _, s := range ss.shards {
+		n += s.Submitted()
+	}
+	return n
+}
+
+// Accepted returns how many submissions hold a clean verdict across all
+// shards.
+func (ss *ShardedSession) Accepted() int {
+	n := 0
+	for _, s := range ss.shards {
+		n += s.Accepted()
+	}
+	return n
+}
+
+// Rejected returns a snapshot of rejection reasons by client ID, across all
+// shards. Shard assignment is injective per client, so the union is
+// collision-free.
+func (ss *ShardedSession) Rejected() map[int]error {
+	out := make(map[int]error)
+	for _, s := range ss.shards {
+		for id, err := range s.Rejected() {
+			out[id] = err
+		}
+	}
+	return out
+}
+
+// NewClientSubmission builds client material for the current epoch from the
+// owning shard's deterministic substream (or crypto/rand when unseeded), the
+// sharded counterpart of Session.NewClientSubmission.
+func (ss *ShardedSession) NewClientSubmission(clientID, choice int) (*ClientSubmission, error) {
+	return ss.shards[ss.ShardFor(clientID)].NewClientSubmission(clientID, choice)
+}
+
+// Submit routes one client to its shard and admits it there, with exactly
+// Session.Submit's verification, durability, and verdict semantics. The
+// routing is lock-free — a pure hash of the client ID — so Submits for
+// clients on different shards never serialize against each other; two
+// submissions of the same ID always meet in the same shard, which is what
+// keeps the duplicate guard airtight across the whole sharded board.
+func (ss *ShardedSession) Submit(ctx context.Context, sub *ClientSubmission) error {
+	if sub == nil || sub.Public == nil {
+		return fmt.Errorf("%w: nil submission", ErrClientReject)
+	}
+	return ss.shards[ss.ShardFor(sub.Public.ID)].Submit(ctx, sub)
+}
+
+// ShardedResult is the outcome of finalizing a sharded epoch: the per-shard
+// results in shard order, the combined release over all shards, and the
+// merged digest that pins the whole epoch.
+type ShardedResult struct {
+	// Shards holds each shard's RunResult, indexed by shard.
+	Shards []*RunResult
+	// Release is the combined release: Raw[j] is the sum of every shard's
+	// bin j, carrying Shards·K copies of Binomial(nb, ½) noise; Estimate
+	// debiases accordingly and Stddev is sqrt(Shards·K·nb)/2.
+	Release *Release
+	// RejectedClients is the union of every shard's rejections.
+	RejectedClients map[int]error
+	// Digest is MergedTranscriptDigest over the shard transcripts.
+	Digest []byte
+}
+
+// Transcripts returns the per-shard transcripts in shard (merge) order.
+func (r *ShardedResult) Transcripts() []*Transcript {
+	out := make([]*Transcript, len(r.Shards))
+	for i, sr := range r.Shards {
+		out[i] = sr.Transcript
+	}
+	return out
+}
+
+// Finalize closes the current epoch on every shard in parallel and merges
+// the K sealed transcripts into one combined epoch result. The merge order
+// is deterministic — shard index order, each shard's board in its own
+// submission order — so the merged digest is reproducible by anyone holding
+// the shard transcripts. A shard that was already sealed (recovered by
+// ResumeShardedSession after a crash mid-finalize) contributes its sealed
+// transcript as-is instead of being finalized twice. With a segmented store
+// the merged digest is appended to the manifest, binding the K segment seals
+// into one auditable epoch. A cancelled ctx reopens the session so Finalize
+// can be retried (deterministically, to the same merged digest).
+func (ss *ShardedSession) Finalize(ctx context.Context) (*ShardedResult, error) {
+	ss.mu.Lock()
+	if ss.state != sessionOpen {
+		st := ss.state
+		ss.mu.Unlock()
+		return nil, fmt.Errorf("%w: session is %s", ErrBadConfig, st)
+	}
+	ss.state = sessionFinalizing
+	epoch := ss.epoch
+	ss.mu.Unlock()
+
+	results := make([]*RunResult, len(ss.shards))
+	err := forEach(ctx, len(ss.shards), len(ss.shards), func(i int) error {
+		s := ss.shards[i]
+		if s.Finalized() {
+			// Sealed before a crash; the segment already holds the epoch's
+			// transcript, so reuse it rather than double-finalizing.
+			t := s.SealedTranscript()
+			if t == nil {
+				return fmt.Errorf("%w: shard %d is finalized but its transcript is not recoverable", ErrBadConfig, i)
+			}
+			results[i] = &RunResult{Release: t.Release, Transcript: t, RejectedClients: s.Rejected()}
+			return nil
+		}
+		res, err := s.Finalize(ctx)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		// A shard that could not complete — cancelled mid-stage, or its seal
+		// append failed — reopens itself (Session.Finalize's retry
+		// contract), while a shard consumed by a protocol error stays
+		// finalized with no transcript. Mirror that here: the epoch is
+		// retryable while some shard is still open (sealed shards contribute
+		// their kept transcripts, so the re-merge reproduces the identical
+		// digest) — but a consumed shard can never merge, so its epoch is
+		// spent no matter what state its siblings are in; retrying would
+		// only bury the protocol error under lifecycle noise and, durably,
+		// seal sibling segments for an epoch that cannot complete.
+		retryable := errors.Is(err, ctxErr(ctx)) && ctxErr(ctx) != nil
+		for _, s := range ss.shards {
+			if !s.Finalized() {
+				retryable = true
+			}
+		}
+		for _, s := range ss.shards {
+			if s.Finalized() && s.SealedTranscript() == nil {
+				retryable = false
+				break
+			}
+		}
+		ss.mu.Lock()
+		if retryable {
+			ss.state = sessionOpen
+		} else {
+			ss.state = sessionFinalized
+		}
+		ss.mu.Unlock()
+		return nil, err
+	}
+
+	out := &ShardedResult{Shards: results, RejectedClients: make(map[int]error)}
+	for _, res := range results {
+		for id, rerr := range res.RejectedClients {
+			out.RejectedClients[id] = rerr
+		}
+	}
+	release, err := mergeReleases(ss.pub, out.Transcripts())
+	if err != nil {
+		ss.mu.Lock()
+		ss.state = sessionFinalized
+		ss.mu.Unlock()
+		return nil, err
+	}
+	out.Release = release
+	out.Digest = MergedTranscriptDigest(ss.pub, out.Transcripts())
+
+	if ss.opts.Segmented != nil {
+		if err := appendMergedSeal(ss.opts.Segmented, epoch, len(ss.shards), out.Digest); err != nil {
+			// The shards sealed durably but the epoch-binding manifest record
+			// did not land. Reopen so Finalize can be retried in-process once
+			// the store recovers: every shard is sealed with its transcript
+			// kept, so the retry re-merges to the identical digest and only
+			// re-attempts this append. (Reset and ResumeShardedSession heal
+			// the same gap, so choosing either over a retry cannot orphan
+			// the epoch.)
+			ss.mu.Lock()
+			ss.state = sessionOpen
+			ss.mu.Unlock()
+			return nil, err
+		}
+	}
+	ss.mu.Lock()
+	ss.state = sessionFinalized
+	ss.mu.Unlock()
+	return out, nil
+}
+
+// Reset reopens a sharded session for the next epoch: every shard advances
+// its epoch (skipping shards that already advanced, so a retried Reset after
+// a partial failure cannot double-advance a shard), and the merged epoch
+// counter moves with them. A durable epoch whose shards all sealed but
+// whose merged-seal manifest record never landed (a failed append, followed
+// by the caller choosing Reset over a Finalize retry) is healed first —
+// otherwise advancing past it would orphan a fully-sealed epoch that
+// AuditSegmentedLog could never accept.
+func (ss *ShardedSession) Reset() error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.state == sessionFinalizing {
+		return fmt.Errorf("%w: session is finalizing", ErrBadConfig)
+	}
+	if ss.opts.Segmented != nil {
+		if err := ss.healMergedSealLocked(); err != nil {
+			return err
+		}
+	}
+	for i, s := range ss.shards {
+		if s.Epoch() > ss.epoch {
+			continue // already advanced by an earlier, partially failed Reset
+		}
+		if err := s.Reset(); err != nil {
+			return fmt.Errorf("vdp: resetting shard %d: %w", i, err)
+		}
+	}
+	ss.epoch++
+	ss.state = sessionOpen
+	return nil
+}
+
+// healMergedSealLocked appends the current epoch's missing merged-seal
+// manifest record when every shard is sealed with its transcript kept —
+// the state a failed appendMergedSeal leaves behind. A no-op when the
+// epoch is not fully sealed (nothing to bind), was consumed by a protocol
+// error (no transcripts to bind), or is already sealed in the manifest.
+// Callers hold ss.mu.
+func (ss *ShardedSession) healMergedSealLocked() error {
+	ts := make([]*Transcript, len(ss.shards))
+	for i, s := range ss.shards {
+		if s.Epoch() != ss.epoch || !s.Finalized() {
+			return nil
+		}
+		if ts[i] = s.SealedTranscript(); ts[i] == nil {
+			return nil
+		}
+	}
+	seals, err := readMergedSeals(ss.opts.Segmented)
+	if err != nil {
+		return err
+	}
+	if _, ok := seals[ss.epoch]; ok {
+		return nil
+	}
+	return appendMergedSeal(ss.opts.Segmented, ss.epoch, len(ss.shards), MergedTranscriptDigest(ss.pub, ts))
+}
+
+// MergedTranscriptDigest pins a sharded epoch: for a single shard it is
+// exactly TranscriptDigest of that shard's transcript (so an unsharded
+// deployment and a Shards = 1 sharded one agree byte for byte), and for K
+// shards it is SHA-256 over a domain tag, the shard count, and the K
+// per-shard transcript digests in shard order. The shard order is the merge
+// order, so two parties agree on the merged digest iff they agree on every
+// bulletin-board byte of every shard.
+func MergedTranscriptDigest(pub *Public, shards []*Transcript) []byte {
+	if len(shards) == 1 {
+		return TranscriptDigest(pub, shards[0])
+	}
+	h := sha256.New()
+	h.Write([]byte("vdp/merged-transcript/1"))
+	writeU32(h, uint32(len(shards)))
+	for _, t := range shards {
+		chunk(h, TranscriptDigest(pub, t))
+	}
+	return h.Sum(nil)
+}
+
+// checkShardAssignment verifies the shard map over a merged epoch's
+// transcripts: every client sits on the shard ShardOf assigns it to, and no
+// client appears on two shards.
+func checkShardAssignment(shards []*Transcript) error {
+	seen := make(map[int]int) // client ID -> shard
+	for i, t := range shards {
+		if t == nil {
+			return fmt.Errorf("%w: shard %d transcript is missing", ErrAuditFail, i)
+		}
+		for _, cp := range t.Clients {
+			if want := ShardOf(cp.ID, len(shards)); want != i {
+				return fmt.Errorf("%w: client %d appears on shard %d but the shard map assigns it to shard %d",
+					ErrAuditFail, cp.ID, i, want)
+			}
+			if prev, dup := seen[cp.ID]; dup {
+				return fmt.Errorf("%w: client %d appears on shards %d and %d", ErrAuditFail, cp.ID, prev, i)
+			}
+			seen[cp.ID] = i
+		}
+	}
+	return nil
+}
+
+// mergeReleases combines the per-shard releases into the epoch's release:
+// raw counts add, so the merged bin j carries Shards·K independent
+// Binomial(nb, ½) noises; the debiasing mean and the standard deviation
+// scale accordingly.
+func mergeReleases(pub *Public, shards []*Transcript) (*Release, error) {
+	m := pub.cfg.Bins
+	rel := &Release{
+		Raw:      make([]int64, m),
+		Estimate: make([]float64, m),
+		Stddev:   stddev(pub.cfg.Provers*len(shards), pub.nb),
+	}
+	mean := float64(len(shards)) * pub.NoiseMean()
+	for i, t := range shards {
+		if t == nil || t.Release == nil {
+			return nil, fmt.Errorf("%w: shard %d has no release", ErrBadConfig, i)
+		}
+		if len(t.Release.Raw) != m {
+			return nil, fmt.Errorf("%w: shard %d release has %d bins, want %d", ErrBadConfig, i, len(t.Release.Raw), m)
+		}
+		for j, raw := range t.Release.Raw {
+			rel.Raw[j] += raw
+		}
+	}
+	for j := range rel.Raw {
+		rel.Estimate[j] = float64(rel.Raw[j]) - mean
+	}
+	return rel, nil
+}
+
+// AuditMerged audits a merged (sharded) epoch from its per-shard
+// transcripts: every shard transcript is fully re-verified (exactly Audit),
+// every client must live on the shard ShardOf assigns it to — so a curator
+// cannot smuggle a client onto two shards or move one to a shard of its
+// choosing — no client may appear twice across the board, and, when release
+// is non-nil, the combined release must equal the recomputed merge of the
+// shard releases. workers follows the AuditParallel convention (0 = all
+// cores) and is the width given to each shard's audit in turn.
+func AuditMerged(ctx context.Context, pub *Public, shards []*Transcript, release *Release, workers int) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("%w: merged epoch has no shard transcripts", ErrAuditFail)
+	}
+	if err := checkShardAssignment(shards); err != nil {
+		return err
+	}
+	for i, t := range shards {
+		if err := auditParallel(ctx, pub, t, workers); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	if release == nil {
+		return nil
+	}
+	want, err := mergeReleases(pub, shards)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrAuditFail, err)
+	}
+	if len(release.Raw) != len(want.Raw) {
+		return fmt.Errorf("%w: merged release has %d bins, shards produce %d", ErrAuditFail, len(release.Raw), len(want.Raw))
+	}
+	for j := range want.Raw {
+		if release.Raw[j] != want.Raw[j] {
+			return fmt.Errorf("%w: merged bin %d = %d, shard releases sum to %d",
+				ErrAuditFail, j, release.Raw[j], want.Raw[j])
+		}
+	}
+	return nil
+}

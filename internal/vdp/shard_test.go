@@ -1,0 +1,876 @@
+package vdp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestShardedMatchesSessionDigest is the sharding acceptance criterion.
+// Part 1: with Shards = 1 the merged transcript digest is byte-identical to
+// a plain Session's under the same seed. Part 2: a sharded epoch that
+// crashes mid-stream and is resumed from its segmented board log finalizes
+// to the same merged digest as an uninterrupted run of the same material.
+func TestShardedMatchesSessionDigest(t *testing.T) {
+	pub := testPublic(t, 1, 1, 6)
+	choices := []int{1, 0, 1, 1, 0, 1, 0, 1}
+
+	// Reference: the unsharded streaming session.
+	ref, err := NewSession(pub, SessionOptions{Rand: testSeed(5), Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range choices {
+		sub, err := ref.NewClientSubmission(i, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Submit(context.Background(), sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refRes, err := ref.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TranscriptDigest(pub, refRes.Transcript)
+
+	// Part 1: Shards = 1 collapses to the plain session, byte for byte.
+	ss, err := NewShardedSession(pub, SessionOptions{Rand: testSeed(5), Shards: 1, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range choices {
+		sub, err := ss.NewClientSubmission(i, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Submit(context.Background(), sub); err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	res, err := ss.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shards) != 1 {
+		t.Fatalf("merged result covers %d shards, want 1", len(res.Shards))
+	}
+	if !bytes.Equal(res.Digest, want) {
+		t.Error("Shards=1 merged digest differs from the plain Session's under the same seed")
+	}
+	if err := AuditMerged(context.Background(), pub, res.Transcripts(), res.Release, 0); err != nil {
+		t.Errorf("merged audit: %v", err)
+	}
+
+	// Part 2: crash/resume of a sharded epoch reproduces the merged digest.
+	const shards = 3
+	subs := make([]*ClientSubmission, len(choices))
+
+	runSharded := func(opts SessionOptions, crashAfter int) (*ShardedResult, *ShardedSession) {
+		s, err := NewShardedSession(pub, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range choices {
+			if subs[i] == nil {
+				sub, err := s.NewClientSubmission(i, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				subs[i] = sub
+			}
+			if err := s.Submit(context.Background(), subs[i]); err != nil {
+				t.Fatalf("client %d: %v", i, err)
+			}
+			if i+1 == crashAfter {
+				return nil, s
+			}
+		}
+		out, err := s.Finalize(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, s
+	}
+
+	uninterrupted, _ := runSharded(SessionOptions{Rand: testSeed(9), Shards: shards, Parallelism: 2}, 0)
+	if bytes.Equal(uninterrupted.Digest, want) {
+		t.Error("multi-shard digest equals single-session digest — shards are not independent instances")
+	}
+
+	dir := t.TempDir()
+	seg, err := store.OpenSegmentedLog(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = runSharded(SessionOptions{Rand: testSeed(9), Segmented: seg, Parallelism: 2}, 5)
+	if err := seg.Close(); err != nil { // the crash
+		t.Fatal(err)
+	}
+
+	seg2, err := store.OpenSegmentedLog(dir, 0) // adopt the recorded shard count
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg2.Close()
+	if got := seg2.Shards(); got != shards {
+		t.Fatalf("reopened segmented log has %d shards, want %d", got, shards)
+	}
+	resumed, err := ResumeShardedSession(context.Background(), pub, SessionOptions{Rand: testSeed(9), Segmented: seg2, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Resumed() {
+		t.Error("resumed session does not report Resumed")
+	}
+	if got := resumed.Submitted(); got != 5 {
+		t.Fatalf("resumed session recovered %d submissions, want 5", got)
+	}
+	for i := 5; i < len(choices); i++ {
+		if err := resumed.Submit(context.Background(), subs[i]); err != nil {
+			t.Fatalf("post-resume client %d: %v", i, err)
+		}
+	}
+	resumedRes, err := resumed.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumedRes.Digest, uninterrupted.Digest) {
+		t.Error("crash/resume of a sharded epoch changed the merged transcript digest")
+	}
+	if err := AuditMerged(context.Background(), pub, resumedRes.Transcripts(), resumedRes.Release, 0); err != nil {
+		t.Errorf("merged audit of recovered epoch: %v", err)
+	}
+	if err := AuditSegmentedLog(context.Background(), pub, seg2, -1, 0); err != nil {
+		t.Errorf("segmented offline audit: %v", err)
+	}
+}
+
+// TestShardedRouting: every submission lands on the shard ShardOf assigns
+// it, the per-shard counters sum to the whole board, and rejections merge
+// across shards.
+func TestShardedRouting(t *testing.T) {
+	pub := testPublic(t, 1, 1, 4)
+	const shards, n = 4, 16
+	ss, err := NewShardedSession(pub, SessionOptions{Shards: shards, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShard := make([]int, shards)
+	for i := 0; i < n; i++ {
+		sub, err := ss.NewClientSubmission(i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 7 { // one forged proof in the flood
+			other, err := pub.NewClientSubmission(99, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub.Public.BitProof = other.Public.BitProof
+		}
+		err = ss.Submit(context.Background(), sub)
+		if i == 7 {
+			if !errors.Is(err, ErrClientReject) {
+				t.Fatalf("forged client verdict: %v", err)
+			}
+		} else if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		perShard[ShardOf(i, shards)]++
+	}
+	spread := 0
+	for i := 0; i < shards; i++ {
+		if got := ss.Shard(i).Submitted(); got != perShard[i] {
+			t.Errorf("shard %d holds %d submissions, hash assigns %d", i, got, perShard[i])
+		}
+		if perShard[i] > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("hash routed every client to %d shard(s); want a spread", spread)
+	}
+	if got := ss.Submitted(); got != n {
+		t.Errorf("Submitted() = %d, want %d", got, n)
+	}
+	if got := ss.Accepted(); got != n-1 {
+		t.Errorf("Accepted() = %d, want %d", got, n-1)
+	}
+	rej := ss.Rejected()
+	if len(rej) != 1 || !errors.Is(rej[7], ErrClientReject) {
+		t.Errorf("merged rejections: %v", rej)
+	}
+	res, err := ss.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RejectedClients) != 1 || !errors.Is(res.RejectedClients[7], ErrClientReject) {
+		t.Errorf("finalized rejections: %v", res.RejectedClients)
+	}
+	// The combined release covers the n-1 honest ones: raw within the noise
+	// envelope [n-1, n-1 + shards·K·nb].
+	if res.Release.Raw[0] < n-1 || res.Release.Raw[0] > n-1+shards*4 {
+		t.Errorf("merged raw %d outside honest envelope", res.Release.Raw[0])
+	}
+	if err := AuditMerged(context.Background(), pub, res.Transcripts(), res.Release, 0); err != nil {
+		t.Errorf("merged audit: %v", err)
+	}
+}
+
+// TestShardedConcurrentSubmit floods a sharded session from many goroutines
+// (run under -race in CI): shard routing must stay correct and the merged
+// epoch must audit.
+func TestShardedConcurrentSubmit(t *testing.T) {
+	pub := testPublic(t, 1, 1, 4)
+	const shards, n = 4, 24
+	subs := make([]*ClientSubmission, n)
+	err := forEach(nil, 4, n, func(i int) error {
+		sub, err := pub.NewClientSubmission(i, 1, nil)
+		if err != nil {
+			return err
+		}
+		subs[i] = sub
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewShardedSession(pub, SessionOptions{Shards: shards, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	verdicts := make([]error, n)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 8 {
+				verdicts[i] = ss.Submit(context.Background(), subs[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i, v := range verdicts {
+		if v != nil {
+			t.Errorf("client %d: %v", i, v)
+		}
+	}
+	res, err := ss.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Release.Raw[0] < n || res.Release.Raw[0] > n+shards*4 {
+		t.Errorf("merged raw %d outside honest envelope", res.Release.Raw[0])
+	}
+	if err := AuditMerged(context.Background(), pub, res.Transcripts(), res.Release, 0); err != nil {
+		t.Errorf("merged audit: %v", err)
+	}
+}
+
+// TestShardedCrashMidFinalize: a crash that seals some shards but not
+// others resumes open, reuses the sealed shards' transcripts, and still
+// produces the uninterrupted merged digest.
+func TestShardedCrashMidFinalize(t *testing.T) {
+	pub := testPublic(t, 1, 1, 4)
+	const shards, n = 3, 9
+	choices := []int{1, 0, 1, 1, 1, 0, 0, 1, 1}
+
+	subs := make([]*ClientSubmission, n)
+	run := func(opts SessionOptions) *ShardedSession {
+		s, err := NewShardedSession(pub, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if subs[i] == nil {
+				sub, err := s.NewClientSubmission(i, choices[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				subs[i] = sub
+			}
+			if err := s.Submit(context.Background(), subs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+
+	refSession := run(SessionOptions{Rand: testSeed(21), Shards: shards})
+	ref, err := refSession.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	seg, err := store.OpenSegmentedLog(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := run(SessionOptions{Rand: testSeed(21), Segmented: seg})
+	// The "crash": exactly one shard finalizes (seals its segment) before
+	// the process dies.
+	if _, err := ss.Shard(1).Finalize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg2, err := store.OpenSegmentedLog(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg2.Close()
+	resumed, err := ResumeShardedSession(context.Background(), pub, SessionOptions{Rand: testSeed(21), Segmented: seg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Finalized() {
+		t.Fatal("partially sealed epoch resumed as finalized")
+	}
+	res, err := resumed.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Digest, ref.Digest) {
+		t.Error("crash mid-finalize changed the merged digest")
+	}
+	if err := AuditSegmentedLog(context.Background(), pub, seg2, -1, 0); err != nil {
+		t.Errorf("segmented audit after mid-finalize recovery: %v", err)
+	}
+}
+
+// TestShardedManifestHeal: a crash after every shard sealed but before the
+// manifest's merged-seal record landed resumes finalized, recomputes the
+// merged digest from the segment seals, and heals the manifest so the
+// offline auditor accepts the epoch.
+func TestShardedManifestHeal(t *testing.T) {
+	pub := testPublic(t, 1, 1, 4)
+	const shards = 2
+	dir := t.TempDir()
+	seg, err := store.OpenSegmentedLog(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewShardedSession(pub, SessionOptions{Rand: testSeed(33), Segmented: seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		sub, err := ss.NewClientSubmission(i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Submit(context.Background(), sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seal every shard by hand — the front door never gets to write the
+	// manifest record, exactly like a crash between the last segment seal
+	// and the manifest append.
+	for i := 0; i < shards; i++ {
+		if _, err := ss.Shard(i).Finalize(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg2, err := store.OpenSegmentedLog(dir, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg2.Close()
+	resumed, err := ResumeShardedSession(context.Background(), pub, SessionOptions{Rand: testSeed(33), Segmented: seg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Finalized() {
+		t.Fatal("fully sealed epoch did not resume finalized")
+	}
+	if err := AuditSegmentedLog(context.Background(), pub, seg2, -1, 0); err != nil {
+		t.Errorf("audit after manifest heal: %v", err)
+	}
+	// The next epoch opens cleanly on top of the healed manifest.
+	if err := resumed.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Epoch(); got != 1 {
+		t.Fatalf("epoch after reset = %d, want 1", got)
+	}
+	sub, err := resumed.NewClientSubmission(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Submit(context.Background(), sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Finalize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditSegmentedLog(context.Background(), pub, seg2, 1, 0); err != nil {
+		t.Errorf("audit of the post-heal epoch: %v", err)
+	}
+}
+
+// TestShardedAuditTamper: the merged auditors reject shard-map violations
+// and doctored segments.
+func TestShardedAuditTamper(t *testing.T) {
+	pub := testPublic(t, 1, 1, 4)
+	const shards = 2
+
+	t.Run("client-on-wrong-shard", func(t *testing.T) {
+		ss, err := NewShardedSession(pub, SessionOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := pub.NewClientSubmission(3, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bypass the router: a corrupt front door posts the client on the
+		// other shard.
+		wrong := 1 - ShardOf(3, shards)
+		if err := ss.Shard(wrong).Submit(context.Background(), sub); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ss.Finalize(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AuditMerged(context.Background(), pub, res.Transcripts(), res.Release, 0); !errors.Is(err, ErrAuditFail) {
+			t.Errorf("wrong-shard client passed the merged audit: %v", err)
+		}
+	})
+
+	t.Run("client-on-two-shards", func(t *testing.T) {
+		ss, err := NewShardedSession(pub, SessionOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find an ID for each shard, then post shard 1's client on both.
+		sub0, err := pub.NewClientSubmission(pickIDForShard(0, shards), 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Shard(0).Submit(context.Background(), sub0); err != nil {
+			t.Fatal(err)
+		}
+		dup, err := pub.NewClientSubmission(pickIDForShard(1, shards), 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Shard(1).Submit(context.Background(), dup); err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Shard(0).Submit(context.Background(), dup); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ss.Finalize(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AuditMerged(context.Background(), pub, res.Transcripts(), res.Release, 0); !errors.Is(err, ErrAuditFail) {
+			t.Errorf("double-posted client passed the merged audit: %v", err)
+		}
+	})
+
+	t.Run("segment-appended-after-seal", func(t *testing.T) {
+		dir := t.TempDir()
+		seg, err := store.OpenSegmentedLog(dir, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer seg.Close()
+		ss, err := NewShardedSession(pub, SessionOptions{Segmented: seg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := ss.NewClientSubmission(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Submit(context.Background(), sub); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ss.Finalize(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := AuditSegmentedLog(context.Background(), pub, seg, -1, 0); err != nil {
+			t.Fatalf("honest epoch failed audit: %v", err)
+		}
+		// Tamper: splice a forged submission into a sealed segment.
+		forged, err := pub.NewClientSubmission(77, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := ShardOf(77, shards)
+		err = seg.Segment(shard).Append(&store.Record{
+			Kind: RecordSubmission, Epoch: 0, Payload: pub.EncodeClientSubmission(forged),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AuditSegmentedLog(context.Background(), pub, seg, -1, 0); !errors.Is(err, ErrAuditFail) {
+			t.Errorf("doctored segment passed the audit: %v", err)
+		}
+	})
+
+	t.Run("manifest-double-seal", func(t *testing.T) {
+		dir := t.TempDir()
+		seg, err := store.OpenSegmentedLog(dir, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer seg.Close()
+		ss, err := NewShardedSession(pub, SessionOptions{Segmented: seg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := ss.NewClientSubmission(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Submit(context.Background(), sub); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ss.Finalize(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		// Tamper: a second, contradictory merged seal for the same epoch.
+		bogus := make([]byte, 32)
+		err = seg.Manifest().Append(&store.Record{Kind: RecordMergedSeal, Epoch: 0, Payload: encodeMergedSeal(shards, bogus)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AuditSegmentedLog(context.Background(), pub, seg, -1, 0); err == nil {
+			t.Error("double-sealed manifest passed the audit")
+		}
+	})
+}
+
+// TestShardedManifestAppendFailureRetryable: when every shard seals but the
+// manifest's merged-seal append fails, the session must stay retryable —
+// not report "session is finalized" — so a caller can re-merge in-process
+// once the store recovers (the retry reuses the kept shard transcripts).
+func TestShardedManifestAppendFailureRetryable(t *testing.T) {
+	pub := testPublic(t, 1, 1, 4)
+	seg, err := store.OpenSegmentedLog(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	ss, err := NewShardedSession(pub, SessionOptions{Segmented: seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ss.NewClientSubmission(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Submit(context.Background(), sub); err != nil {
+		t.Fatal(err)
+	}
+	// Break only the manifest: the segment seals still land, the
+	// epoch-binding merged-seal record cannot.
+	if err := seg.Manifest().Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Finalize(context.Background()); !errors.Is(err, store.ErrClosed) {
+		t.Fatalf("Finalize with a failing manifest: %v, want the manifest append error", err)
+	}
+	if ss.Finalized() {
+		t.Fatal("manifest append failure marked the session finalized, burying the retry")
+	}
+	// The retry surfaces the same storage error (the manifest is still
+	// down), never the misleading lifecycle error.
+	if _, err := ss.Finalize(context.Background()); errors.Is(err, ErrBadConfig) {
+		t.Fatalf("Finalize retry reported a lifecycle error instead of the storage error: %v", err)
+	}
+}
+
+// TestShardedResetHealsMergedSeal: a caller that answers a failed
+// merged-seal append with Reset (instead of a Finalize retry) must not
+// orphan the fully-sealed epoch — Reset writes the missing manifest record
+// from the kept shard transcripts before advancing.
+func TestShardedResetHealsMergedSeal(t *testing.T) {
+	pub := testPublic(t, 1, 1, 4)
+	seg, err := store.OpenSegmentedLog(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	ss, err := NewShardedSession(pub, SessionOptions{Segmented: seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		sub, err := ss.NewClientSubmission(i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Submit(context.Background(), sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seal every shard without the front door: the manifest record is
+	// missing, exactly as after a failed appendMergedSeal.
+	for i := 0; i < 2; i++ {
+		if _, err := ss.Shard(i).Finalize(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := AuditSegmentedLog(context.Background(), pub, seg, 0, 0); err == nil {
+		t.Fatal("epoch 0 audited without a merged seal — test setup is wrong")
+	}
+	if err := ss.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// The heal landed: epoch 0 is a complete merged epoch for the auditor,
+	// and the session serves epoch 1 normally.
+	if err := AuditSegmentedLog(context.Background(), pub, seg, 0, 0); err != nil {
+		t.Errorf("epoch 0 still unauditable after Reset healed the manifest: %v", err)
+	}
+	sub, err := ss.NewClientSubmission(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Submit(context.Background(), sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Finalize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditSegmentedLog(context.Background(), pub, seg, 1, 0); err != nil {
+		t.Errorf("epoch 1 audit: %v", err)
+	}
+}
+
+// pickIDForShard returns a small non-negative client ID that ShardOf maps to
+// the wanted shard.
+func pickIDForShard(shard, shards int) int {
+	for id := 0; ; id++ {
+		if ShardOf(id, shards) == shard {
+			return id
+		}
+	}
+}
+
+// TestShardedStateMachine pins the front door's lifecycle errors and the
+// configuration guards around sharding.
+func TestShardedStateMachine(t *testing.T) {
+	pub := testPublic(t, 1, 1, 4)
+
+	if _, err := NewSession(pub, SessionOptions{Shards: 2}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("NewSession with Shards=2: %v, want ErrBadConfig", err)
+	}
+	if _, err := NewShardedSession(pub, SessionOptions{Store: store.NewMemLog()}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("NewShardedSession with Store: %v, want ErrBadConfig", err)
+	}
+	dir := t.TempDir()
+	seg, err := store.OpenSegmentedLog(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if _, err := NewSession(pub, SessionOptions{Segmented: seg}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("NewSession with Segmented: %v, want ErrBadConfig", err)
+	}
+	if _, err := NewShardedSession(pub, SessionOptions{Shards: 3, Segmented: seg}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("shard-count mismatch: %v, want ErrBadConfig", err)
+	}
+	if _, err := ResumeSession(context.Background(), pub, SessionOptions{Segmented: seg}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("ResumeSession with Segmented: %v, want ErrBadConfig", err)
+	}
+	if _, err := ResumeShardedSession(context.Background(), pub, SessionOptions{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("ResumeShardedSession without Segmented: %v, want ErrBadConfig", err)
+	}
+
+	ss, err := NewShardedSession(pub, SessionOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Submit(context.Background(), nil); !errors.Is(err, ErrClientReject) {
+		t.Errorf("nil submission: %v, want ErrClientReject", err)
+	}
+	sub, err := ss.NewClientSubmission(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Submit(context.Background(), sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Finalize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !ss.Finalized() {
+		t.Error("session not finalized after Finalize")
+	}
+	if _, err := ss.Finalize(context.Background()); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("double finalize: %v, want ErrBadConfig", err)
+	}
+	if err := ss.Submit(context.Background(), sub); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("submit after finalize: %v, want ErrBadConfig", err)
+	}
+	if err := ss.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if ss.Epoch() != 1 {
+		t.Errorf("epoch after reset = %d, want 1", ss.Epoch())
+	}
+	// The same client ID is fresh again in the new epoch.
+	sub2, err := ss.NewClientSubmission(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Submit(context.Background(), sub2); err != nil {
+		t.Errorf("resubmission in fresh epoch: %v", err)
+	}
+}
+
+// TestShardedResetDeterminism: a seeded multi-epoch sharded schedule is
+// reproducible epoch by epoch, and epochs never repeat each other's noise.
+func TestShardedResetDeterminism(t *testing.T) {
+	pub := testPublic(t, 1, 1, 6)
+	choices := []int{1, 1, 0, 1, 0}
+
+	runEpochs := func() [][]byte {
+		ss, err := NewShardedSession(pub, SessionOptions{Rand: testSeed(64), Shards: 2, Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var digests [][]byte
+		for epoch := 0; epoch < 3; epoch++ {
+			for i, c := range choices {
+				sub, err := ss.NewClientSubmission(i, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ss.Submit(context.Background(), sub); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := ss.Finalize(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			digests = append(digests, res.Digest)
+			if err := ss.Reset(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return digests
+	}
+
+	a, b := runEpochs(), runEpochs()
+	for e := range a {
+		if !bytes.Equal(a[e], b[e]) {
+			t.Errorf("epoch %d not reproducible across same-seed sharded sessions", e)
+		}
+	}
+	for e := 1; e < len(a); e++ {
+		if bytes.Equal(a[0], a[e]) {
+			t.Errorf("epoch %d merged digest identical to epoch 0 — epochs share noise", e)
+		}
+	}
+}
+
+// TestShardedFinalizeCancellation: a cancelled Finalize reopens the sharded
+// session, and the retry completes deterministically.
+func TestShardedFinalizeCancellation(t *testing.T) {
+	pub := testPublic(t, 1, 1, 8)
+	ss, err := NewShardedSession(pub, SessionOptions{Rand: testSeed(12), Shards: 2, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		sub, err := ss.NewClientSubmission(i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Submit(context.Background(), sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, polls := range []int{0, 2, 6} {
+		if _, err := ss.Finalize(newCountdownCtx(polls)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Finalize with cancellation after %d polls: %v, want context.Canceled", polls, err)
+		}
+	}
+	res, err := ss.Finalize(context.Background())
+	if err != nil {
+		t.Fatalf("Finalize retry after cancellation: %v", err)
+	}
+	if err := AuditMerged(context.Background(), pub, res.Transcripts(), res.Release, 0); err != nil {
+		t.Errorf("merged audit: %v", err)
+	}
+}
+
+// BenchmarkShardedSubmit measures front-door contention: many goroutines
+// hammering Submit with deferred verification, so admission — not proof
+// crypto — dominates. The mem variant exercises the per-shard roster locks
+// alone (its spread shows up on multi-core hosts); the durable variant is
+// the production bottleneck made visible on any host: a single session
+// forces every submission through ONE board log's ordered append +
+// group-commit fsync stream, while Shards ≥ 4 overlap that many independent
+// segment streams, cutting the per-submission cost by the overlap factor
+// even on one core (fsync latency is I/O wait, not CPU).
+func BenchmarkShardedSubmit(b *testing.B) {
+	pub, err := Setup(Config{Provers: 1, Bins: 1, Coins: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flood := func(b *testing.B, ss *ShardedSession) {
+		subs := make([]*ClientSubmission, b.N)
+		for i := range subs {
+			subs[i] = &ClientSubmission{Public: &ClientPublic{ID: i}}
+		}
+		var next atomic.Int64
+		b.ReportAllocs()
+		b.SetParallelism(4) // 4 goroutines per core: keep the serialized sections hot
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(next.Add(1)) - 1
+				if err := ss.Submit(context.Background(), subs[i]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("mem/shards=%d", shards), func(b *testing.B) {
+			ss, err := NewShardedSession(pub, SessionOptions{Shards: shards, DeferVerification: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			flood(b, ss)
+		})
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("durable/shards=%d", shards), func(b *testing.B) {
+			seg, err := store.OpenSegmentedLog(b.TempDir(), shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer seg.Close()
+			ss, err := NewShardedSession(pub, SessionOptions{Segmented: seg, DeferVerification: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			flood(b, ss)
+		})
+	}
+}

@@ -1,0 +1,246 @@
+package vdp
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// Durable sharded bulletin board: the ShardedSession's integration with
+// store.SegmentedLog.
+//
+// Each shard writes its ordinary single-session record stream
+// (submission/verdict/seal/reset — see store.go) to its own segment, so one
+// shard's fsyncs never serialize another shard's Submits. The manifest binds
+// the segments together: at creation the store records the fixed shard
+// count, and at every Finalize the session appends a merged-seal record
+// holding MergedTranscriptDigest over the K segment seals. An epoch is a
+// *merged* epoch — one auditable unit — exactly when that record exists and
+// matches the digests recomputed from the segments.
+
+// RecordMergedSeal is the manifest record kind a ShardedSession appends at
+// Finalize: payload = shard count + MergedTranscriptDigest of the epoch's
+// per-shard transcripts, in shard order. It extends the record-kind
+// namespace of store.go; segment logs never carry it.
+const RecordMergedSeal uint8 = 7
+
+// encodeMergedSeal serializes a merged-seal manifest record body.
+func encodeMergedSeal(shards int, digest []byte) []byte {
+	var w wireWriter
+	w.version()
+	w.u32(uint32(shards))
+	w.lpBytes(digest)
+	return w.b
+}
+
+// decodeMergedSeal parses a merged-seal manifest record body.
+func decodeMergedSeal(b []byte) (shards int, digest []byte, err error) {
+	r := wireReader{b: b}
+	r.version()
+	shards = int(r.u32())
+	digest = r.lpBytes()
+	if err := r.finish(); err != nil {
+		return 0, nil, err
+	}
+	if len(digest) != sha256.Size {
+		return 0, nil, fmt.Errorf("vdp: merged seal carries a %d-byte digest, want %d", len(digest), sha256.Size)
+	}
+	return shards, digest, nil
+}
+
+// appendMergedSeal records a finalized merged epoch in the manifest.
+func appendMergedSeal(seg *store.SegmentedLog, epoch, shards int, digest []byte) error {
+	err := seg.Manifest().Append(&store.Record{Kind: RecordMergedSeal, Epoch: uint32(epoch), Payload: encodeMergedSeal(shards, digest)})
+	if err != nil {
+		return fmt.Errorf("vdp: manifest append: %w", err)
+	}
+	return nil
+}
+
+// readMergedSeals replays the manifest into epoch -> merged digest,
+// enforcing the manifest grammar: the store's own records are skipped, every
+// merged seal must carry the directory's shard count, no epoch may be sealed
+// twice, and a kind no ShardedSession writes is rejected outright.
+func readMergedSeals(seg *store.SegmentedLog) (map[int][]byte, error) {
+	out := make(map[int][]byte)
+	i := -1
+	err := seg.Manifest().Replay(func(rec *store.Record) error {
+		i++
+		if rec.Kind >= store.KindSegmentedInit {
+			return nil // store-reserved bookkeeping
+		}
+		if rec.Kind != RecordMergedSeal {
+			return fmt.Errorf("vdp: manifest record %d has unknown kind %d", i, rec.Kind)
+		}
+		shards, digest, err := decodeMergedSeal(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("vdp: manifest record %d: %w", i, err)
+		}
+		if shards != seg.Shards() {
+			return fmt.Errorf("vdp: manifest record %d claims %d shards, directory holds %d", i, shards, seg.Shards())
+		}
+		epoch := int(rec.Epoch)
+		if _, dup := out[epoch]; dup {
+			return fmt.Errorf("vdp: manifest seals epoch %d twice", epoch)
+		}
+		out[epoch] = digest
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ResumeShardedSession reconstructs a sharded session from its segmented
+// board log after a restart. Every shard's segment is replayed and resumed
+// exactly as ResumeSession would (same roster, same board order, lost
+// verdicts re-verified), and the shards are then reconciled into one
+// session:
+//
+//   - A crash mid-Reset leaves some shards an epoch ahead; the laggards are
+//     rolled forward (their Reset is completed), so all shards agree on the
+//     current epoch again.
+//   - A crash mid-Finalize leaves some shards sealed and others open; the
+//     session resumes open, and its Finalize reuses the sealed shards'
+//     transcripts while finalizing the rest — the merged digest comes out
+//     identical to the uninterrupted run's (given the same seed).
+//   - A crash after every shard sealed but before the manifest's merged-seal
+//     record landed is healed here: the digest is recomputed from the
+//     segment seals and the missing record is appended. A manifest record
+//     that *disagrees* with the recomputed digest is tampering and refuses
+//     to resume.
+//
+// opts.Segmented must be the replayed segmented log; it receives all further
+// records. opts.Rand must carry the original root seed for deterministic
+// reproduction, exactly as with ResumeSession.
+func ResumeShardedSession(ctx context.Context, pub *Public, opts SessionOptions) (*ShardedSession, error) {
+	seg := opts.Segmented
+	if seg == nil {
+		return nil, fmt.Errorf("%w: ResumeShardedSession needs SessionOptions.Segmented", ErrBadConfig)
+	}
+	if opts.Store != nil {
+		return nil, fmt.Errorf("%w: a sharded session stores its board in SessionOptions.Segmented, not Store", ErrBadConfig)
+	}
+	shards, err := resolveShardCount(opts)
+	if err != nil {
+		return nil, err
+	}
+	root, err := newRandSource(opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+	ss := &ShardedSession{pub: pub, opts: opts, root: root, resumed: true}
+	per := perShardWorkers(opts.Parallelism, shards)
+	maxEpoch := 0
+	for i := 0; i < shards; i++ {
+		so := subSessionOptions(opts, per)
+		so.Store = seg.Segment(i)
+		s, err := resumeSessionFromSource(ctx, pub, so, root.forkShard(i, shards))
+		if err != nil {
+			return nil, fmt.Errorf("vdp: resuming shard %d: %w", i, err)
+		}
+		ss.shards = append(ss.shards, s)
+		if s.Epoch() > maxEpoch {
+			maxEpoch = s.Epoch()
+		}
+	}
+	// Complete any Reset a crash interrupted: every shard must sit at the
+	// same epoch before the session takes new submissions.
+	for i, s := range ss.shards {
+		for s.Epoch() < maxEpoch {
+			if err := s.Reset(); err != nil {
+				return nil, fmt.Errorf("vdp: rolling shard %d forward to epoch %d: %w", i, maxEpoch, err)
+			}
+		}
+	}
+	ss.epoch = maxEpoch
+
+	seals, err := readMergedSeals(seg)
+	if err != nil {
+		return nil, err
+	}
+	for epoch := range seals {
+		if epoch > maxEpoch {
+			return nil, fmt.Errorf("vdp: manifest seals epoch %d but the segments have only reached epoch %d", epoch, maxEpoch)
+		}
+	}
+	allSealed := true
+	for _, s := range ss.shards {
+		if !s.Finalized() {
+			allSealed = false
+			break
+		}
+	}
+	if allSealed {
+		ts := make([]*Transcript, shards)
+		for i, s := range ss.shards {
+			if ts[i] = s.SealedTranscript(); ts[i] == nil {
+				return nil, fmt.Errorf("%w: shard %d is sealed but its transcript is not recoverable", ErrBadConfig, i)
+			}
+		}
+		digest := MergedTranscriptDigest(pub, ts)
+		if want, ok := seals[maxEpoch]; ok {
+			if !bytes.Equal(want, digest) {
+				return nil, fmt.Errorf("vdp: manifest merged seal for epoch %d disagrees with the segment seals", maxEpoch)
+			}
+		} else if err := appendMergedSeal(seg, maxEpoch, shards, digest); err != nil {
+			return nil, err
+		}
+		ss.state = sessionFinalized
+	} else if _, ok := seals[maxEpoch]; ok {
+		// The manifest claims the current epoch merged, yet at least one
+		// segment holds no seal for it: a segment was truncated or swapped
+		// after the fact. Refuse to build on doctored evidence.
+		return nil, fmt.Errorf("vdp: manifest seals epoch %d but not every shard segment is sealed", maxEpoch)
+	}
+	return ss, nil
+}
+
+// AuditSegmentedLog audits a merged (sharded) epoch offline, from the
+// segmented board log alone: each shard's segment is audited exactly as
+// AuditLog audits a single board log — sealed transcript fully re-verified
+// and cross-checked against the segment's own per-arrival records — then the
+// shard map is checked (every client on the shard ShardOf assigns it, no
+// client on two shards) and the merged digest recomputed from the K segment
+// seals must equal the manifest's merged-seal record. epoch < 0 selects the
+// latest merged-sealed epoch. workers follows the AuditParallel convention.
+func AuditSegmentedLog(ctx context.Context, pub *Public, seg *store.SegmentedLog, epoch, workers int) error {
+	seals, err := readMergedSeals(seg)
+	if err != nil {
+		return err
+	}
+	if epoch < 0 {
+		epoch = -1
+		for e := range seals {
+			if e > epoch {
+				epoch = e
+			}
+		}
+		if epoch < 0 {
+			return fmt.Errorf("%w: manifest holds no merged-sealed epoch", ErrAuditFail)
+		}
+	}
+	want, ok := seals[epoch]
+	if !ok {
+		return fmt.Errorf("%w: manifest holds no merged seal for epoch %d", ErrAuditFail, epoch)
+	}
+	ts := make([]*Transcript, seg.Shards())
+	for i := range ts {
+		t, err := auditLogEpoch(ctx, pub, seg.Segment(i), epoch, workers)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		ts[i] = t
+	}
+	if err := checkShardAssignment(ts); err != nil {
+		return err
+	}
+	if got := MergedTranscriptDigest(pub, ts); !bytes.Equal(got, want) {
+		return fmt.Errorf("%w: epoch %d merged digest disagrees with the manifest's merged seal", ErrAuditFail, epoch)
+	}
+	return nil
+}

@@ -280,11 +280,12 @@ type replayedClient struct {
 
 // replayState folds a board log into the roster of its last open epoch.
 type replayState struct {
-	epoch  int
-	sealed bool
-	seal   sealAssembly
-	order  []*replayedClient
-	byID   map[int]*replayedClient
+	epoch     int
+	sealed    bool
+	sealBytes []byte // the sealed transcript's encoding, when sealed
+	seal      sealAssembly
+	order     []*replayedClient
+	byID      map[int]*replayedClient
 }
 
 // removeFromOrder splices one replayed client out of the submission order,
@@ -375,6 +376,7 @@ func replayLog(pub *Public, log store.BoardLog) (*replayState, error) {
 				return fmt.Errorf("vdp: board log record %d: epoch %d sealed twice", i, st.epoch)
 			}
 			st.sealed = true
+			st.sealBytes = rec.Payload
 		case RecordSealChunk:
 			if st.sealed {
 				return fmt.Errorf("vdp: board log record %d: epoch %d sealed twice", i, st.epoch)
@@ -385,10 +387,12 @@ func replayLog(pub *Public, log store.BoardLog) (*replayState, error) {
 			}
 			if done != nil {
 				st.sealed = true
+				st.sealBytes = done
 			}
 		case RecordReset:
 			st.epoch++
 			st.sealed = false
+			st.sealBytes = nil
 			st.seal = sealAssembly{}
 			st.order = nil
 			st.byID = make(map[int]*replayedClient)
@@ -419,6 +423,20 @@ func replayLog(pub *Public, log store.BoardLog) (*replayState, error) {
 // finalized state: call Reset to open the next epoch. opts.Store must be the
 // replayed log; it receives all further records.
 func ResumeSession(ctx context.Context, pub *Public, opts SessionOptions) (*Session, error) {
+	if opts.Shards > 1 || opts.Segmented != nil {
+		return nil, fmt.Errorf("%w: a sharded session is recovered with ResumeShardedSession", ErrBadConfig)
+	}
+	root, err := newRandSource(opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+	return resumeSessionFromSource(ctx, pub, opts, root)
+}
+
+// resumeSessionFromSource is ResumeSession over an already-derived root
+// randomness source; ResumeShardedSession uses it to hand every shard its
+// own fork of one root seed.
+func resumeSessionFromSource(ctx context.Context, pub *Public, opts SessionOptions, root *randSource) (*Session, error) {
 	if opts.Store == nil {
 		return nil, fmt.Errorf("%w: ResumeSession needs SessionOptions.Store", ErrBadConfig)
 	}
@@ -426,15 +444,17 @@ func ResumeSession(ctx context.Context, pub *Public, opts SessionOptions) (*Sess
 	if err != nil {
 		return nil, err
 	}
-	s, err := newSessionWithEngine(NewEngine(pub, opts.Parallelism), opts)
-	if err != nil {
-		return nil, err
-	}
+	s := newSessionFromSource(NewEngine(pub, opts.Parallelism), opts, root)
 	s.resumed = true
 	s.epoch = st.epoch
 	s.rs = s.root.fork(st.epoch)
 	if st.sealed {
 		s.state = sessionFinalized
+		t, err := pub.DecodeTranscript(st.sealBytes)
+		if err != nil {
+			return nil, fmt.Errorf("vdp: sealed transcript for epoch %d: %w", st.epoch, err)
+		}
+		s.sealedT = t
 	}
 
 	for _, rc := range st.order {
@@ -477,11 +497,6 @@ func ResumeSession(ctx context.Context, pub *Public, opts SessionOptions) (*Sess
 // isolation. epoch < 0 selects the latest sealed epoch. workers follows the
 // AuditParallel convention (0 = all cores).
 func AuditLog(ctx context.Context, pub *Public, log store.BoardLog, epoch, workers int) error {
-	er := struct {
-		seal    []byte
-		pubs    map[int][]byte // client ID -> encoded ClientPublic from submissions
-		onBoard map[int]bool   // verdict-recorded board membership
-	}{pubs: make(map[int][]byte), onBoard: make(map[int]bool)}
 	if epoch < 0 {
 		// Resolve "latest sealed" with a cheap seal-only scan before the
 		// decoding pass, so auditing never decodes epochs it will not check.
@@ -494,6 +509,20 @@ func AuditLog(ctx context.Context, pub *Public, log store.BoardLog, epoch, worke
 		}
 		epoch = sealed[len(sealed)-1]
 	}
+	_, err := auditLogEpoch(ctx, pub, log, epoch, workers)
+	return err
+}
+
+// auditLogEpoch is the per-epoch core of AuditLog: it replays one epoch's
+// records with the hardened grammar, cross-checks the seal against the
+// per-arrival evidence, fully re-verifies the sealed transcript, and returns
+// it (so the sharded auditor can merge per-shard verdicts).
+func auditLogEpoch(ctx context.Context, pub *Public, log store.BoardLog, epoch, workers int) (*Transcript, error) {
+	er := struct {
+		seal    []byte
+		pubs    map[int][]byte // client ID -> encoded ClientPublic from submissions
+		onBoard map[int]bool   // verdict-recorded board membership
+	}{pubs: make(map[int][]byte), onBoard: make(map[int]bool)}
 	var chunks sealAssembly
 	err := log.Replay(func(rec *store.Record) error {
 		if int(rec.Epoch) != epoch {
@@ -576,14 +605,14 @@ func AuditLog(ctx context.Context, pub *Public, log store.BoardLog, epoch, worke
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if er.seal == nil {
-		return fmt.Errorf("%w: epoch %d is not sealed in the board log", ErrAuditFail, epoch)
+		return nil, fmt.Errorf("%w: epoch %d is not sealed in the board log", ErrAuditFail, epoch)
 	}
 	t, err := pub.DecodeTranscript(er.seal)
 	if err != nil {
-		return fmt.Errorf("%w: sealed transcript for epoch %d: %v", ErrAuditFail, epoch, err)
+		return nil, fmt.Errorf("%w: sealed transcript for epoch %d: %v", ErrAuditFail, epoch, err)
 	}
 
 	// The seal must agree with the log's own arrival records: every client
@@ -594,21 +623,21 @@ func AuditLog(ctx context.Context, pub *Public, log store.BoardLog, epoch, worke
 		onSeal[cp.ID] = true
 		logged, ok := er.pubs[cp.ID]
 		if !ok {
-			return fmt.Errorf("%w: epoch %d seal lists client %d, but the log holds no submission for it",
+			return nil, fmt.Errorf("%w: epoch %d seal lists client %d, but the log holds no submission for it",
 				ErrAuditFail, epoch, cp.ID)
 		}
 		if sealed := pub.EncodeClientPublic(cp); string(sealed) != string(logged) {
-			return fmt.Errorf("%w: epoch %d seal disagrees with the logged submission of client %d",
+			return nil, fmt.Errorf("%w: epoch %d seal disagrees with the logged submission of client %d",
 				ErrAuditFail, epoch, cp.ID)
 		}
 	}
 	for id, board := range er.onBoard {
 		if board && !onSeal[id] {
-			return fmt.Errorf("%w: epoch %d: client %d was admitted to the board but is missing from the seal",
+			return nil, fmt.Errorf("%w: epoch %d: client %d was admitted to the board but is missing from the seal",
 				ErrAuditFail, epoch, id)
 		}
 	}
-	return auditParallel(ctx, pub, t, workers)
+	return t, auditParallel(ctx, pub, t, workers)
 }
 
 // SealedEpochs returns the epochs a board log has sealed, in order. A

@@ -1,0 +1,20 @@
+#!/bin/sh
+# check_coverage.sh — run the test suite with coverage and fail if total
+# statement coverage drops below the floor. The floor trails the measured
+# baseline by a small margin so legitimate refactors don't flap, but a PR
+# that lands untested code moves the total enough to trip it.
+#
+# Usage: check_coverage.sh [floor-percent]   (default 70.0)
+set -eu
+floor="${1:-70.0}"
+profile="$(mktemp)"
+trap 'rm -f "$profile"' EXIT
+
+go test -count=1 -coverprofile="$profile" ./...
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "total statement coverage: ${total}% (floor ${floor}%)"
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
+    echo "coverage check FAILED: ${total}% is below the ${floor}% floor"
+    exit 1
+fi
+echo "coverage check passed"

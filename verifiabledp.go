@@ -76,8 +76,16 @@ type (
 	// release, Reset for the next epoch.
 	Session = vdp.Session
 	// SessionOptions configures a Session (parallelism, determinism seed,
-	// verification timing, durable store).
+	// verification timing, durable store, shard count).
 	SessionOptions = vdp.SessionOptions
+	// ShardedSession is the scale-out front door: client IDs are
+	// consistent-hashed across independent sub-sessions so Submits on
+	// different shards never contend on a shared lock, and Finalize merges
+	// the per-shard transcripts into one auditable epoch.
+	ShardedSession = vdp.ShardedSession
+	// ShardedResult is a finalized sharded epoch: per-shard results, the
+	// combined release, and the merged transcript digest.
+	ShardedResult = vdp.ShardedResult
 	// Group is a commitment group (see GroupP256, GroupSchnorr2048).
 	Group = group.Group
 	// BoardLog is the append-only, replayable bulletin-board store a
@@ -91,6 +99,9 @@ type (
 	// MemLog is the in-memory BoardLog (the implicit default: the board
 	// dies with the process).
 	MemLog = store.MemLog
+	// SegmentedLog is the durable store of a sharded session: one board-log
+	// segment per shard plus a manifest binding them into merged epochs.
+	SegmentedLog = store.SegmentedLog
 )
 
 // Sentinel errors re-exported for errors.Is checks.
@@ -140,6 +151,71 @@ func OpenFileLogReadOnly(path string) (*FileLog, error) {
 // NewMemLog creates an in-memory board log, useful in tests and as an
 // explicit stand-in for the durable store.
 func NewMemLog() *MemLog { return store.NewMemLog() }
+
+// NewShardedSession opens a sharded streaming session: SessionOptions.Shards
+// sub-sessions, each with its own engine worker slice, deterministic
+// substream fork, and (with SessionOptions.Segmented) board-log segment.
+// Submit routes each client to ShardOf(id, shards) without any shared lock;
+// Finalize closes every shard in parallel and merges the transcripts. With
+// Shards = 1 the merged transcript digest is byte-identical to a plain
+// Session's under the same seed.
+func NewShardedSession(pub *Public, opts SessionOptions) (*ShardedSession, error) {
+	return vdp.NewShardedSession(pub, opts)
+}
+
+// ResumeShardedSession reconstructs a sharded session from its segmented
+// board log after a crash or restart: every shard segment is replayed as
+// ResumeSession would, interrupted Resets are rolled forward, shards sealed
+// before a crash mid-finalize keep their transcripts for the re-merge, and a
+// missing manifest merged-seal record is healed from the segment seals. The
+// resumed epoch finalizes to the same merged digest an uninterrupted run
+// would have produced (byte-identical when opts.Rand carries the original
+// seed).
+func ResumeShardedSession(ctx context.Context, pub *Public, opts SessionOptions) (*ShardedSession, error) {
+	return vdp.ResumeShardedSession(ctx, pub, opts)
+}
+
+// OpenSegmentedLog opens (or creates) the segmented board log for a sharded
+// session under dir: one append-only segment per shard plus a manifest
+// recording the fixed shard count and, per finalized epoch, the merged
+// transcript digest. Pass shards = 0 to adopt an existing directory's count.
+func OpenSegmentedLog(dir string, shards int, opts ...store.Option) (*SegmentedLog, error) {
+	return store.OpenSegmentedLog(dir, shards, opts...)
+}
+
+// OpenSegmentedLogReadOnly opens an existing segmented board log for offline
+// auditing; no file is created, written, or truncated.
+func OpenSegmentedLogReadOnly(dir string) (*SegmentedLog, error) {
+	return store.OpenSegmentedLogReadOnly(dir)
+}
+
+// ShardOf returns the shard that owns clientID in a deployment with the
+// given shard count — the same pure hash every router, server, and auditor
+// uses, so remote submitters can address the right shard endpoint.
+func ShardOf(clientID, shards int) int { return vdp.ShardOf(clientID, shards) }
+
+// MergedTranscriptDigest pins a sharded epoch: the per-shard transcript
+// digests combined in shard (merge) order. With one shard it equals the
+// plain transcript digest.
+func MergedTranscriptDigest(pub *Public, shards []*Transcript) []byte {
+	return vdp.MergedTranscriptDigest(pub, shards)
+}
+
+// AuditMerged audits a merged (sharded) epoch from its per-shard
+// transcripts: each shard is fully re-verified, the shard map is checked
+// (every client on its assigned shard, none on two), and the combined
+// release must equal the recomputed merge.
+func AuditMerged(ctx context.Context, pub *Public, shards []*Transcript, release *Release, workers int) error {
+	return vdp.AuditMerged(ctx, pub, shards, release, workers)
+}
+
+// AuditSegmentedLog audits a merged epoch offline from a segmented board
+// log alone: every shard segment is audited exactly like AuditLog audits a
+// single log, and the recomputed merged digest must match the manifest's
+// merged-seal record. epoch < 0 selects the latest merged-sealed epoch.
+func AuditSegmentedLog(ctx context.Context, pub *Public, seg *SegmentedLog, epoch, workers int) error {
+	return vdp.AuditSegmentedLog(ctx, pub, seg, epoch, workers)
+}
 
 // ResumeSession reconstructs a session from its board log after a crash or
 // restart: the last open epoch's submissions are re-admitted in their
