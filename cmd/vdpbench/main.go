@@ -5,6 +5,7 @@
 //
 //	vdpbench [-scale quick|standard|paper] [-parallel 1,2,4,8] [-shards 1,2,4,8]
 //	         [-only table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding]
+//	vdpbench -json   > BENCH_<pr>.json
 //
 // The default runs every experiment at quick scale (seconds). Standard
 // scale takes minutes; paper scale uses the paper's literal workload sizes
@@ -32,7 +33,18 @@ func main() {
 	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding")
 	parallelFlag := flag.String("parallel", "", "comma-separated worker counts for the engine sweep (default 1,2,4,8)")
 	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the sharding sweep (default 1,2,4,8)")
+	jsonFlag := flag.Bool("json", false, "emit the machine-readable crypto hot-path snapshot (commit/verify/submit) as JSON on stdout and exit; see BENCH_5.json")
 	flag.Parse()
+
+	if *jsonFlag {
+		out, err := experiments.BenchJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
 
 	workers, err := parseCounts(*parallelFlag, "-parallel")
 	if err != nil {

@@ -1,0 +1,538 @@
+package ec
+
+import (
+	"bytes"
+	"crypto/elliptic"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fp256"
+)
+
+// --- helpers bridging the three backends ---
+
+// fastFromRef converts a reference-backend point into the fast Jacobian
+// representation.
+func fastFromRef(t *testing.T, p *Point) P256Point {
+	t.Helper()
+	a, err := P256AffineFromPoint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j P256Point
+	j.SetAffine(&a)
+	return j
+}
+
+// refFromFast converts a fast point back through its canonical encoding.
+func refFromFast(t *testing.T, p *P256Point) *Point {
+	t.Helper()
+	var enc [33]byte
+	a := p.ToAffine()
+	a.Encode(enc[:])
+	ref, err := StdP256().Decode(enc[:])
+	if err != nil {
+		t.Fatalf("re-decoding fast encoding: %v", err)
+	}
+	return ref
+}
+
+func randScalarBig(rng *rand.Rand) *big.Int {
+	b := make([]byte, 32)
+	rng.Read(b)
+	return new(big.Int).Mod(new(big.Int).SetBytes(b), StdP256().ScalarField().Modulus())
+}
+
+func limbsFromBigTest(v *big.Int) fp256.Element {
+	var b [32]byte
+	v.FillBytes(b[:])
+	return fp256.LimbsFromBytes(b[:])
+}
+
+// randFastPoint returns k·G for a random k on all three backends.
+func randFastPoint(t *testing.T, rng *rand.Rand) (P256Point, *Point, *big.Int) {
+	k := randScalarBig(rng)
+	ref := StdP256().ScalarBaseMult(k)
+	var fast P256Point
+	g := P256Generator()
+	fast.ScalarMult(&g, limbsFromBigTest(k))
+	return fast, ref, k
+}
+
+// assertSame fails unless the fast point and the reference point have
+// identical canonical encodings.
+func assertSame(t *testing.T, label string, fast *P256Point, ref *Point) {
+	t.Helper()
+	var enc [33]byte
+	a := fast.ToAffine()
+	a.Encode(enc[:])
+	if !bytes.Equal(enc[:], StdP256().Encode(ref)) {
+		t.Fatalf("%s: fast and reference backends disagree\n fast %x\n ref  %x",
+			label, enc[:], StdP256().Encode(ref))
+	}
+}
+
+// TestFastGeneratorMatches: G itself round-trips identically.
+func TestFastGeneratorMatches(t *testing.T) {
+	g := P256Generator()
+	assertSame(t, "generator", &g, StdP256().Generator())
+	ga := g.ToAffine()
+	if !ga.IsOnCurve() {
+		t.Fatal("generator not on curve")
+	}
+}
+
+// TestFastAddDoubleDifferential: randomized add/double corpus across the
+// fast backend, the math/big reference, and crypto/elliptic.
+func TestFastAddDoubleDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	std := elliptic.P256()
+	for i := 0; i < 60; i++ {
+		fa, ra, ka := randFastPoint(t, rng)
+		fb, rb, kb := randFastPoint(t, rng)
+
+		var sum P256Point
+		sum.Add(&fa, &fb)
+		assertSame(t, "add", &sum, StdP256().Add(ra, rb))
+
+		// crypto/elliptic cross-check via scalar recomputation.
+		ax, ay := std.ScalarBaseMult(ka.Bytes())
+		bx, by := std.ScalarBaseMult(kb.Bytes())
+		sx, sy := std.Add(ax, ay, bx, by)
+		refSum := refFromFast(t, &sum)
+		gx, gy := refSum.XY()
+		if gx.Cmp(sx) != 0 || gy.Cmp(sy) != 0 {
+			t.Fatalf("add disagrees with crypto/elliptic at i=%d", i)
+		}
+
+		var dbl P256Point
+		dbl.Double(&fa)
+		assertSame(t, "double", &dbl, StdP256().Double(ra))
+
+		// In-place aliasing: r aliasing p must match.
+		alias := fa
+		alias.Add(&alias, &fb)
+		if !alias.Equal(&sum) {
+			t.Fatal("aliased Add differs")
+		}
+		alias = fa
+		alias.Double(&alias)
+		if !alias.Equal(&dbl) {
+			t.Fatal("aliased Double differs")
+		}
+	}
+}
+
+// TestFastAddSpecialCases: identity absorption, inverse annihilation,
+// P+P routed through Add, and mixed addition parity with full addition.
+func TestFastAddSpecialCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	fa, _, _ := randFastPoint(t, rng)
+	var inf, r P256Point
+	inf.SetInfinity()
+
+	r.Add(&fa, &inf)
+	if !r.Equal(&fa) {
+		t.Fatal("P + O != P")
+	}
+	r.Add(&inf, &fa)
+	if !r.Equal(&fa) {
+		t.Fatal("O + P != P")
+	}
+	r.Add(&inf, &inf)
+	if !r.IsInfinity() {
+		t.Fatal("O + O != O")
+	}
+
+	var neg P256Point
+	neg.Neg(&fa)
+	r.Add(&fa, &neg)
+	if !r.IsInfinity() {
+		t.Fatal("P + (-P) != O")
+	}
+
+	var dbl1, dbl2 P256Point
+	dbl1.Add(&fa, &fa) // same-point add must route to doubling
+	dbl2.Double(&fa)
+	if !dbl1.Equal(&dbl2) {
+		t.Fatal("Add(P, P) != Double(P)")
+	}
+
+	// Mixed addition agrees with full addition on every special case.
+	fb, _, _ := randFastPoint(t, rng)
+	afb := fb.ToAffine()
+	var mixed, full P256Point
+	mixed.AddAffine(&fa, &afb)
+	full.Add(&fa, &fb)
+	if !mixed.Equal(&full) {
+		t.Fatal("mixed add differs from full add")
+	}
+	mixed.AddAffine(&inf, &afb)
+	if !mixed.Equal(&fb) {
+		t.Fatal("mixed add O + Q != Q")
+	}
+	infAff := inf.ToAffine()
+	mixed.AddAffine(&fa, &infAff)
+	if !mixed.Equal(&fa) {
+		t.Fatal("mixed add P + O != P")
+	}
+	afa := fa.ToAffine()
+	mixed.AddAffine(&fa, &afa)
+	dbl2.Double(&fa)
+	if !mixed.Equal(&dbl2) {
+		t.Fatal("mixed add P + P != 2P")
+	}
+	var negAff P256Affine
+	negAff.Neg(&afa)
+	mixed.AddAffine(&fa, &negAff)
+	if !mixed.IsInfinity() {
+		t.Fatal("mixed add P + (-P) != O")
+	}
+}
+
+// TestFastScalarMultDifferential: random scalars against both reference
+// backends, plus the wNAF boundary scalars — values whose width-5 NAF
+// exercises maximal negative digits, long carry chains, and digit-set
+// edges (2^k ± 1, runs of ones, limb boundaries, n-1, n-2).
+func TestFastScalarMultDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	std := elliptic.P256()
+	nMinus1 := new(big.Int).Sub(StdP256().ScalarField().Modulus(), big.NewInt(1))
+
+	cases := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2), big.NewInt(3),
+		big.NewInt(15), big.NewInt(16), big.NewInt(17), // wNAF digit max/boundary
+		big.NewInt(31), big.NewInt(32), big.NewInt(33),
+		big.NewInt(0xff), big.NewInt(0x0f0f), big.NewInt(0xffff),
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 64), big.NewInt(1)),  // 2^64-1: limb carry
+		new(big.Int).Lsh(big.NewInt(1), 64),                                   // 2^64
+		new(big.Int).Add(new(big.Int).Lsh(big.NewInt(1), 64), big.NewInt(1)),  // 2^64+1
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 128), big.NewInt(1)), // 2^128-1
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 255), big.NewInt(1)), // long run of ones
+		nMinus1,
+		new(big.Int).Sub(nMinus1, big.NewInt(1)), // n-2
+		// Unreduced scalars at the very top of the 256-bit range: the
+		// wNAF negative-digit add-back carries out of 4 limbs here
+		// (regression: the carry used to be dropped, yielding -P for
+		// k = 2^256-1).
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1)),
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(15)),
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(16)),
+	}
+	for i := 0; i < 25; i++ {
+		cases = append(cases, randScalarBig(rng))
+	}
+	g := P256Generator()
+	for _, k := range cases {
+		var fast P256Point
+		fast.ScalarMult(&g, limbsFromBigTest(k))
+		ref := StdP256().ScalarBaseMult(k)
+		assertSame(t, "scalarmult k="+k.String(), &fast, ref)
+		if k.Sign() != 0 {
+			sx, sy := std.ScalarBaseMult(k.Bytes())
+			got := refFromFast(t, &fast)
+			gx, gy := got.XY()
+			if gx.Cmp(sx) != 0 || gy.Cmp(sy) != 0 {
+				t.Fatalf("scalarmult k=%v disagrees with crypto/elliptic", k)
+			}
+		} else if !fast.IsInfinity() {
+			t.Fatal("0·G != O")
+		}
+	}
+
+	// Variable base: k1·(k2·G) == (k1·k2 mod n)·G.
+	for i := 0; i < 10; i++ {
+		k1 := randScalarBig(rng)
+		base, _, _ := randFastPoint(t, rng)
+		var fast P256Point
+		fast.ScalarMult(&base, limbsFromBigTest(k1))
+		ref := StdP256().ScalarMult(refFromFast(t, &base), k1)
+		assertSame(t, "variable-base scalarmult", &fast, ref)
+	}
+
+	// Scalar multiples of the identity stay the identity.
+	var inf, r P256Point
+	inf.SetInfinity()
+	r.ScalarMult(&inf, limbsFromBigTest(nMinus1))
+	if !r.IsInfinity() {
+		t.Fatal("k·O != O")
+	}
+}
+
+// TestFastBatchAffine: batch normalization equals pointwise normalization,
+// with infinities interleaved at every position.
+func TestFastBatchAffine(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	pts := make([]P256Point, 9)
+	for i := range pts {
+		if i%3 == 1 {
+			pts[i].SetInfinity()
+			continue
+		}
+		pts[i], _, _ = randFastPoint(t, rng)
+	}
+	out := make([]P256Affine, len(pts))
+	P256BatchAffine(out, pts)
+	for i := range pts {
+		want := pts[i].ToAffine()
+		if out[i].inf != want.inf {
+			t.Fatalf("index %d: infinity flag mismatch", i)
+		}
+		if !out[i].inf {
+			var a, b [33]byte
+			out[i].Encode(a[:])
+			want.Encode(b[:])
+			if a != b {
+				t.Fatalf("index %d: batch and pointwise normalization differ", i)
+			}
+		}
+	}
+	// Empty input is a no-op.
+	P256BatchAffine(nil, nil)
+}
+
+// TestFastTable: fixed-base table multiplication matches plain wNAF
+// multiplication, including the fused two-table accumulation.
+func TestFastTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := P256Generator()
+	h, _, _ := randFastPoint(t, rng)
+	tg := NewP256Table(&g)
+	th := NewP256Table(&h)
+	for i := 0; i < 12; i++ {
+		x, r := randScalarBig(rng), randScalarBig(rng)
+		var want1, want2, want, got P256Point
+		want1.ScalarMult(&g, limbsFromBigTest(x))
+		want2.ScalarMult(&h, limbsFromBigTest(r))
+		want.Add(&want1, &want2)
+
+		got.SetInfinity()
+		tg.AddMul(&got, limbsFromBigTest(x))
+		th.AddMul(&got, limbsFromBigTest(r))
+		if !got.Equal(&want) {
+			t.Fatalf("fused table commit mismatch at i=%d", i)
+		}
+		tg.Mul(&got, limbsFromBigTest(x))
+		if !got.Equal(&want1) {
+			t.Fatal("table Mul mismatch")
+		}
+	}
+	// Zero scalar: no windows touched.
+	var got P256Point
+	tg.Mul(&got, fp256.Element{})
+	if !got.IsInfinity() {
+		t.Fatal("table Mul(0) != O")
+	}
+}
+
+// TestFastMultiExpDifferential: Pippenger against the naive sum at sizes
+// spanning the window-selection table, with identity points and extreme
+// exponents (0, 1, n-1) mixed in.
+func TestFastMultiExpDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	nMinus1 := new(big.Int).Sub(StdP256().ScalarField().Modulus(), big.NewInt(1))
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 33, 100, 150} {
+		points := make([]P256Affine, n)
+		scalars := make([]fp256.Element, n)
+		var want P256Point
+		want.SetInfinity()
+		for i := 0; i < n; i++ {
+			var k *big.Int
+			switch i % 5 {
+			case 0:
+				k = big.NewInt(0)
+			case 1:
+				k = new(big.Int).Set(nMinus1)
+			default:
+				k = randScalarBig(rng)
+			}
+			var p P256Point
+			if i%7 == 3 {
+				p.SetInfinity()
+			} else {
+				p, _, _ = randFastPoint(t, rng)
+			}
+			points[i] = p.ToAffine()
+			scalars[i] = limbsFromBigTest(k)
+
+			var term P256Point
+			term.ScalarMult(&p, scalars[i])
+			want.Add(&want, &term)
+		}
+		got := P256MultiExp(points, scalars)
+		if !got.Equal(&want) {
+			t.Fatalf("n=%d: Pippenger disagrees with naive sum", n)
+		}
+	}
+}
+
+// TestFastMultiExpTopWindowCarry: scalars with a full top byte force the
+// signed-digit borrow out of the 256-bit range — the extra carry window
+// must absorb it (regression test for the overflow panic).
+func TestFastMultiExpTopWindowCarry(t *testing.T) {
+	// 0xff…ff (top byte full) mod n, and n-1 which also has 0xff top byte.
+	nMinus1 := new(big.Int).Sub(StdP256().ScalarField().Modulus(), big.NewInt(1))
+	g := P256Generator()
+	points := make([]P256Affine, 40)
+	scalars := make([]fp256.Element, 40)
+	var want P256Point
+	want.SetInfinity()
+	for i := range points {
+		points[i] = g.ToAffine()
+		scalars[i] = limbsFromBigTest(nMinus1)
+		var term P256Point
+		term.ScalarMult(&g, scalars[i])
+		want.Add(&want, &term)
+	}
+	got := P256MultiExp(points, scalars)
+	if !got.Equal(&want) {
+		t.Fatal("top-window carry handled incorrectly")
+	}
+}
+
+// TestFastEncodeDecode: canonical encodings round-trip and are
+// byte-identical to the reference backend; all malformed encodings that
+// the reference rejects are rejected.
+func TestFastEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 40; i++ {
+		fast, ref, _ := randFastPoint(t, rng)
+		var enc [33]byte
+		a := fast.ToAffine()
+		a.Encode(enc[:])
+		refEnc := StdP256().Encode(ref)
+		if !bytes.Equal(enc[:], refEnc) {
+			t.Fatal("encodings differ between backends")
+		}
+		back, err := P256DecodeAffine(enc[:])
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		var j P256Point
+		j.SetAffine(&back)
+		if !j.Equal(&fast) {
+			t.Fatal("decode round trip changed the point")
+		}
+	}
+
+	// Identity round trip.
+	var inf P256Point
+	inf.SetInfinity()
+	var enc [33]byte
+	ia := inf.ToAffine()
+	ia.Encode(enc[:])
+	if !bytes.Equal(enc[:], make([]byte, 33)) {
+		t.Fatal("identity does not encode as zeros")
+	}
+	back, err := P256DecodeAffine(enc[:])
+	if err != nil || !back.IsInfinity() {
+		t.Fatalf("identity decode: %v", err)
+	}
+
+	// Rejection corpus: every case the reference backend rejects.
+	p := StdP256().CoordinateField().Modulus()
+	overP := make([]byte, 33)
+	overP[0] = 0x02
+	p.FillBytes(overP[1:]) // x = p: non-canonical
+	offCurve := make([]byte, 33)
+	offCurve[0] = 0x02
+	offCurve[32] = 0x01 // x=1: x³-3x+b is a non-residue on P-256
+	badInf := make([]byte, 33)
+	badInf[32] = 0x01
+	badPrefix := make([]byte, 33)
+	badPrefix[0] = 0x04
+	cases := [][]byte{
+		nil, {}, enc[:32], append(append([]byte{}, enc[:]...), 0),
+		overP, offCurve, badInf, badPrefix,
+	}
+	for i, b := range cases {
+		if _, err := P256DecodeAffine(b); err == nil {
+			t.Fatalf("case %d: malformed encoding accepted", i)
+		}
+		if len(b) > 0 {
+			if _, err := StdP256().Decode(b); err == nil {
+				t.Fatalf("case %d: reference accepted what fast rejects", i)
+			}
+		}
+	}
+
+	// x = 5 really is off-curve for the reference too (corpus sanity).
+	if _, err := StdP256().Decode(offCurve); err == nil {
+		t.Fatal("offCurve corpus point is actually on the curve")
+	}
+}
+
+// TestFastEqual: equality is representation-independent (different Z
+// scalings of the same point compare equal).
+func TestFastEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	fa, _, _ := randFastPoint(t, rng)
+	fb, _, _ := randFastPoint(t, rng)
+	// Rescale fa by adding and subtracting fb: same point, new Z.
+	var scaled P256Point
+	scaled.Add(&fa, &fb)
+	var negb P256Point
+	negb.Neg(&fb)
+	scaled.Add(&scaled, &negb)
+	if !scaled.Equal(&fa) {
+		t.Fatal("rescaled point compares unequal")
+	}
+	if scaled.Equal(&fb) {
+		t.Fatal("distinct points compare equal")
+	}
+	var inf P256Point
+	inf.SetInfinity()
+	if scaled.Equal(&inf) || inf.Equal(&scaled) {
+		t.Fatal("finite point equals infinity")
+	}
+	var inf2 P256Point
+	inf2.SetInfinity()
+	if !inf.Equal(&inf2) {
+		t.Fatal("infinity != infinity")
+	}
+}
+
+func BenchmarkFastScalarMult(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	k := limbsFromBigTest(randScalarBig(rng))
+	g := P256Generator()
+	var r P256Point
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ScalarMult(&g, k)
+	}
+}
+
+func BenchmarkFastTableMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	k := limbsFromBigTest(randScalarBig(rng))
+	g := P256Generator()
+	tg := NewP256Table(&g)
+	var r P256Point
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg.Mul(&r, k)
+	}
+}
+
+func BenchmarkFastMultiExp(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 1024
+	points := make([]P256Affine, n)
+	scalars := make([]fp256.Element, n)
+	g := P256Generator()
+	for i := range points {
+		var jp P256Point
+		jp.ScalarMult(&g, limbsFromBigTest(randScalarBig(rng)))
+		points[i] = jp.ToAffine()
+		scalars[i] = limbsFromBigTest(randScalarBig(rng))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		P256MultiExp(points, scalars)
+	}
+}

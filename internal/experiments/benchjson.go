@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/group"
+	"repro/internal/pedersen"
+	"repro/internal/vdp"
+)
+
+// Machine-readable perf snapshot (`vdpbench -json`). Each released PR
+// checks in a BENCH_<n>.json produced by this harness so the perf
+// trajectory of the crypto hot path — commit, board-wide batch verify,
+// streaming submit — is diffable across the repository's history without
+// re-running anything. CI runs it as a smoke test (the output must be
+// valid JSON; no thresholds — thresholds live in scripts/check_allocs.sh,
+// which pins the alloc count of the commit path).
+
+// BenchEntry is one measured operation.
+type BenchEntry struct {
+	// Name identifies the operation (stable across PRs; add, don't rename).
+	Name string `json:"name"`
+	// N is the number of iterations the harness settled on.
+	N int `json:"n"`
+	// NsPerOp is wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MicrosPerOp is NsPerOp/1000, for human diffing.
+	MicrosPerOp float64 `json:"us_per_op"`
+	// AllocsPerOp / BytesPerOp come from the Go benchmark memory counters.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// PerItemNs divides NsPerOp by the inner batch size for benchmarks
+	// that process a board per iteration (0 when the op is already unit).
+	PerItemNs float64 `json:"per_item_ns,omitempty"`
+}
+
+// BenchReport is the top-level -json document.
+type BenchReport struct {
+	Schema     string       `json:"schema"`
+	Go         string       `json:"go"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Group      string       `json:"group"`
+	Entries    []BenchEntry `json:"benchmarks"`
+}
+
+// benchSchema is bumped only when the document shape changes.
+const benchSchema = "vdp-bench/1"
+
+func entryFrom(name string, items int, r testing.BenchmarkResult) BenchEntry {
+	e := BenchEntry{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		MicrosPerOp: float64(r.NsPerOp()) / 1e3,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if items > 1 {
+		e.PerItemNs = float64(r.NsPerOp()) / float64(items)
+	}
+	return e
+}
+
+// BenchJSON measures the crypto hot path with the testing.Benchmark
+// harness and returns the marshalled report. All measurements run on the
+// default (P-256) group — the deployment the fast backend accelerates.
+func BenchJSON() ([]byte, error) {
+	g := group.P256()
+	pp := pedersen.Setup(g)
+	f := pp.ScalarField()
+
+	report := &BenchReport{
+		Schema:     benchSchema,
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Group:      g.Name(),
+	}
+
+	// commit: one Pedersen commitment (the per-coin, per-share unit cost).
+	x := f.FromInt64(1)
+	r := f.MustRand(nil)
+	pp.CommitWith(x, r) // warm tables outside the timer
+	commitRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pp.CommitWith(x, r)
+		}
+	})
+	report.Entries = append(report.Entries, entryFrom("commit/p256", 1, commitRes))
+
+	// batch-verify: one 64-client board through the batched Σ-OR verifier
+	// (the Finalize-path unit). Submissions are generated outside the timer.
+	pub, err := vdp.Setup(vdp.Config{Provers: 1, Bins: 1, Coins: 8})
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: setup: %w", err)
+	}
+	const boardClients = 64
+	publics := make([]*vdp.ClientPublic, boardClients)
+	subs := make([]*vdp.ClientSubmission, boardClients)
+	for i := 0; i < boardClients; i++ {
+		sub, err := pub.NewClientSubmission(i, i%2, nil)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: client %d: %w", i, err)
+		}
+		subs[i] = sub
+		publics[i] = sub.Public
+	}
+	verifyRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := vdp.NewVerifierParallel(pub, 1)
+			accepted, _ := v.VerifyClients(publics)
+			if accepted != boardClients {
+				b.Fatal("honest client rejected")
+			}
+		}
+	})
+	report.Entries = append(report.Entries,
+		entryFrom(fmt.Sprintf("batch-verify-%d-clients/p256", boardClients), boardClients, verifyRes))
+
+	// submit: eager per-arrival verification through the Session front
+	// door, amortized over a full board per iteration.
+	ctx := context.Background()
+	submitRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess, err := vdp.NewSession(pub, vdp.SessionOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, sub := range subs {
+				if err := sess.Submit(ctx, sub); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	report.Entries = append(report.Entries,
+		entryFrom(fmt.Sprintf("session-submit-%d/p256", boardClients), boardClients, submitRes))
+
+	return json.MarshalIndent(report, "", "  ")
+}

@@ -262,6 +262,17 @@ func (e *Element) Bytes() []byte {
 	return e.n.FillBytes(make([]byte, e.fld.byteLen))
 }
 
+// PutBytes writes the canonical fixed-width big-endian encoding into dst,
+// which must have length ByteLen. It is the allocation-free form of Bytes
+// used by the fast arithmetic backends to extract scalar limbs on hot
+// paths.
+func (e *Element) PutBytes(dst []byte) {
+	if len(dst) != e.fld.byteLen {
+		panic("field: PutBytes destination has wrong length")
+	}
+	e.n.FillBytes(dst)
+}
+
 // String implements fmt.Stringer with a short decimal or hex form.
 func (e *Element) String() string {
 	if e.n.BitLen() <= 64 {

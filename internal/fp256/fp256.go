@@ -1,0 +1,494 @@
+// Package fp256 implements fixed-width arithmetic modulo the two 256-bit
+// primes of NIST P-256: the coordinate prime p and the group order n.
+//
+// This is the fast arithmetic substrate behind the default commitment group
+// (see internal/ec fast path and group.P256). Elements are 4×uint64 limb
+// arrays in Montgomery form (aR mod m, R = 2²⁵⁶); every operation works
+// in place on caller-owned arrays, so the elliptic-curve hot paths —
+// Pedersen commits, Σ-OR verification multi-exponentiations — allocate
+// nothing per operation. math/big appears only at package init (deriving
+// the Montgomery constants) and in tests; never on an operational path.
+//
+// The generic math/big stack (internal/field, the reference ec backend, the
+// Schnorr2048 group) is unaffected: fp256 is an accelerator for the P-256
+// deployment with bit-identical results, enforced by differential tests
+// against math/big and crypto/elliptic.
+//
+// None of this code attempts constant-time execution: the math/big
+// reference backend it replaces is variable-time too, and the threat model
+// of the reproduction (malicious provers/clients caught by verification,
+// not side channels) does not include timing adversaries. See ARCHITECTURE.md
+// "Arithmetic backends".
+package fp256
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/big"
+	"math/bits"
+)
+
+// Element is a 256-bit value as four little-endian 64-bit limbs. When used
+// as a field element it holds the Montgomery representation; when used as a
+// plain integer (scalar digits for wNAF/Pippenger) it holds the value
+// itself. The zero value is the integer 0 (which is also Montgomery 0).
+type Element [4]uint64
+
+// Modulus bundles a 256-bit odd prime with its precomputed Montgomery
+// constants. The two instances, P() and N(), are created at init; Modulus
+// values are immutable and safe for concurrent use.
+type Modulus struct {
+	name string
+	m    Element // the prime, little-endian limbs
+	n0   uint64  // -m⁻¹ mod 2⁶⁴
+	rr   Element // R² mod m (to enter Montgomery form)
+	one  Element // R mod m (Montgomery form of 1)
+
+	invChain func(md *Modulus, z, x *Element) // inversion addition chain
+	pm2      Element                          // m-2, generic inversion exponent fallback
+	hasSqrt  bool                             // m ≡ 3 (mod 4) and Sqrt enabled
+	bigM     *big.Int                         // test/interop convenience, never on hot paths
+}
+
+var (
+	pMod = newModulus("p256-p", "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff", true)
+	nMod = newModulus("p256-n", "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551", false)
+)
+
+func init() {
+	// The coordinate field is hot on Decode (square root) and Encode
+	// (normalization); give it the dedicated addition chain.
+	pMod.invChain = p256CoordInvChain
+}
+
+// P returns the coordinate field modulus p = 2²⁵⁶ − 2²²⁴ + 2¹⁹² + 2⁹⁶ − 1.
+func P() *Modulus { return pMod }
+
+// N returns the scalar field modulus, the P-256 group order.
+func N() *Modulus { return nMod }
+
+// Name identifies the modulus in diagnostics.
+func (md *Modulus) Name() string { return md.name }
+
+// Big returns a copy of the modulus as a big.Int (for tests and setup-time
+// interop with the math/big backend; not used on hot paths).
+func (md *Modulus) Big() *big.Int { return new(big.Int).Set(md.bigM) }
+
+func newModulus(name, hexM string, withSqrt bool) *Modulus {
+	m, ok := new(big.Int).SetString(hexM, 16)
+	if !ok {
+		panic("fp256: bad modulus literal")
+	}
+	md := &Modulus{name: name, bigM: m}
+	md.m = limbsFromBig(m)
+
+	// n0 = -m⁻¹ mod 2⁶⁴ via Newton iteration on the low limb.
+	inv := md.m[0] // correct mod 2³ for odd m
+	for i := 0; i < 5; i++ {
+		inv *= 2 - md.m[0]*inv
+	}
+	md.n0 = -inv
+
+	r := new(big.Int).Lsh(big.NewInt(1), 256)
+	md.one = limbsFromBig(new(big.Int).Mod(r, m))
+	rr := new(big.Int).Mod(new(big.Int).Mul(r, r), m)
+	md.rr = limbsFromBig(rr)
+	md.pm2 = limbsFromBig(new(big.Int).Sub(m, big.NewInt(2)))
+	md.hasSqrt = withSqrt
+	return md
+}
+
+func limbsFromBig(v *big.Int) Element {
+	var b [32]byte
+	v.FillBytes(b[:])
+	var e Element
+	for i := 0; i < 4; i++ {
+		e[i] = binary.BigEndian.Uint64(b[24-8*i : 32-8*i])
+	}
+	return e
+}
+
+// --- plain-integer helpers (limb arrays as values, not Montgomery) ---
+
+// IsZero reports whether x is the zero limb array.
+func (x *Element) IsZero() bool { return x[0]|x[1]|x[2]|x[3] == 0 }
+
+// Equal reports limb equality.
+func (x *Element) Equal(y *Element) bool {
+	return x[0] == y[0] && x[1] == y[1] && x[2] == y[2] && x[3] == y[3]
+}
+
+// BitLen returns the bit length of the plain integer value.
+func (x *Element) BitLen() int {
+	for i := 3; i >= 0; i-- {
+		if x[i] != 0 {
+			return 64*i + bits.Len64(x[i])
+		}
+	}
+	return 0
+}
+
+// Bit returns bit i of the plain integer value.
+func (x *Element) Bit(i int) uint64 {
+	if i < 0 || i >= 256 {
+		return 0
+	}
+	return (x[i/64] >> (i % 64)) & 1
+}
+
+// LimbsFromBytes decodes 32 big-endian bytes into plain little-endian
+// limbs without any reduction. Used to turn canonical scalar encodings
+// (already in [0, n)) into wNAF/Pippenger digit sources.
+func LimbsFromBytes(b []byte) Element {
+	if len(b) != 32 {
+		panic("fp256: LimbsFromBytes needs 32 bytes")
+	}
+	var e Element
+	for i := 0; i < 4; i++ {
+		e[i] = binary.BigEndian.Uint64(b[24-8*i : 32-8*i])
+	}
+	return e
+}
+
+// PutBytes writes the plain integer value as 32 big-endian bytes.
+func (x *Element) PutBytes(b []byte) {
+	if len(b) != 32 {
+		panic("fp256: PutBytes needs 32 bytes")
+	}
+	for i := 0; i < 4; i++ {
+		binary.BigEndian.PutUint64(b[24-8*i:32-8*i], x[i])
+	}
+}
+
+// --- modular arithmetic (Montgomery form) ---
+
+// Add sets z = x + y mod m. Any of the pointers may alias.
+func (md *Modulus) Add(z, x, y *Element) {
+	var s Element
+	var c uint64
+	s[0], c = bits.Add64(x[0], y[0], 0)
+	s[1], c = bits.Add64(x[1], y[1], c)
+	s[2], c = bits.Add64(x[2], y[2], c)
+	s[3], c = bits.Add64(x[3], y[3], c)
+	md.reduceOnce(z, &s, c)
+}
+
+// reduceOnce sets z = v - m if v+hi·2²⁵⁶ ≥ m, else z = v, for v < 2m.
+func (md *Modulus) reduceOnce(z, v *Element, hi uint64) {
+	var r Element
+	var b uint64
+	r[0], b = bits.Sub64(v[0], md.m[0], 0)
+	r[1], b = bits.Sub64(v[1], md.m[1], b)
+	r[2], b = bits.Sub64(v[2], md.m[2], b)
+	r[3], b = bits.Sub64(v[3], md.m[3], b)
+	_, b = bits.Sub64(hi, 0, b)
+	if b == 0 {
+		*z = r
+	} else {
+		*z = *v
+	}
+}
+
+// Sub sets z = x - y mod m.
+func (md *Modulus) Sub(z, x, y *Element) {
+	var d Element
+	var b uint64
+	d[0], b = bits.Sub64(x[0], y[0], 0)
+	d[1], b = bits.Sub64(x[1], y[1], b)
+	d[2], b = bits.Sub64(x[2], y[2], b)
+	d[3], b = bits.Sub64(x[3], y[3], b)
+	if b != 0 {
+		var c uint64
+		d[0], c = bits.Add64(d[0], md.m[0], 0)
+		d[1], c = bits.Add64(d[1], md.m[1], c)
+		d[2], c = bits.Add64(d[2], md.m[2], c)
+		d[3], _ = bits.Add64(d[3], md.m[3], c)
+	}
+	*z = d
+}
+
+// Neg sets z = -x mod m.
+func (md *Modulus) Neg(z, x *Element) {
+	if x.IsZero() {
+		*z = Element{}
+		return
+	}
+	var b uint64
+	z[0], b = bits.Sub64(md.m[0], x[0], 0)
+	z[1], b = bits.Sub64(md.m[1], x[1], b)
+	z[2], b = bits.Sub64(md.m[2], x[2], b)
+	z[3], _ = bits.Sub64(md.m[3], x[3], b)
+}
+
+// Double sets z = 2x mod m.
+func (md *Modulus) Double(z, x *Element) { md.Add(z, x, x) }
+
+// Mul sets z = x·y·R⁻¹ mod m (Montgomery product). This is the CIOS
+// method with the running state held in scalar locals so the compiler
+// keeps the whole 6-word accumulator in registers; with both inputs in
+// Montgomery form the result is the Montgomery form of the product.
+// Aliasing among z, x, y is allowed.
+func (md *Modulus) Mul(z, x, y *Element) {
+	y0, y1, y2, y3 := y[0], y[1], y[2], y[3]
+	m0, m1, m2, m3 := md.m[0], md.m[1], md.m[2], md.m[3]
+	n0 := md.n0
+	var t0, t1, t2, t3, t4, t5 uint64
+	for i := 0; i < 4; i++ {
+		xi := x[i]
+		var C, c, hi, lo uint64
+		// t += xi * y
+		hi, lo = bits.Mul64(xi, y0)
+		t0, c = bits.Add64(t0, lo, 0)
+		C = hi + c
+		hi, lo = bits.Mul64(xi, y1)
+		lo, c = bits.Add64(lo, C, 0)
+		hi += c
+		t1, c = bits.Add64(t1, lo, 0)
+		C = hi + c
+		hi, lo = bits.Mul64(xi, y2)
+		lo, c = bits.Add64(lo, C, 0)
+		hi += c
+		t2, c = bits.Add64(t2, lo, 0)
+		C = hi + c
+		hi, lo = bits.Mul64(xi, y3)
+		lo, c = bits.Add64(lo, C, 0)
+		hi += c
+		t3, c = bits.Add64(t3, lo, 0)
+		C = hi + c
+		t4, c = bits.Add64(t4, C, 0)
+		t5 = c
+
+		// Reduce: fold in mfac·m so t becomes divisible by 2⁶⁴, shift.
+		mfac := t0 * n0
+		hi, lo = bits.Mul64(mfac, m0)
+		_, c = bits.Add64(t0, lo, 0)
+		C = hi + c
+		hi, lo = bits.Mul64(mfac, m1)
+		lo, c = bits.Add64(lo, C, 0)
+		hi += c
+		t0, c = bits.Add64(t1, lo, 0)
+		C = hi + c
+		hi, lo = bits.Mul64(mfac, m2)
+		lo, c = bits.Add64(lo, C, 0)
+		hi += c
+		t1, c = bits.Add64(t2, lo, 0)
+		C = hi + c
+		hi, lo = bits.Mul64(mfac, m3)
+		lo, c = bits.Add64(lo, C, 0)
+		hi += c
+		t2, c = bits.Add64(t3, lo, 0)
+		C = hi + c
+		t3, c = bits.Add64(t4, C, 0)
+		t4 = t5 + c
+	}
+	v := Element{t0, t1, t2, t3}
+	md.reduceOnce(z, &v, t4)
+}
+
+// Sqr sets z = x² (Montgomery). Kept as a named entry point so profiles
+// attribute squaring separately; the generic multiply is already limb-width
+// specialized, and a dedicated squaring saves little at 4 limbs in Go.
+func (md *Modulus) Sqr(z, x *Element) { md.Mul(z, x, x) }
+
+// ToMont converts a plain integer (< m) to Montgomery form.
+func (md *Modulus) ToMont(z, x *Element) { md.Mul(z, x, &md.rr) }
+
+// FromMont converts a Montgomery-form element back to the plain value.
+func (md *Modulus) FromMont(z, x *Element) {
+	one := Element{1}
+	md.Mul(z, x, &one)
+}
+
+// One returns the Montgomery form of 1.
+func (md *Modulus) One() Element { return md.one }
+
+// ErrNonCanonical is returned by FromBytes for encodings ≥ m.
+var ErrNonCanonical = errors.New("fp256: encoding is not canonical (value >= modulus)")
+
+// FromBytes decodes 32 canonical big-endian bytes into Montgomery form,
+// rejecting values ≥ m.
+func (md *Modulus) FromBytes(z *Element, b []byte) error {
+	if len(b) != 32 {
+		return errors.New("fp256: encoding must be 32 bytes")
+	}
+	v := LimbsFromBytes(b)
+	// v < m ?
+	var bw uint64
+	_, bw = bits.Sub64(v[0], md.m[0], 0)
+	_, bw = bits.Sub64(v[1], md.m[1], bw)
+	_, bw = bits.Sub64(v[2], md.m[2], bw)
+	_, bw = bits.Sub64(v[3], md.m[3], bw)
+	if bw == 0 {
+		return ErrNonCanonical
+	}
+	md.ToMont(z, &v)
+	return nil
+}
+
+// Bytes writes the canonical 32-byte big-endian encoding of the
+// Montgomery-form element x into b.
+func (md *Modulus) Bytes(x *Element, b []byte) {
+	var v Element
+	md.FromMont(&v, x)
+	v.PutBytes(b)
+}
+
+// FromBig reduces a big.Int into Montgomery form (setup/test interop).
+func (md *Modulus) FromBig(v *big.Int) Element {
+	var z Element
+	r := limbsFromBig(new(big.Int).Mod(v, md.bigM))
+	md.ToMont(&z, &r)
+	return z
+}
+
+// ToBig returns the plain value of a Montgomery-form element (tests only).
+func (md *Modulus) ToBig(x *Element) *big.Int {
+	var b [32]byte
+	md.Bytes(x, b[:])
+	return new(big.Int).SetBytes(b[:])
+}
+
+// Pow sets z = x^e mod m for a plain-integer exponent e (square-and-
+// multiply, MSB first; variable time — exponents here are public
+// constants). Aliasing is allowed: z is only written at the end.
+func (md *Modulus) Pow(z, x *Element, e *Element) {
+	acc := md.one
+	n := e.BitLen()
+	for i := n - 1; i >= 0; i-- {
+		md.Sqr(&acc, &acc)
+		if e.Bit(i) == 1 {
+			md.Mul(&acc, &acc, x)
+		}
+	}
+	*z = acc
+}
+
+// Inv sets z = x⁻¹ mod m via exponentiation by m−2 (Fermat). The
+// coordinate modulus uses a dedicated addition chain (255 squarings,
+// 13 multiplications); other moduli fall back to the generic ladder.
+// Inverting zero yields zero, mirroring the convention that callers check
+// IsZero first; the EC layer never inverts zero (the point at infinity is
+// tracked structurally, not as a coordinate).
+func (md *Modulus) Inv(z, x *Element) {
+	if md.invChain != nil {
+		md.invChain(md, z, x)
+		return
+	}
+	md.Pow(z, x, &md.pm2)
+}
+
+// sqrN squares x n times in place.
+func (md *Modulus) sqrN(x *Element, n int) {
+	for i := 0; i < n; i++ {
+		md.Sqr(x, x)
+	}
+}
+
+// p256CoordInvChain computes x⁻¹ = x^(p−2) with an addition chain tuned to
+// the structure of p = 2²⁵⁶ − 2²²⁴ + 2¹⁹² + 2⁹⁶ − 1:
+//
+//	p − 2 = 1³² ‖ 0³¹ 1 ‖ 0⁹⁶ ‖ 1⁹⁴ ‖ 0 ‖ 1   (binary, MSB first)
+//
+// The 1-runs are assembled from doubling blocks x2, x4, …, x32 (xk has a
+// k-ones exponent), then appended with shifts: 255 squarings and 13
+// multiplications total versus ~480 for the generic ladder.
+func p256CoordInvChain(md *Modulus, z, x *Element) {
+	var x1, x2, x4, x8, x16, x32 Element
+	x1 = *x
+	x2 = x1
+	md.sqrN(&x2, 1)
+	md.Mul(&x2, &x2, &x1)
+	x4 = x2
+	md.sqrN(&x4, 2)
+	md.Mul(&x4, &x4, &x2)
+	x8 = x4
+	md.sqrN(&x8, 4)
+	md.Mul(&x8, &x8, &x4)
+	x16 = x8
+	md.sqrN(&x16, 8)
+	md.Mul(&x16, &x16, &x8)
+	x32 = x16
+	md.sqrN(&x32, 16)
+	md.Mul(&x32, &x32, &x16)
+
+	// x94: a 94-ones exponent = x64 shifted 30 + x30.
+	x64 := x32
+	md.sqrN(&x64, 32)
+	md.Mul(&x64, &x64, &x32)
+	x24 := x16
+	md.sqrN(&x24, 8)
+	md.Mul(&x24, &x24, &x8)
+	x28 := x24
+	md.sqrN(&x28, 4)
+	md.Mul(&x28, &x28, &x4)
+	x30 := x28
+	md.sqrN(&x30, 2)
+	md.Mul(&x30, &x30, &x2)
+	x94 := x64
+	md.sqrN(&x94, 30)
+	md.Mul(&x94, &x94, &x30)
+
+	acc := x32               // 1³²                   (bits 255..224)
+	md.sqrN(&acc, 32)        //
+	md.Mul(&acc, &acc, &x1)  // ‖ 0³¹ 1               (bits 223..192)
+	md.sqrN(&acc, 96)        // ‖ 0⁹⁶                 (bits 191..96)
+	md.sqrN(&acc, 94)        //
+	md.Mul(&acc, &acc, &x94) // ‖ 1⁹⁴                 (bits 95..2)
+	md.sqrN(&acc, 2)         //
+	md.Mul(&acc, &acc, &x1)  // ‖ 01                  (bits 1..0)
+	*z = acc
+}
+
+// Sqrt sets z to a square root of x mod p when one exists, reporting
+// success. Only defined for the coordinate modulus (p ≡ 3 mod 4), where
+// the candidate root is x^((p+1)/4):
+//
+//	(p+1)/4 = 1³² ‖ 0³¹ 1 ‖ 0⁹⁵ 1 ‖ 0⁹⁴   (binary, 254 bits)
+//
+// computed with the analogous addition chain (253 squarings, 10
+// multiplications), then verified by squaring.
+func (md *Modulus) Sqrt(z, x *Element) bool {
+	if !md.hasSqrt {
+		panic("fp256: Sqrt undefined for this modulus")
+	}
+	var x1, x2, x4, x8, x16, x32 Element
+	x1 = *x
+	x2 = x1
+	md.sqrN(&x2, 1)
+	md.Mul(&x2, &x2, &x1)
+	x4 = x2
+	md.sqrN(&x4, 2)
+	md.Mul(&x4, &x4, &x2)
+	x8 = x4
+	md.sqrN(&x8, 4)
+	md.Mul(&x8, &x8, &x4)
+	x16 = x8
+	md.sqrN(&x16, 8)
+	md.Mul(&x16, &x16, &x8)
+	x32 = x16
+	md.sqrN(&x32, 16)
+	md.Mul(&x32, &x32, &x16)
+
+	acc := x32              // 1³²       (bits 253..222)
+	md.sqrN(&acc, 32)       //
+	md.Mul(&acc, &acc, &x1) // ‖ 0³¹ 1   (bit 190)
+	md.sqrN(&acc, 96)       //
+	md.Mul(&acc, &acc, &x1) // ‖ 0⁹⁵ 1   (bit 94)
+	md.sqrN(&acc, 94)       // ‖ 0⁹⁴
+
+	var check Element
+	md.Sqr(&check, &acc)
+	if !check.Equal(x) {
+		return false
+	}
+	*z = acc
+	return true
+}
+
+// IsOddPlain reports whether the plain (non-Montgomery) value of the
+// Montgomery-form element x is odd — the Y-parity bit of point encodings.
+func (md *Modulus) IsOddPlain(x *Element) bool {
+	var v Element
+	md.FromMont(&v, x)
+	return v[0]&1 == 1
+}

@@ -32,17 +32,38 @@ func (e *ecElem) String() string    { return e.p.String() }
 
 var (
 	p256Once sync.Once
-	p256Std  *ecGroup
+	p256Std  *fastP256
+
+	p256GenericOnce sync.Once
+	p256GenericStd  *ecGroup
 )
 
 // P256 returns the shared NIST P-256 commitment group. It stands in for the
 // paper's Ristretto/Curve25519 deployment (see DESIGN.md Substitutions):
 // both are prime-order elliptic-curve groups with 256-bit scalars.
+//
+// The returned group runs on the fp256 fixed-width Montgomery backend
+// (see p256fast.go); P256Generic exposes the math/big reference
+// implementation of the same group. The two produce byte-identical
+// encodings and transcripts — the differential tests in p256fast_test.go
+// hold them to that.
 func P256() Group {
 	p256Once.Do(func() {
-		p256Std = newECGroup("p256", ec.StdP256())
+		p256Std = newFastP256()
 	})
 	return p256Std
+}
+
+// P256Generic returns the math/big reference implementation of the P-256
+// commitment group: same curve, same generator derivation, same canonical
+// encodings, evaluated through the generic ec.Curve arithmetic. It exists
+// as the cross-check oracle for the fast backend and as the template for
+// instantiating arbitrary curves via NewEC.
+func P256Generic() Group {
+	p256GenericOnce.Do(func() {
+		p256GenericStd = newECGroup("p256", ec.StdP256())
+	})
+	return p256GenericStd
 }
 
 // NewEC wraps an arbitrary curve as a commitment group.

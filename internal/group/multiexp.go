@@ -1,6 +1,7 @@
 package group
 
 import (
+	"math/big"
 	"runtime"
 	"sync"
 
@@ -101,7 +102,12 @@ func MultiExpStraus(g Group, bases []Element, exps []*field.Element) Element {
 		return g.Identity()
 	}
 	// Per-term tables of odd+even multiples: table[i][d-1] = bases[i]^d.
+	// The exponent copies are hoisted out of the window loop: BigInt()
+	// clones the representative, and the window scan below reads every
+	// exponent once per window — re-copying there cost O(windows·n)
+	// allocations for no reason.
 	tables := make([][]Element, len(bases))
+	kbs := make([]*big.Int, len(exps))
 	maxBits := 0
 	for i, b := range bases {
 		row := make([]Element, (1<<strausWindow)-1)
@@ -111,7 +117,8 @@ func MultiExpStraus(g Group, bases []Element, exps []*field.Element) Element {
 			acc = g.Op(acc, b)
 		}
 		tables[i] = row
-		if bl := exps[i].BigInt().BitLen(); bl > maxBits {
+		kbs[i] = exps[i].BigInt()
+		if bl := kbs[i].BitLen(); bl > maxBits {
 			maxBits = bl
 		}
 	}
@@ -125,7 +132,7 @@ func MultiExpStraus(g Group, bases []Element, exps []*field.Element) Element {
 			acc = g.Op(acc, acc)
 		}
 		for i := range bases {
-			kb := exps[i].BigInt()
+			kb := kbs[i]
 			var digit uint
 			for b := 0; b < strausWindow; b++ {
 				digit |= kb.Bit(w*strausWindow+b) << b
@@ -143,16 +150,29 @@ func MultiExpStraus(g Group, bases []Element, exps []*field.Element) Element {
 // products are faster on one core.
 const multiExpParallelMin = 64
 
-// MultiExpParallel computes Π bases[i]^{exps[i]} by splitting the terms into
-// up to `workers` contiguous chunks, evaluating each chunk with
-// MultiExpStraus on its own goroutine, and multiplying the partial products.
+// MultiExpParallel computes Π bases[i]^{exps[i]}, choosing the fastest
+// available strategy:
+//
+//  1. A backend-native multi-exponentiation (NativeMultiExp, e.g. the fast
+//     P-256 group's signed-digit Pippenger over raw points) wins outright;
+//     it is so much faster than interface-level chunking that the workers
+//     hint is ignored.
+//  2. Otherwise the terms split into up to `workers` contiguous chunks,
+//     each evaluated on its own goroutine with the best generic algorithm
+//     for its size — Pippenger buckets at ≥ pippengerMin terms, Straus
+//     below.
+//
 // Each chunk repeats the shared squaring chain (~256 ops), so parallelism
 // only pays for large products; small inputs fall through to the sequential
 // path. workers <= 0 selects GOMAXPROCS. The result is independent of the
-// chunking, so callers may treat this as a drop-in MultiExpStraus.
+// chunking and strategy, so callers may treat this as a drop-in
+// MultiExpStraus.
 func MultiExpParallel(g Group, bases []Element, exps []*field.Element, workers int) Element {
 	if len(bases) != len(exps) {
 		panic("group: MultiExpParallel length mismatch")
+	}
+	if me, ok := g.(NativeMultiExp); ok {
+		return me.MultiExpNative(bases, exps)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -161,7 +181,7 @@ func MultiExpParallel(g Group, bases []Element, exps []*field.Element, workers i
 		workers = len(bases) / multiExpParallelMin
 	}
 	if workers <= 1 {
-		return MultiExpStraus(g, bases, exps)
+		return multiExpAuto(g, bases, exps)
 	}
 	chunk := (len(bases) + workers - 1) / workers
 	parts := make([]Element, workers)
@@ -175,7 +195,7 @@ func MultiExpParallel(g Group, bases []Element, exps []*field.Element, workers i
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			parts[w] = MultiExpStraus(g, bases[lo:hi], exps[lo:hi])
+			parts[w] = multiExpAuto(g, bases[lo:hi], exps[lo:hi])
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -184,4 +204,12 @@ func MultiExpParallel(g Group, bases []Element, exps []*field.Element, workers i
 		acc = g.Op(acc, p)
 	}
 	return acc
+}
+
+// multiExpAuto picks the generic algorithm by batch size.
+func multiExpAuto(g Group, bases []Element, exps []*field.Element) Element {
+	if len(bases) >= pippengerMin {
+		return MultiExpPippenger(g, bases, exps)
+	}
+	return MultiExpStraus(g, bases, exps)
 }

@@ -65,21 +65,37 @@ func sharedTables(grp group.Group) *generatorTables {
 	return t
 }
 
-// CommitWithFast is CommitWith using the fixed-base tables. It is the
-// default inside this package; the slow path remains exported for
-// cross-checking in tests.
+// commitElement evaluates Com(x, rx) = g^x·h^rx. Groups with a native
+// fixed-base backend (group.FixedBasePowers — the fast P-256 group) get a
+// fused two-table evaluation with no intermediate element; everything
+// else goes through the generic per-group Precomp tables. The slow path
+// remains exported as CommitWithSlow for cross-checking in tests.
 func (p *Params) commitElement(x, rx *field.Element) group.Element {
+	if fb, ok := p.grp.(group.FixedBasePowers); ok {
+		return fb.CommitGenerators(x, rx)
+	}
 	t := p.tables()
 	return group.Exp2Precomp(t.g, x, t.h, rx)
 }
 
-// ExpG returns g^k via the fixed-base table. Σ-protocol code uses this for
-// announcements and verification equations over the message generator.
-func (p *Params) ExpG(k *field.Element) group.Element { return p.tables().g.Exp(k) }
+// ExpG returns g^k via the fixed-base machinery (native backend table or
+// generic Precomp). Σ-protocol code uses this for announcements and
+// verification equations over the message generator.
+func (p *Params) ExpG(k *field.Element) group.Element {
+	if fb, ok := p.grp.(group.FixedBasePowers); ok {
+		return fb.ExpGenerator(k)
+	}
+	return p.tables().g.Exp(k)
+}
 
-// ExpH returns h^k via the fixed-base table — the hottest operation in
-// Σ-OR proving and verification, where every equation is a power of h.
-func (p *Params) ExpH(k *field.Element) group.Element { return p.tables().h.Exp(k) }
+// ExpH returns h^k — the hottest operation in Σ-OR proving and
+// verification, where every equation is a power of h.
+func (p *Params) ExpH(k *field.Element) group.Element {
+	if fb, ok := p.grp.(group.FixedBasePowers); ok {
+		return fb.ExpAltGenerator(k)
+	}
+	return p.tables().h.Exp(k)
+}
 
 // tblCache is the atomic per-Params table pointer embedded in Params.
 type tblCache = atomic.Pointer[generatorTables]

@@ -1,0 +1,55 @@
+package vdp
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// Pinned transcript digests, captured from the math/big reference backend
+// before the fp256 fast P-256 backend landed (PR 5). The fast backend must
+// reproduce these byte-for-byte: every commitment, proof, and Morra record
+// encoding — and therefore every determinism, crash-recovery, and audit
+// guarantee built in PRs 1-4 — is unchanged by swapping the arithmetic.
+//
+// If a legitimate protocol change (not an arithmetic backend change)
+// alters the transcript grammar, re-pin these constants and say so in the
+// commit message.
+const (
+	pinnedCountDigest     = "48ff8306351f781a8173272a5a7f5d1735996709762541859f9b54e340f2791a"
+	pinnedHistogramDigest = "692626f629a9f11ad1c8e8488743122773cdc215de78ffddc73c0c1ee8c2a57f"
+)
+
+// pinnedScenario runs the deterministic scenario whose digest is pinned
+// above: fixed seed, fixed client choices, default (P-256) group.
+func pinnedScenario(t *testing.T, k, m int, choices []int) []byte {
+	t.Helper()
+	pub, err := Setup(Config{Provers: k, Bins: m, Coins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pub, choices, &RunOptions{Rand: testSeed(42), Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return TranscriptDigest(pub, res.Transcript)
+}
+
+func TestPinnedTranscriptDigests(t *testing.T) {
+	cases := []struct {
+		name    string
+		k, m    int
+		choices []int
+		want    string
+	}{
+		{"count", 1, 1, []int{1, 0, 1, 1, 0, 1, 0, 0}, pinnedCountDigest},
+		{"histogram", 2, 3, []int{0, 1, 2, 2, 1, 0}, pinnedHistogramDigest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := hex.EncodeToString(pinnedScenario(t, tc.k, tc.m, tc.choices))
+			if got != tc.want {
+				t.Fatalf("pinned digest changed:\n got  %s\n want %s", got, tc.want)
+			}
+		})
+	}
+}

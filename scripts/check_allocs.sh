@@ -1,0 +1,30 @@
+#!/bin/sh
+# check_allocs.sh — allocation regression guard for the P-256 commit hot
+# path. The fp256 fast backend brought BenchmarkCommit/p256 from 4161
+# allocs/op (math/big elements) to 1; this guard pins allocs/op under a
+# deliberately generous ceiling so a refactor that silently routes P-256
+# commitments back through the big.Int path (thousands of allocs) fails CI,
+# while harmless changes (a scalar copy here or there) do not flap.
+#
+# Usage: check_allocs.sh [ceiling]   (default 16)
+set -eu
+ceiling="${1:-16}"
+
+out=$(go test ./internal/pedersen -run '^$' -bench 'BenchmarkCommit/p256' \
+    -benchmem -benchtime 200x -count=1)
+echo "$out"
+
+allocs=$(echo "$out" | awk '$1 ~ /^BenchmarkCommit\/p256/ {
+    for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+}')
+if [ -z "$allocs" ]; then
+    echo "alloc check FAILED: could not find BenchmarkCommit/p256 allocs/op in output"
+    exit 1
+fi
+echo "commit allocs/op: ${allocs} (ceiling ${ceiling})"
+if [ "$allocs" -gt "$ceiling" ]; then
+    echo "alloc check FAILED: ${allocs} allocs/op exceeds the ${ceiling} ceiling —"
+    echo "the big.Int path is back on the P-256 commit hot path"
+    exit 1
+fi
+echo "alloc check passed"
