@@ -4,7 +4,7 @@
 // Usage:
 //
 //	vdpbench [-scale quick|standard|paper] [-parallel 1,2,4,8] [-shards 1,2,4,8]
-//	         [-only table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding]
+//	         [-only table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding,flood]
 //	vdpbench -json   > BENCH_<pr>.json
 //
 // The default runs every experiment at quick scale (seconds). Standard
@@ -30,7 +30,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick|standard|paper")
-	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding")
+	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding,flood")
 	parallelFlag := flag.String("parallel", "", "comma-separated worker counts for the engine sweep (default 1,2,4,8)")
 	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the sharding sweep (default 1,2,4,8)")
 	jsonFlag := flag.Bool("json", false, "emit the machine-readable crypto hot-path snapshot (commit/verify/submit) as JSON on stdout and exit; see BENCH_5.json")
@@ -87,6 +87,7 @@ func main() {
 		{"sharding", func() (interface{ Format() string }, error) {
 			return experiments.ShardingSweepAtScale(scale, shardCounts)
 		}},
+		{"flood", func() (interface{ Format() string }, error) { return experiments.FloodAtScale(scale) }},
 	}
 
 	fmt.Printf("verifiable-dp benchmark suite (scale=%s)\n", scale)

@@ -3,6 +3,13 @@
 // attaches the zero-knowledge legality proof, and sends the bundle over
 // TCP. The deployment flags must match the server's.
 //
+// With -batch N it floods instead: N full submissions (IDs -id through
+// -id+N-1, all with the same -choice) travel in ONE "submit-batch" frame,
+// the server admits them under a single lock pass + fsync window + folded
+// Σ-OR check, and the reply is one frame with a per-client verdict each.
+// This is both the load generator for throughput measurements and the
+// natural mode for a gateway submitting on behalf of many devices.
+//
 // With -audit-store it instead plays the third-party auditor, entirely
 // offline: the server's durable board log is replayed, a sealed epoch's
 // transcript is decoded, every proof and the final aggregate are
@@ -13,6 +20,7 @@
 // Examples:
 //
 //	vdpclient -addr 127.0.0.1:7001 -id 0 -choice 1 -bins 2 -coins 32
+//	vdpclient -addr 127.0.0.1:7001 -id 100 -batch 64 -choice 1 -bins 2 -coins 32
 //	vdpclient -audit-store /var/lib/vdp -bins 2 -coins 32          # latest epoch
 //	vdpclient -audit-store /var/lib/vdp -epoch 0 -bins 2 -coins 32 # specific epoch
 package main
@@ -23,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -43,6 +52,7 @@ func main() {
 		delta      = flag.Float64("delta", 1e-6, "delta (must match server when -coins 0)")
 		grp        = flag.String("group", "p256", "commitment group (must match server)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "submission round-trip deadline (0 = none)")
+		batch      = flag.Int("batch", 0, "flood mode: send this many submissions (IDs -id..) in one batch frame")
 		auditStore = flag.String("audit-store", "", "audit a server's board log directory offline instead of submitting")
 		epoch      = flag.Int("epoch", -1, "epoch to audit with -audit-store (-1 = latest sealed)")
 	)
@@ -68,6 +78,10 @@ func main() {
 			}
 		})
 		auditOffline(pub, *auditStore, *epoch, auditDeadline)
+		return
+	}
+	if *batch > 0 {
+		submitBatch(pub, *addr, *id, *choice, *batch, *timeout)
 		return
 	}
 	sub, err := pub.NewClientSubmission(*id, *choice, nil)
@@ -108,6 +122,68 @@ func main() {
 		log.Fatalf("client %d: server rejected submission: %s", *id, reply.Payload)
 	default:
 		log.Fatalf("client %d: unexpected reply %q", *id, reply.Kind)
+	}
+}
+
+// submitBatch builds n full submissions and sends them in one
+// "submit-batch" frame, then reports the server's per-client verdicts. One
+// connection, one frame, one reply — the round trip a gateway aggregating
+// many devices (or a load generator) pays per n clients.
+func submitBatch(pub *vdp.Public, addr string, firstID, choice, n int, timeout time.Duration) {
+	if n > vdp.MaxBatchClients {
+		log.Fatalf("-batch %d exceeds the per-frame limit of %d", n, vdp.MaxBatchClients)
+	}
+	subs := make([]*vdp.ClientSubmission, n)
+	for i := range subs {
+		sub, err := pub.NewClientSubmission(firstID+i, choice, nil)
+		if err != nil {
+			log.Fatalf("building submission %d: %v", firstID+i, err)
+		}
+		subs[i] = sub
+	}
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	start := time.Now()
+	frame := &transport.Frame{Kind: "submit-batch", Sender: firstID, Payload: pub.EncodeSubmissionBatch(subs)}
+	if err := transport.WriteFrame(conn, frame); err != nil {
+		log.Fatal(err)
+	}
+	reply, err := transport.ReadFrame(conn)
+	if err != nil {
+		log.Fatalf("reading server reply: %v", err)
+	}
+	switch reply.Kind {
+	case "batch-verdicts":
+		verdicts, err := vdp.DecodeBatchVerdicts(reply.Payload)
+		if err != nil {
+			log.Fatalf("decoding verdicts: %v", err)
+		}
+		elapsed := time.Since(start)
+		ok := 0
+		for _, v := range verdicts {
+			if v.Accepted {
+				ok++
+			} else {
+				fmt.Printf("client %d: REJECTED: %s\n", v.ID, v.Reason)
+			}
+		}
+		fmt.Printf("batch of %d: %d accepted, %d rejected in %v (%.0f submissions/sec)\n",
+			n, ok, n-ok, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+		if ok < n {
+			os.Exit(1)
+		}
+	case "error":
+		log.Fatalf("server rejected batch: %s", reply.Payload)
+	default:
+		log.Fatalf("unexpected reply %q", reply.Kind)
 	}
 }
 

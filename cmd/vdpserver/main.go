@@ -7,6 +7,14 @@
 // generation, Σ-OR proving, Morra and the audit transcript all run over the
 // already-verified client set, and the verified release is printed.
 //
+// Batched admission: a "submit-batch" frame carries up to
+// vdp.MaxBatchClients full submissions in one message (vdpclient -batch N
+// sends them). The whole batch is admitted under a single roster-lock pass,
+// persisted inside one group-commit fsync window, and verified by one
+// folded Σ-OR batch check running concurrently with the fsync; the reply is
+// one "batch-verdicts" frame with a per-client verdict each, so one bad
+// client in a batch is rejected individually while its neighbours land.
+//
 // Sharding: with -shards N the bulletin board is split across N independent
 // sub-sessions, consistent-hashed by client ID (vdp.ShardOf), so concurrent
 // submissions routed to different shards never contend on a shared roster
@@ -73,6 +81,7 @@ const boardLogName = "board.log"
 // type-specific because the sharded result carries per-shard transcripts.
 type aggregator interface {
 	Submit(ctx context.Context, sub *vdp.ClientSubmission) error
+	SubmitBatch(ctx context.Context, subs []*vdp.ClientSubmission) ([]error, error)
 	Accepted() int
 }
 
@@ -125,29 +134,63 @@ func main() {
 		doneOnce.Do(func() { close(done) })
 	}
 	handler := func(f *transport.Frame) ([]*transport.Frame, error) {
-		if f.Kind != "submit" {
+		switch f.Kind {
+		case "submit":
+			cp, pl, err := decodeSubmission(pub, f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			// Eager verification on the owning shard's worker pool: the verdict
+			// goes straight back on this client's connection, and Finalize will
+			// not re-check anything. With -store-dir the submission and verdict
+			// are durable before the reply is written.
+			if err := agg.Submit(ctx, &vdp.ClientSubmission{Public: cp, Payloads: []*vdp.ClientPayload{pl}}); err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			accepted++
+			n := accepted
+			mu.Unlock()
+			log.Printf("accepted client %d (%d/%d)", cp.ID, n, *clients)
+			if n >= *clients {
+				doneOnce.Do(func() { close(done) })
+			}
+			return []*transport.Frame{{Kind: "ack", Payload: []byte("accepted")}}, nil
+		case "submit-batch":
+			// The batch front door: the whole frame is admitted under one
+			// roster-lock pass, one fsync window and one folded Σ-OR check,
+			// and the per-client verdicts come back in a single reply frame.
+			// Unlike the one-per-frame path, a rejected client is a verdict
+			// here, not a dropped connection — only a batch-level failure
+			// (closed session, store failure) errors the frame.
+			subs, err := pub.DecodeSubmissionBatch(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			verdicts, err := agg.SubmitBatch(ctx, subs)
+			if err != nil {
+				return nil, err
+			}
+			ok := 0
+			for _, v := range verdicts {
+				if v == nil {
+					ok++
+				}
+			}
+			mu.Lock()
+			accepted += ok
+			n := accepted
+			mu.Unlock()
+			log.Printf("accepted batch of %d: %d admitted, %d rejected (%d/%d)",
+				len(subs), ok, len(subs)-ok, n, *clients)
+			if n >= *clients {
+				doneOnce.Do(func() { close(done) })
+			}
+			reply := vdp.EncodeBatchVerdicts(vdp.VerdictsFor(subs, verdicts))
+			return []*transport.Frame{{Kind: "batch-verdicts", Payload: reply}}, nil
+		default:
 			return nil, fmt.Errorf("unexpected frame kind %q", f.Kind)
 		}
-		cp, pl, err := decodeSubmission(pub, f.Payload)
-		if err != nil {
-			return nil, err
-		}
-		// Eager verification on the owning shard's worker pool: the verdict
-		// goes straight back on this client's connection, and Finalize will
-		// not re-check anything. With -store-dir the submission and verdict
-		// are durable before the reply is written.
-		if err := agg.Submit(ctx, &vdp.ClientSubmission{Public: cp, Payloads: []*vdp.ClientPayload{pl}}); err != nil {
-			return nil, err
-		}
-		mu.Lock()
-		accepted++
-		n := accepted
-		mu.Unlock()
-		log.Printf("accepted client %d (%d/%d)", cp.ID, n, *clients)
-		if n >= *clients {
-			doneOnce.Do(func() { close(done) })
-		}
-		return []*transport.Frame{{Kind: "ack", Payload: []byte("accepted")}}, nil
 	}
 
 	srv, err := transport.Listen(*addr, handler)

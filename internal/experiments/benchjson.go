@@ -33,9 +33,14 @@ type BenchEntry struct {
 	// AllocsPerOp / BytesPerOp come from the Go benchmark memory counters.
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
-	// PerItemNs divides NsPerOp by the inner batch size for benchmarks
-	// that process a board per iteration (0 when the op is already unit).
-	PerItemNs float64 `json:"per_item_ns,omitempty"`
+	// BatchSize is the number of items one timed operation processes (1 for
+	// unit operations), so batch entries carry their size as metadata
+	// instead of encoding it only in the name.
+	BatchSize int `json:"batch_size"`
+	// PerItemNs is NsPerOp/BatchSize — always emitted (schema vdp-bench/2),
+	// so per-item costs diff across batch sizes without arithmetic, and
+	// equal to NsPerOp for unit operations.
+	PerItemNs float64 `json:"per_item_ns"`
 }
 
 // BenchReport is the top-level -json document.
@@ -47,22 +52,24 @@ type BenchReport struct {
 	Entries    []BenchEntry `json:"benchmarks"`
 }
 
-// benchSchema is bumped only when the document shape changes.
-const benchSchema = "vdp-bench/1"
+// benchSchema is bumped only when the document shape changes. Version 2
+// adds batch_size to every entry and makes per_item_ns unconditional.
+const benchSchema = "vdp-bench/2"
 
 func entryFrom(name string, items int, r testing.BenchmarkResult) BenchEntry {
-	e := BenchEntry{
+	if items < 1 {
+		items = 1
+	}
+	return BenchEntry{
 		Name:        name,
 		N:           r.N,
 		NsPerOp:     float64(r.NsPerOp()),
 		MicrosPerOp: float64(r.NsPerOp()) / 1e3,
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
+		BatchSize:   items,
+		PerItemNs:   float64(r.NsPerOp()) / float64(items),
 	}
-	if items > 1 {
-		e.PerItemNs = float64(r.NsPerOp()) / float64(items)
-	}
-	return e
 }
 
 // BenchJSON measures the crypto hot path with the testing.Benchmark
@@ -141,6 +148,58 @@ func BenchJSON() ([]byte, error) {
 	})
 	report.Entries = append(report.Entries,
 		entryFrom(fmt.Sprintf("session-submit-%d/p256", boardClients), boardClients, submitRes))
+
+	// submit-batch: the same board through SubmitBatch — one roster-lock
+	// pass, one fsync window, one folded Σ-OR check per iteration. The
+	// per_item_ns here against session-submit's is the headline batching
+	// gain at the session front door.
+	submitBatchRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess, err := vdp.NewSession(pub, vdp.SessionOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			verdicts, err := sess.SubmitBatch(ctx, subs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range verdicts {
+				if v != nil {
+					b.Fatalf("honest client rejected: %v", v)
+				}
+			}
+		}
+	})
+	report.Entries = append(report.Entries,
+		entryFrom(fmt.Sprintf("session-submit-batch-%d/p256", boardClients), boardClients, submitBatchRes))
+
+	// flood: sustained concurrent admission of a 1k-client board at swept
+	// frame sizes — the ISSUE-6 acceptance numbers. Batch size 1 is the
+	// one-per-frame Submit path the larger frames are measured against.
+	const floodClients = 1000
+	const floodGateways = 8
+	floodSubs := make([]*vdp.ClientSubmission, floodClients)
+	for i := range floodSubs {
+		sub, err := pub.NewClientSubmission(i, i%2, nil)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: flood client %d: %w", i, err)
+		}
+		floodSubs[i] = sub
+	}
+	for _, bs := range []int{1, 16, 64, 256} {
+		bs := bs
+		floodRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := floodOnce(ctx, pub, nil, floodSubs, bs, floodGateways); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Entries = append(report.Entries,
+			entryFrom(fmt.Sprintf("flood-%d-batch-%d/p256", floodClients, bs), floodClients, floodRes))
+	}
 
 	return json.MarshalIndent(report, "", "  ")
 }

@@ -63,42 +63,60 @@ func WriteFrame(w io.Writer, f *Frame) error {
 
 // ReadFrame reads one frame, enforcing the size limits.
 func ReadFrame(r io.Reader) (*Frame, error) {
+	f := new(Frame)
+	if _, err := ReadFrameInto(r, f, nil); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadFrameInto reads one frame into f, using buf (grown as needed) as the
+// payload buffer, and returns the possibly-grown buffer for the next call.
+// f.Payload aliases the returned buffer, so the frame is only valid until
+// the buffer's next reuse; this is the allocation-free read loop a server
+// draining multi-megabyte batch frames needs, where ReadFrame's fresh
+// payload allocation per frame would dominate the decode path.
+func ReadFrameInto(r io.Reader, f *Frame, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err // io.EOF propagates for clean shutdown detection
+		return buf, err // io.EOF propagates for clean shutdown detection
 	}
 	kindLen := binary.BigEndian.Uint32(hdr[:])
 	if kindLen > 255 {
-		return nil, fmt.Errorf("transport: kind length %d out of range", kindLen)
+		return buf, fmt.Errorf("transport: kind length %d out of range", kindLen)
 	}
-	kind := make([]byte, kindLen)
-	if _, err := io.ReadFull(r, kind); err != nil {
-		return nil, fmt.Errorf("transport: reading kind: %w", err)
+	var kind [255]byte
+	if _, err := io.ReadFull(r, kind[:kindLen]); err != nil {
+		return buf, fmt.Errorf("transport: reading kind: %w", err)
 	}
 	var snd [8]byte
 	if _, err := io.ReadFull(r, snd[:]); err != nil {
-		return nil, fmt.Errorf("transport: reading sender: %w", err)
+		return buf, fmt.Errorf("transport: reading sender: %w", err)
 	}
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("transport: reading payload length: %w", err)
+		return buf, fmt.Errorf("transport: reading payload length: %w", err)
 	}
 	payloadLen := binary.BigEndian.Uint32(hdr[:])
 	if payloadLen > MaxFrameSize {
-		return nil, ErrFrameTooLarge
+		return buf, ErrFrameTooLarge
 	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("transport: reading payload: %w", err)
+	if uint32(cap(buf)) < payloadLen {
+		buf = make([]byte, payloadLen)
 	}
-	return &Frame{
-		Kind:    string(kind),
-		Sender:  int(int64(binary.BigEndian.Uint64(snd[:]))),
-		Payload: payload,
-	}, nil
+	buf = buf[:payloadLen]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, fmt.Errorf("transport: reading payload: %w", err)
+	}
+	f.Kind = string(kind[:kindLen])
+	f.Sender = int(int64(binary.BigEndian.Uint64(snd[:])))
+	f.Payload = buf
+	return buf, nil
 }
 
 // Handler processes one inbound frame and may return reply frames to send
-// back on the same connection.
+// back on the same connection. The frame's payload may alias a per-connection
+// read buffer that is reused for the next frame, so a handler that retains
+// payload bytes past its return must copy them.
 type Handler func(f *Frame) ([]*Frame, error)
 
 // Server accepts TCP connections and dispatches inbound frames to a
@@ -146,12 +164,18 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	// One payload buffer per connection, reused across frames (the Handler
+	// contract permits this); a flood of batch frames costs zero payload
+	// allocations after the largest frame has sized the buffer.
+	var f Frame
+	var buf []byte
 	for {
-		f, err := ReadFrame(conn)
+		var err error
+		buf, err = ReadFrameInto(conn, &f, buf)
 		if err != nil {
 			return // EOF or malformed peer: drop the connection
 		}
-		replies, err := s.handler(f)
+		replies, err := s.handler(&f)
 		if err != nil {
 			// Send an error frame so the peer knows why it was dropped.
 			_ = WriteFrame(conn, &Frame{Kind: "error", Payload: []byte(err.Error())})

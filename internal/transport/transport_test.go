@@ -210,6 +210,154 @@ func TestServerShutdown(t *testing.T) {
 	}
 }
 
+// TestReadFrameInto: the reusing reader returns the same backing buffer
+// across same-size frames, grows it for larger payloads, and never lets one
+// frame's bytes bleed into the next frame's payload.
+func TestReadFrameInto(t *testing.T) {
+	var wire bytes.Buffer
+	payloads := [][]byte{
+		bytes.Repeat([]byte{0x11}, 64),
+		bytes.Repeat([]byte{0x22}, 64),   // same size: buffer must be reused
+		bytes.Repeat([]byte{0x33}, 4096), // larger: buffer must grow
+		bytes.Repeat([]byte{0x44}, 8),    // smaller: reuse the grown buffer
+	}
+	for i, p := range payloads {
+		if err := WriteFrame(&wire, &Frame{Kind: "k", Sender: i, Payload: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var f Frame
+	var buf []byte
+	var prev []byte
+	for i, want := range payloads {
+		var err error
+		buf, err = ReadFrameInto(&wire, &f, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Sender != i || !bytes.Equal(f.Payload, want) {
+			t.Fatalf("frame %d corrupted: sender %d, %d payload bytes", i, f.Sender, len(f.Payload))
+		}
+		if len(f.Payload) > 0 && &f.Payload[0] != &buf[0] {
+			t.Fatalf("frame %d payload does not alias the reused buffer", i)
+		}
+		// Same-capacity reads must not allocate a fresh buffer.
+		if i == 1 && &buf[0] != &prev[0] {
+			t.Error("same-size frame did not reuse the previous buffer")
+		}
+		if len(buf) > 0 {
+			prev = buf[:1]
+		}
+	}
+	if _, err := ReadFrameInto(&wire, &f, buf); err != io.EOF {
+		t.Errorf("expected EOF after last frame, got %v", err)
+	}
+}
+
+// TestServerMixedTraffic: single-submission and batch frames interleaved on
+// ONE connection. The server's per-connection read buffer is reused across
+// frames of very different sizes, so this catches any aliasing bug where a
+// large batch frame's bytes leak into the small frame that follows it (the
+// Handler contract says payloads must be copied if retained — the handler
+// here does, and the copies must survive the next read).
+func TestServerMixedTraffic(t *testing.T) {
+	var mu sync.Mutex
+	var got [][]byte
+	srv, err := Listen("127.0.0.1:0", func(f *Frame) ([]*Frame, error) {
+		mu.Lock()
+		got = append(got, append([]byte(nil), f.Payload...))
+		mu.Unlock()
+		return []*Frame{{Kind: "ack-" + f.Kind, Sender: f.Sender}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Alternate tiny "submit" frames with fat "submit-batch" frames.
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		kind, size := "submit", 16
+		if i%2 == 1 {
+			kind, size = "submit-batch", 32<<10
+		}
+		payload := bytes.Repeat([]byte{byte(i + 1)}, size)
+		want = append(want, payload)
+		if err := WriteFrame(conn, &Frame{Kind: kind, Sender: i, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Kind != "ack-"+kind || reply.Sender != i {
+			t.Fatalf("frame %d: bad reply %q/%d", i, reply.Kind, reply.Sender)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(want) {
+		t.Fatalf("server saw %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("frame %d payload corrupted by buffer reuse (%d bytes, want %d)",
+				i, len(got[i]), len(want[i]))
+		}
+	}
+}
+
+// TestServerShutdownDuringBatch: a batch frame in flight when graceful
+// Shutdown starts is still served to completion — batched admission gets
+// the same drain guarantee as single submissions.
+func TestServerShutdownDuringBatch(t *testing.T) {
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	srv, err := Listen("127.0.0.1:0", func(f *Frame) ([]*Frame, error) {
+		if f.Kind == "submit-batch" {
+			close(entered)
+			<-block
+		}
+		return []*Frame{{Kind: "batch-verdicts", Payload: f.Payload}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	batch := bytes.Repeat([]byte{0x5a}, 1024)
+	if err := WriteFrame(conn, &Frame{Kind: "submit-batch", Payload: batch}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the batch is in the handler; now start draining
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(context.Background()) }()
+	// Let Shutdown close the listener and start waiting, then release the
+	// handler: the in-flight batch must complete and be answered.
+	time.Sleep(10 * time.Millisecond)
+	close(block)
+	reply, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("in-flight batch not served across Shutdown: %v", err)
+	}
+	if reply.Kind != "batch-verdicts" || !bytes.Equal(reply.Payload, batch) {
+		t.Errorf("bad drained reply: %q, %d bytes", reply.Kind, len(reply.Payload))
+	}
+	conn.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("graceful Shutdown: %v", err)
+	}
+}
+
 func TestPipe(t *testing.T) {
 	a, b := Pipe()
 	defer a.Close()

@@ -1,0 +1,479 @@
+package vdp
+
+import (
+	"context"
+	"fmt"
+)
+
+// Batched admission: the high-throughput front door.
+//
+// The transport's original contract was one submission per framed
+// round-trip, and Session.Submit verifies each arrival as its own engine
+// task — so the 30× advantage of RLC batch verification (sigma.BitBatch +
+// group.NativeMultiExp, PR 5) never reached the server's front door. This
+// file carries batches through every admission stage instead:
+//
+//   - EncodeSubmissionBatch / DecodeSubmissionBatch: a versioned wire body
+//     holding N full client submissions, the payload of one "submit-batch"
+//     transport frame. The one-per-frame "submit" kind is untouched; old
+//     clients interoperate unchanged.
+//   - Session.SubmitBatch: admits the whole batch under ONE roster-lock
+//     acquisition, persists it inside ONE group-commit fsync window, and
+//     verifies every board proof with ONE combined Σ-OR batch check — with
+//     the fsync and the multi-exponentiation running concurrently. Verdicts
+//     stay per-client and byte-identical to Submit's, so board-reject
+//     semantics, log grammar, and transcript digests are all preserved.
+//   - ShardedSession.SubmitBatch: splits a batch by ShardOf and runs the
+//     per-shard sub-batches concurrently.
+//   - BatchVerdict (+ codecs): the per-client outcomes the server sends back
+//     in the reply frame.
+
+// MaxBatchClients bounds the number of submissions one batch frame may
+// claim, so a hostile count prefix cannot force an unbounded allocation and
+// one peer cannot monopolise an admission window. Senders with more clients
+// split across frames.
+const MaxBatchClients = 4096
+
+// EncodeSubmissionBatch serializes a batch of full client submissions as
+// one wire body: version | u32 count | count × lpBytes(submission record).
+// Each inner record is exactly EncodeClientSubmission's encoding.
+func (p *Public) EncodeSubmissionBatch(subs []*ClientSubmission) []byte {
+	return p.AppendSubmissionBatch(nil, subs)
+}
+
+// AppendSubmissionBatch is EncodeSubmissionBatch writing into dst (grown as
+// needed), so a flooding sender reuses one buffer across frames instead of
+// allocating a fresh multi-megabyte encoding per batch.
+func (p *Public) AppendSubmissionBatch(dst []byte, subs []*ClientSubmission) []byte {
+	w := wireWriter{b: dst[:0]}
+	w.version()
+	w.u32(uint32(len(subs)))
+	for _, sub := range subs {
+		mark := w.lpMark()
+		p.encodeClientSubmissionInto(&w, sub)
+		w.lpPatch(mark)
+	}
+	return w.b
+}
+
+// DecodeSubmissionBatch parses and validates a batch frame body. Every
+// inner submission is fully validated (group membership, canonical scalars)
+// exactly as the single-submission decoder would; one malformed member
+// fails the whole decode — the sender is speaking the protocol wrong, which
+// is different from a well-formed member whose *proof* is wrong (that one
+// decodes fine and earns its rejection verdict from SubmitBatch).
+func (p *Public) DecodeSubmissionBatch(b []byte) ([]*ClientSubmission, error) {
+	r := wireReader{b: b}
+	r.version()
+	n := r.u32()
+	if r.err == nil && n > MaxBatchClients {
+		return nil, fmt.Errorf("vdp: batch claims %d submissions (limit %d)", n, MaxBatchClients)
+	}
+	subs := make([]*ClientSubmission, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		raw := r.lpBytes()
+		if r.err != nil {
+			break
+		}
+		sub, err := p.DecodeClientSubmission(raw)
+		if err != nil {
+			return nil, fmt.Errorf("vdp: batch submission %d: %w", i, err)
+		}
+		subs = append(subs, sub)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return subs, nil
+}
+
+// BatchVerdict is one client's outcome in the reply to a batch frame.
+type BatchVerdict struct {
+	ID       int
+	Accepted bool
+	Reason   string // rejection reason; empty when accepted
+}
+
+// VerdictsFor pairs SubmitBatch's per-slot errors back with the submissions
+// they belong to, producing the reply-frame form. A nil submission slot
+// reports ID -1.
+func VerdictsFor(subs []*ClientSubmission, errs []error) []BatchVerdict {
+	out := make([]BatchVerdict, len(subs))
+	for i := range subs {
+		out[i].ID = -1
+		if subs[i] != nil && subs[i].Public != nil {
+			out[i].ID = subs[i].Public.ID
+		}
+		if i < len(errs) && errs[i] != nil {
+			out[i].Reason = errs[i].Error()
+		} else {
+			out[i].Accepted = true
+		}
+	}
+	return out
+}
+
+// EncodeBatchVerdicts serializes per-client verdicts for the reply frame:
+// version | u32 count | count × (u32 id | u8 accepted | lpBytes reason).
+func EncodeBatchVerdicts(vs []BatchVerdict) []byte {
+	var w wireWriter
+	w.version()
+	w.u32(uint32(len(vs)))
+	for _, v := range vs {
+		w.u32(uint32(v.ID))
+		acc := byte(0)
+		if v.Accepted {
+			acc = 1
+		}
+		w.bytes([]byte{acc})
+		w.lpBytes([]byte(v.Reason))
+	}
+	return w.b
+}
+
+// DecodeBatchVerdicts parses a verdict reply body.
+func DecodeBatchVerdicts(b []byte) ([]BatchVerdict, error) {
+	r := wireReader{b: b}
+	r.version()
+	n := r.u32()
+	if r.err == nil && n > MaxBatchClients {
+		return nil, fmt.Errorf("vdp: verdict reply claims %d entries (limit %d)", n, MaxBatchClients)
+	}
+	out := make([]BatchVerdict, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		id := int(int32(r.u32()))
+		flag := r.take(1)
+		reason := r.lpBytes()
+		if r.err != nil {
+			break
+		}
+		out = append(out, BatchVerdict{ID: id, Accepted: flag[0] == 1, Reason: string(reason)})
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SubmitBatch admits a whole arrival batch into the current epoch:
+// duplicate screening and board-order reservation for every member happen
+// under one roster-lock acquisition, all submission records land inside one
+// group-commit fsync window, and every member's board proof folds into a
+// single combined Σ-OR batch check (one native multi-exponentiation) that
+// runs concurrently with the fsync. The returned slice holds one verdict
+// per submission, aligned with subs, with exactly Submit's per-client
+// semantics: nil admits the client, an ErrClientReject-wrapped error
+// records the rejection (board-level failures stay on the bulletin board;
+// payload disputes are refused outright and never posted), and duplicates —
+// against the roster or earlier in the same batch — fail without being
+// recorded. Interleaving SubmitBatch with concurrent Submits is safe and
+// verdict-equivalent to any serial order of the same arrivals.
+//
+// A non-nil error reports a batch-level failure. When verdicts is nil the
+// batch was not admitted at all (closed session, cancelled ctx, or a store
+// failure before any verdict was computed; every reservation was
+// withdrawn). When verdicts is non-nil alongside the error, the board
+// reflects the verdicts but the store is failing: members whose verdict
+// record could not be written in order were withdrawn again (their slots
+// carry the error), and the epoch cannot seal until the store recovers.
+func (s *Session) SubmitBatch(ctx context.Context, subs []*ClientSubmission) ([]error, error) {
+	if len(subs) == 0 {
+		return nil, nil
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	s.flight.RLock()
+	defer s.flight.RUnlock()
+
+	// Encode every durable submission record outside the roster lock, into
+	// pooled buffers: both BoardLog implementations copy the payload inside
+	// Append, so the scratch recycles once the ordered writes are in.
+	var recs [][]byte
+	var bufs []*[]byte
+	if s.opts.Store != nil {
+		recs = make([][]byte, len(subs))
+		for i, sub := range subs {
+			if sub == nil || sub.Public == nil {
+				continue
+			}
+			buf := getWireBuf()
+			w := wireWriter{b: (*buf)[:0]}
+			s.pub.encodeClientSubmissionInto(&w, sub)
+			*buf = w.b
+			recs[i] = w.b
+			bufs = append(bufs, buf)
+		}
+		defer func() {
+			for _, b := range bufs {
+				putWireBuf(b)
+			}
+		}()
+	}
+
+	// One roster-lock acquisition reserves the whole batch: duplicate
+	// screening, board-order append, and the ordered (not-yet-synced) log
+	// writes — so log order equals board order for every member, the same
+	// invariant Submit maintains one client at a time.
+	verdicts := make([]error, len(subs))
+	admitted := make([]*sessionClient, 0, len(subs))
+	admittedIdx := make([]int, 0, len(subs))
+	s.mu.Lock()
+	if s.state != sessionOpen {
+		st := s.state
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: session is %s", ErrBadConfig, st)
+	}
+	epoch := s.epoch
+	var aerr error
+	for i, sub := range subs {
+		if sub == nil || sub.Public == nil {
+			verdicts[i] = fmt.Errorf("%w: nil submission", ErrClientReject)
+			continue
+		}
+		if _, dup := s.byID[sub.Public.ID]; dup {
+			verdicts[i] = fmt.Errorf("%w: duplicate submission from client %d", ErrClientReject, sub.Public.ID)
+			continue
+		}
+		if recs != nil {
+			if aerr = s.appendRecordOrdered(RecordSubmission, epoch, recs[i]); aerr != nil {
+				break
+			}
+		}
+		cl := &sessionClient{public: sub.Public, payloads: sub.Payloads}
+		s.byID[sub.Public.ID] = cl
+		s.order = append(s.order, cl)
+		admitted = append(admitted, cl)
+		admittedIdx = append(admittedIdx, i)
+	}
+	if aerr != nil {
+		// The store failed mid-batch: members already written are reserved
+		// but cannot be acknowledged. Withdraw them — grammatical, since
+		// none has a verdict yet — and fail the whole batch.
+		s.withdrawBatchLocked(admitted, epoch)
+		s.mu.Unlock()
+		return nil, aerr
+	}
+	s.mu.Unlock()
+
+	// Group commit ∥ verification: one fsync covers every submission record
+	// just written, and it runs while the batched Σ-OR check is already
+	// chewing on the same submissions — the disk and the
+	// multi-exponentiation overlap instead of queueing behind each other.
+	// Nothing is acknowledged until both have landed.
+	syncc := make(chan error, 1)
+	if s.opts.Store != nil {
+		go func() { syncc <- s.syncStore() }()
+	} else {
+		syncc <- nil
+	}
+	var bv []error
+	var onBoard []bool
+	var verr error
+	if !s.opts.DeferVerification && len(admitted) > 0 {
+		batchSubs := make([]*ClientSubmission, len(admitted))
+		for k, i := range admittedIdx {
+			batchSubs[k] = subs[i]
+		}
+		bv, onBoard, verr = s.verifyBatch(ctx, batchSubs)
+	}
+	if serr := <-syncc; serr != nil {
+		s.mu.Lock()
+		s.withdrawBatchLocked(admitted, epoch)
+		s.mu.Unlock()
+		return nil, serr
+	}
+	if verr != nil {
+		// Cancelled mid-verification: release every reservation so a retry
+		// of the same batch is not a duplicate flood.
+		s.mu.Lock()
+		s.withdrawBatchLocked(admitted, epoch)
+		s.mu.Unlock()
+		return nil, verr
+	}
+	if s.opts.DeferVerification || len(admitted) == 0 {
+		return verdicts, nil
+	}
+
+	s.mu.Lock()
+	for k, cl := range admitted {
+		cl.decided = true
+		cl.reject = bv[k]
+		verdicts[admittedIdx[k]] = bv[k]
+		if bv[k] != nil {
+			s.rejected[cl.public.ID] = bv[k]
+			if !onBoard[k] {
+				// Private-channel payload failure: refused outright, the
+				// public part never reaches the bulletin board (see Submit).
+				s.removeFromOrderLocked(cl)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	// Verdict records: ordered writes plus one shared flush, like the
+	// submission window. Verdicts are recomputable — replay re-verifies a
+	// verdict-less submission to the identical verdict — so a failed flush
+	// is reported but needs no rollback; only members whose verdict record
+	// never hit the log at all are withdrawn (their submission records stay,
+	// verdict-less, exactly the state recovery handles).
+	if s.opts.Store != nil {
+		flushed := len(admitted)
+		for k, cl := range admitted {
+			if aerr = s.appendRecordOrdered(RecordVerdict, epoch, encodeVerdict(cl.public.ID, bv[k], onBoard[k])); aerr != nil {
+				flushed = k
+				break
+			}
+		}
+		if aerr == nil {
+			aerr = s.syncStore()
+		}
+		if aerr != nil {
+			if flushed < len(admitted) {
+				s.mu.Lock()
+				s.withdrawBatchLocked(admitted[flushed:], epoch)
+				s.mu.Unlock()
+				for _, i := range admittedIdx[flushed:] {
+					verdicts[i] = aerr
+				}
+			}
+			return verdicts, aerr
+		}
+	}
+	return verdicts, nil
+}
+
+// withdrawBatchLocked removes a batch's reserved members after a failure,
+// releasing their IDs for a retry, and appends best-effort withdrawal
+// records (the store is typically already failing; replay treats an
+// unwithdrawn, verdict-less submission as "re-verify", so a lost withdrawal
+// is superseded on the next retry — same contract as Session.withdraw).
+// Callers hold s.mu and must only pass members without a persisted verdict.
+func (s *Session) withdrawBatchLocked(admitted []*sessionClient, epoch int) {
+	for _, cl := range admitted {
+		delete(s.byID, cl.public.ID)
+		delete(s.rejected, cl.public.ID)
+		s.removeFromOrderLocked(cl)
+		_ = s.appendRecord(RecordWithdraw, epoch, encodeWithdraw(cl.public.ID))
+	}
+}
+
+// verifyBatch decides a whole batch eagerly: ONE combined Σ-OR batch check
+// over every member's board proof (sigma.BitBatch folding the entire
+// arrival batch, decided by a single multi-exponentiation on the native
+// Pippenger backend) and the members' K·N per-prover share-opening checks
+// fanned out over the engine pool. Verdicts — sentinels, reasons, and the
+// onBoard split — are exactly what Submit's per-arrival verify would
+// produce for each member individually; only the wall-clock cost changes.
+// A non-nil err means cancellation, not a verdict.
+func (s *Session) verifyBatch(ctx context.Context, subs []*ClientSubmission) (verdicts []error, onBoard []bool, err error) {
+	n := len(subs)
+	verdicts = make([]error, n)
+	onBoard = make([]bool, n)
+	publics := make([]*ClientPublic, n)
+	for i, sub := range subs {
+		publics[i] = sub.Public
+	}
+	_, rej, ferr := s.pub.filterValidClientsBatch(ctx, publics, s.eng.workers)
+	if ferr != nil {
+		return nil, nil, ferr
+	}
+	k := s.pub.cfg.Provers
+	// Members that survived the board check and carry the right payload
+	// count proceed to the fanned-out opening checks.
+	pending := make([]int, 0, n)
+	for i, sub := range subs {
+		if r, ok := rej[sub.Public.ID]; ok {
+			verdicts[i] = r
+			onBoard[i] = true
+			continue
+		}
+		if len(sub.Payloads) != k {
+			verdicts[i] = fmt.Errorf("%w: client %d supplied %d per-prover payloads, want %d",
+				ErrClientReject, sub.Public.ID, len(sub.Payloads), k)
+			continue
+		}
+		pending = append(pending, i)
+	}
+	rejects := make([]error, len(pending)*k)
+	ferr = forEach(ctx, s.eng.workers, len(pending)*k, func(t int) error {
+		i := pending[t/k]
+		rejects[t] = s.pub.checkPayloadOpenings(subs[i].Public, subs[i].Payloads[t%k], t%k)
+		return nil
+	})
+	if ferr != nil {
+		return nil, nil, ferr
+	}
+	for pi, i := range pending {
+		onBoard[i] = true
+		for pk := 0; pk < k; pk++ { // lowest prover index names the reason
+			if r := rejects[pi*k+pk]; r != nil {
+				verdicts[i] = r
+				onBoard[i] = false
+				break
+			}
+		}
+	}
+	return verdicts, onBoard, nil
+}
+
+// SubmitBatch splits a batch by shard assignment and admits the per-shard
+// sub-batches concurrently, each with Session.SubmitBatch's exact
+// semantics: one roster-lock pass, one group-commit fsync window, and one
+// combined Σ-OR check per shard. Verdicts come back aligned with subs. A
+// shard-level failure is reported through the error return, with the failed
+// shard's slots carrying the error; sibling shards still complete their own
+// sub-batches (a batch is not transactional across shards, exactly as N
+// independent Submits are not).
+func (ss *ShardedSession) SubmitBatch(ctx context.Context, subs []*ClientSubmission) ([]error, error) {
+	if len(subs) == 0 {
+		return nil, nil
+	}
+	verdicts := make([]error, len(subs))
+	groups := make([][]*ClientSubmission, len(ss.shards))
+	idx := make([][]int, len(ss.shards))
+	for i, sub := range subs {
+		if sub == nil || sub.Public == nil {
+			verdicts[i] = fmt.Errorf("%w: nil submission", ErrClientReject)
+			continue
+		}
+		sh := ss.ShardFor(sub.Public.ID)
+		groups[sh] = append(groups[sh], sub)
+		idx[sh] = append(idx[sh], i)
+	}
+	shardErrs := make([]error, len(ss.shards))
+	done := make([]bool, len(ss.shards))
+	_ = forEach(ctx, len(ss.shards), len(ss.shards), func(sh int) error {
+		if len(groups[sh]) == 0 {
+			done[sh] = true
+			return nil
+		}
+		vs, err := ss.shards[sh].SubmitBatch(ctx, groups[sh])
+		shardErrs[sh] = err
+		for k, i := range idx[sh] {
+			if vs != nil {
+				verdicts[i] = vs[k]
+			} else {
+				verdicts[i] = err
+			}
+		}
+		done[sh] = true
+		return nil // never fail fast: sibling shards finish their sub-batches
+	})
+	var firstErr error
+	for sh, err := range shardErrs {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if !done[sh] && len(groups[sh]) > 0 {
+			// Skipped by cancellation before its sub-batch started.
+			for _, i := range idx[sh] {
+				verdicts[i] = ctxErr(ctx)
+			}
+			if firstErr == nil {
+				firstErr = ctxErr(ctx)
+			}
+		}
+	}
+	return verdicts, firstErr
+}

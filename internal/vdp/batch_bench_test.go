@@ -1,0 +1,78 @@
+package vdp
+
+import (
+	"context"
+	"testing"
+)
+
+// Benchmarks for the batched admission pipeline, in the harness form
+// scripts/check_allocs.sh consumes: the decode and batch-submit guards read
+// allocs/op off BenchmarkDecodeSubmissionBatch and BenchmarkSubmitBatch and
+// pin the per-batch counts under generous ceilings, so a refactor that
+// quietly reintroduces a per-client allocation storm (one buffer per record,
+// one engine task per arrival) fails CI rather than landing silently.
+
+// benchBatchClients is the frame size the alloc guard pins; keep in sync
+// with the ceilings in scripts/check_allocs.sh.
+const benchBatchClients = 64
+
+func benchBatch(b *testing.B) (*Public, []*ClientSubmission) {
+	b.Helper()
+	pub, err := Setup(Config{Provers: 1, Bins: 1, Coins: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := make([]*ClientSubmission, benchBatchClients)
+	for i := range subs {
+		sub, err := pub.NewClientSubmission(i, i%2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs[i] = sub
+	}
+	return pub, subs
+}
+
+func BenchmarkEncodeSubmissionBatch(b *testing.B) {
+	pub, subs := benchBatch(b)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = pub.AppendSubmissionBatch(buf, subs)
+	}
+}
+
+func BenchmarkDecodeSubmissionBatch(b *testing.B) {
+	pub, subs := benchBatch(b)
+	enc := pub.EncodeSubmissionBatch(subs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pub.DecodeSubmissionBatch(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubmitBatch(b *testing.B) {
+	pub, subs := benchBatch(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := NewSession(pub, SessionOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		verdicts, err := sess.SubmitBatch(ctx, subs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range verdicts {
+			if v != nil {
+				b.Fatalf("honest client rejected: %v", v)
+			}
+		}
+	}
+}

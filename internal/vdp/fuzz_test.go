@@ -102,6 +102,51 @@ func FuzzDecodeClientSubmission(f *testing.F) {
 	})
 }
 
+// FuzzDecodeSubmissionBatch covers the batch frame body — the submit-batch
+// transport payload: a count prefix over length-prefixed full submissions.
+// Hostile counts (huge, zero, mismatched with the actual payload), truncated
+// inner submissions and bad version bytes must all fail cleanly; anything
+// accepted must round-trip through the canonical encoder.
+func FuzzDecodeSubmissionBatch(f *testing.F) {
+	pub := fuzzPublic(f)
+	var subs []*ClientSubmission
+	for id := 0; id < 3; id++ {
+		sub, err := pub.NewClientSubmission(id, id%2, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	valid := pub.EncodeSubmissionBatch(subs)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1])
+	f.Add(pub.EncodeSubmissionBatch(nil))
+	// Count far beyond the payload, count just over MaxBatchClients, and a
+	// foreign version byte.
+	f.Add([]byte{WireVersion, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{WireVersion, 0, 0, 0x10, 0x01})
+	f.Add(append([]byte{WireVersion + 1}, valid[1:]...))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		subs, err := pub.DecodeSubmissionBatch(b)
+		if err != nil {
+			return
+		}
+		if len(subs) > MaxBatchClients {
+			t.Fatalf("decoder accepted %d submissions, above the %d limit", len(subs), MaxBatchClients)
+		}
+		enc := pub.EncodeSubmissionBatch(subs)
+		back, err := pub.DecodeSubmissionBatch(enc)
+		if err != nil {
+			t.Fatalf("re-encoding of accepted batch fails to decode: %v", err)
+		}
+		if len(back) != len(subs) {
+			t.Fatalf("round trip changed batch size: %d vs %d", len(back), len(subs))
+		}
+	})
+}
+
 func FuzzDecodeProverOutput(f *testing.F) {
 	pub := fuzzPublic(f)
 	fld := pub.Field()

@@ -283,8 +283,11 @@ func (s *Session) Submit(ctx context.Context, sub *ClientSubmission) error {
 	cl := &sessionClient{public: sub.Public, payloads: sub.Payloads}
 	s.mu.Lock()
 	if s.state != sessionOpen {
+		// Capture the state before unlocking: a concurrent Finalize/Reset
+		// may rewrite it the moment the lock drops.
+		st := s.state
 		s.mu.Unlock()
-		return fmt.Errorf("%w: session is %s", ErrBadConfig, s.state)
+		return fmt.Errorf("%w: session is %s", ErrBadConfig, st)
 	}
 	if _, dup := s.byID[sub.Public.ID]; dup {
 		s.mu.Unlock()

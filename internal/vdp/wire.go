@@ -38,6 +38,21 @@ func (w *wireWriter) u32(v uint32) {
 
 func (w *wireWriter) bytes(b []byte) { w.b = append(w.b, b...) }
 
+// lpMark reserves a u32 length prefix and returns a patch mark; lpPatch
+// backfills it with the number of bytes written since. Together they let a
+// composite encoder emit a length-prefixed sub-encoding directly into the
+// enclosing buffer instead of building it separately and copying — the
+// allocation the batch submission path (SubmitBatch, EncodeSubmissionBatch)
+// cannot afford once per client per frame.
+func (w *wireWriter) lpMark() int {
+	w.u32(0)
+	return len(w.b)
+}
+
+func (w *wireWriter) lpPatch(mark int) {
+	binary.BigEndian.PutUint32(w.b[mark-4:mark], uint32(len(w.b)-mark))
+}
+
 type wireReader struct {
 	b   []byte
 	err error
@@ -104,6 +119,14 @@ const maxWireDim = 1 << 20
 // EncodeClientPublic serializes a bulletin-board submission.
 func (p *Public) EncodeClientPublic(cp *ClientPublic) []byte {
 	var w wireWriter
+	p.encodeClientPublicInto(&w, cp)
+	return w.b
+}
+
+// encodeClientPublicInto writes the EncodeClientPublic encoding to an
+// existing writer, so composite encoders (submission records, batch frames)
+// emit it in place instead of allocating one intermediate buffer per client.
+func (p *Public) encodeClientPublicInto(w *wireWriter, cp *ClientPublic) {
 	w.version()
 	w.u32(uint32(cp.ID))
 	w.u32(uint32(len(cp.ShareCommitments)))
@@ -126,7 +149,6 @@ func (p *Public) EncodeClientPublic(cp *ClientPublic) []byte {
 	} else {
 		w.u32(0)
 	}
-	return w.b
 }
 
 // DecodeClientPublic parses and validates a bulletin-board submission.
@@ -191,6 +213,13 @@ func (p *Public) DecodeClientPublic(b []byte) (*ClientPublic, error) {
 // EncodeClientPayload serializes a private per-prover payload.
 func (p *Public) EncodeClientPayload(pl *ClientPayload) []byte {
 	var w wireWriter
+	p.encodeClientPayloadInto(&w, pl)
+	return w.b
+}
+
+// encodeClientPayloadInto is EncodeClientPayload writing to an existing
+// writer; see encodeClientPublicInto.
+func (p *Public) encodeClientPayloadInto(w *wireWriter, pl *ClientPayload) {
 	w.version()
 	w.u32(uint32(pl.ClientID))
 	w.u32(uint32(pl.Prover))
@@ -199,7 +228,6 @@ func (p *Public) EncodeClientPayload(pl *ClientPayload) []byte {
 		w.bytes(o.X.Bytes())
 		w.bytes(o.R.Bytes())
 	}
-	return w.b
 }
 
 // DecodeClientPayload parses a private payload.

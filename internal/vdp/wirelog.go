@@ -2,6 +2,7 @@ package vdp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/morra"
 	"repro/internal/pedersen"
@@ -32,17 +33,52 @@ func (r *wireReader) lpBytes() []byte {
 	return r.take(int(n))
 }
 
+// wireBufPool recycles encode scratch buffers on the batch admission path,
+// where one frame carries hundreds of submissions and a fresh buffer per
+// record would dominate the allocation profile. Both BoardLog
+// implementations copy (or re-frame) the payload inside Append, so a pooled
+// buffer may be reused as soon as the append returns.
+var wireBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
+// maxPooledWireBuf caps what goes back in the pool so one giant submission
+// does not pin megabytes of scratch forever.
+const maxPooledWireBuf = 1 << 20
+
+func getWireBuf() *[]byte { return wireBufPool.Get().(*[]byte) }
+
+func putWireBuf(p *[]byte) {
+	if cap(*p) > maxPooledWireBuf {
+		return
+	}
+	*p = (*p)[:0]
+	wireBufPool.Put(p)
+}
+
 // EncodeClientSubmission serializes a full submission — the bulletin-board
 // public part plus all K private per-prover payloads — as one record.
 func (p *Public) EncodeClientSubmission(sub *ClientSubmission) []byte {
 	var w wireWriter
+	p.encodeClientSubmissionInto(&w, sub)
+	return w.b
+}
+
+// encodeClientSubmissionInto writes the submission record encoding to an
+// existing writer. The sub-encodings are emitted in place (lpMark/lpPatch
+// backfill their length prefixes), so a batch of N submissions costs one
+// buffer, not 3N.
+func (p *Public) encodeClientSubmissionInto(w *wireWriter, sub *ClientSubmission) {
 	w.version()
-	w.lpBytes(p.EncodeClientPublic(sub.Public))
+	mark := w.lpMark()
+	p.encodeClientPublicInto(w, sub.Public)
+	w.lpPatch(mark)
 	w.u32(uint32(len(sub.Payloads)))
 	for _, pl := range sub.Payloads {
-		w.lpBytes(p.EncodeClientPayload(pl))
+		mark := w.lpMark()
+		p.encodeClientPayloadInto(w, pl)
+		w.lpPatch(mark)
 	}
-	return w.b
 }
 
 // DecodeClientSubmission parses and validates a full submission record.

@@ -1,30 +1,62 @@
 #!/bin/sh
-# check_allocs.sh — allocation regression guard for the P-256 commit hot
-# path. The fp256 fast backend brought BenchmarkCommit/p256 from 4161
-# allocs/op (math/big elements) to 1; this guard pins allocs/op under a
-# deliberately generous ceiling so a refactor that silently routes P-256
-# commitments back through the big.Int path (thousands of allocs) fails CI,
-# while harmless changes (a scalar copy here or there) do not flap.
+# check_allocs.sh — allocation regression guards for the hot paths.
 #
-# Usage: check_allocs.sh [ceiling]   (default 16)
+# Each guard runs one Go benchmark and pins its allocs/op under a
+# deliberately generous ceiling, so a refactor that silently reintroduces
+# an allocation storm fails CI while harmless changes (a scalar copy here
+# or there) do not flap:
+#
+#   commit        BenchmarkCommit/p256 (internal/pedersen). The fp256 fast
+#                 backend brought this from 4161 allocs/op (math/big) to 1;
+#                 the ceiling catches the big.Int path coming back.
+#   decode        BenchmarkDecodeSubmissionBatch (internal/vdp): one
+#                 64-submission batch frame through the wire decoder.
+#                 ~1990 allocs/op (≈31 per submission) when the guard
+#                 landed; the ceiling catches a per-byte or per-element
+#                 allocation pattern sneaking into the parse loop.
+#   submit-batch  BenchmarkSubmitBatch (internal/vdp): a 64-client batch
+#                 through Session.SubmitBatch (admission + folded Σ-OR
+#                 verification). ~4300 allocs/op (≈67 per client) when the
+#                 guard landed; the ceiling catches the batch path
+#                 degenerating into per-client engine tasks or per-client
+#                 encode buffers.
+#
+# Usage: check_allocs.sh [commit-ceiling]   (default 16)
 set -eu
-ceiling="${1:-16}"
+commit_ceiling="${1:-16}"
+decode_ceiling=6000
+submit_ceiling=16000
 
-out=$(go test ./internal/pedersen -run '^$' -bench 'BenchmarkCommit/p256' \
-    -benchmem -benchtime 200x -count=1)
-echo "$out"
+fail=0
 
-allocs=$(echo "$out" | awk '$1 ~ /^BenchmarkCommit\/p256/ {
-    for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
-}')
-if [ -z "$allocs" ]; then
-    echo "alloc check FAILED: could not find BenchmarkCommit/p256 allocs/op in output"
+# check <label> <package> <bench-regex> <bench-name-prefix> <ceiling> <hint>
+check() {
+    label="$1"; pkg="$2"; bench="$3"; prefix="$4"; ceiling="$5"; hint="$6"
+    out=$(go test "$pkg" -run '^$' -bench "$bench" -benchmem -benchtime 50x -count=1)
+    echo "$out"
+    allocs=$(echo "$out" | awk -v p="$prefix" '$1 ~ "^"p {
+        for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+    }')
+    if [ -z "$allocs" ]; then
+        echo "alloc check FAILED: could not find ${prefix} allocs/op in output"
+        fail=1
+        return
+    fi
+    echo "${label} allocs/op: ${allocs} (ceiling ${ceiling})"
+    if [ "$allocs" -gt "$ceiling" ]; then
+        echo "alloc check FAILED: ${label} at ${allocs} allocs/op exceeds the ${ceiling} ceiling — ${hint}"
+        fail=1
+    fi
+}
+
+check "commit" ./internal/pedersen 'BenchmarkCommit/p256' 'BenchmarkCommit/p256' \
+    "$commit_ceiling" "the big.Int path is back on the P-256 commit hot path"
+check "decode" ./internal/vdp 'BenchmarkDecodeSubmissionBatch' 'BenchmarkDecodeSubmissionBatch' \
+    "$decode_ceiling" "the batch-frame decoder is allocating per element again"
+check "submit-batch" ./internal/vdp 'BenchmarkSubmitBatch$' 'BenchmarkSubmitBatch' \
+    "$submit_ceiling" "SubmitBatch is back to per-client tasks or per-client buffers"
+
+if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "commit allocs/op: ${allocs} (ceiling ${ceiling})"
-if [ "$allocs" -gt "$ceiling" ]; then
-    echo "alloc check FAILED: ${allocs} allocs/op exceeds the ${ceiling} ceiling —"
-    echo "the big.Int path is back on the P-256 commit hot path"
-    exit 1
-fi
-echo "alloc check passed"
+echo "alloc checks passed"

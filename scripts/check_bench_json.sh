@@ -1,0 +1,43 @@
+#!/bin/sh
+# check_bench_json.sh — validate a vdp-bench JSON document (stdin or $1)
+# against the vdp-bench/2 schema: every benchmark entry must carry its
+# batch_size metadata and an unconditional per_item_ns consistent with
+# ns_per_op. This is what CI runs over a fresh `vdpbench -json`, so a
+# schema regression (an entry missing per_item_ns, a batch benchmark that
+# forgot its size) fails before a malformed BENCH_<n>.json gets recorded.
+#
+# Usage: vdpbench -json | check_bench_json.sh
+#        check_bench_json.sh BENCH_6.json
+set -eu
+
+input="${1:--}"
+python3 - "$input" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+doc = json.load(sys.stdin if path == "-" else open(path))
+
+def fail(msg):
+    print(f"bench JSON check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+if doc.get("schema") != "vdp-bench/2":
+    fail(f"schema is {doc.get('schema')!r}, want 'vdp-bench/2'")
+entries = doc.get("benchmarks")
+if not entries:
+    fail("no benchmark entries")
+for e in entries:
+    name = e.get("name", "<unnamed>")
+    for key in ("name", "n", "ns_per_op", "us_per_op", "allocs_per_op",
+                "bytes_per_op", "batch_size", "per_item_ns"):
+        if key not in e:
+            fail(f"entry {name}: missing {key}")
+    if e["batch_size"] < 1:
+        fail(f"entry {name}: batch_size {e['batch_size']} < 1")
+    if e["per_item_ns"] <= 0:
+        fail(f"entry {name}: per_item_ns {e['per_item_ns']} <= 0")
+    want = e["ns_per_op"] / e["batch_size"]
+    if abs(e["per_item_ns"] - want) > max(1.0, 0.01 * want):
+        fail(f"entry {name}: per_item_ns {e['per_item_ns']} != ns_per_op/batch_size {want:.1f}")
+print(f"bench JSON check passed: {len(entries)} entries, schema {doc['schema']}")
+EOF
