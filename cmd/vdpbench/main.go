@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	vdpbench [-scale quick|standard|paper] [-parallel 1,2,4,8] [-shards 1,2,4,8]
-//	         [-only table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding,flood]
+//	vdpbench [-scale quick|standard|paper] [-parallel 1,2,4,8] [-shards 1,2,4,8] [-nodes 1,2,3]
+//	         [-only table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding,flood,cluster]
 //	vdpbench -json   > BENCH_<pr>.json
 //
 // The default runs every experiment at quick scale (seconds). Standard
@@ -14,7 +14,10 @@
 // experiment sweeps the execution engine's worker-pool widths (-parallel
 // overrides the swept widths); the sharding experiment sweeps the sharded
 // session's shard counts (-shards overrides them), measuring front-door
-// lock contention and the merged finalize/audit path.
+// lock contention and the merged finalize/audit path; the cluster
+// experiment boots real loopback TCP clusters (router + K nodes, -nodes
+// overrides the swept sizes) and measures the full wire path, the
+// finalize-merge handshake and the cross-node audit.
 package main
 
 import (
@@ -30,9 +33,10 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick|standard|paper")
-	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding,flood")
+	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding,flood,cluster")
 	parallelFlag := flag.String("parallel", "", "comma-separated worker counts for the engine sweep (default 1,2,4,8)")
 	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the sharding sweep (default 1,2,4,8)")
+	nodesFlag := flag.String("nodes", "", "comma-separated node counts for the cluster sweep (default scale-dependent)")
 	jsonFlag := flag.Bool("json", false, "emit the machine-readable crypto hot-path snapshot (commit/verify/submit) as JSON on stdout and exit; see BENCH_5.json")
 	flag.Parse()
 
@@ -52,6 +56,11 @@ func main() {
 		os.Exit(2)
 	}
 	shardCounts, err := parseCounts(*shardsFlag, "-shards")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	nodeCounts, err := parseCounts(*nodesFlag, "-nodes")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -88,6 +97,9 @@ func main() {
 			return experiments.ShardingSweepAtScale(scale, shardCounts)
 		}},
 		{"flood", func() (interface{ Format() string }, error) { return experiments.FloodAtScale(scale) }},
+		{"cluster", func() (interface{ Format() string }, error) {
+			return experiments.ClusterSweepAtScale(scale, nodeCounts)
+		}},
 	}
 
 	fmt.Printf("verifiable-dp benchmark suite (scale=%s)\n", scale)

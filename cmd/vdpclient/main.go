@@ -27,7 +27,6 @@ package main
 
 import (
 	"context"
-	"encoding/binary"
 	"flag"
 	"fmt"
 	"log"
@@ -52,6 +51,8 @@ func main() {
 		delta      = flag.Float64("delta", 1e-6, "delta (must match server when -coins 0)")
 		grp        = flag.String("group", "p256", "commitment group (must match server)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "submission round-trip deadline (0 = none)")
+		retries    = flag.Int("retries", 0, "redial attempts after a transient dial failure (0 = fail on first error)")
+		backoff    = flag.Duration("backoff", 100*time.Millisecond, "initial retry backoff (doubles per attempt, capped at 2s)")
 		batch      = flag.Int("batch", 0, "flood mode: send this many submissions (IDs -id..) in one batch frame")
 		auditStore = flag.String("audit-store", "", "audit a server's board log directory offline instead of submitting")
 		epoch      = flag.Int("epoch", -1, "epoch to audit with -audit-store (-1 = latest sealed)")
@@ -80,40 +81,34 @@ func main() {
 		auditOffline(pub, *auditStore, *epoch, auditDeadline)
 		return
 	}
+	opts := transport.ClientOptions{
+		Timeout: *timeout,
+		Retry:   transport.RetryPolicy{Retries: *retries, Backoff: *backoff, MaxBackoff: 2 * time.Second},
+	}
 	if *batch > 0 {
-		submitBatch(pub, *addr, *id, *choice, *batch, *timeout)
+		submitBatch(pub, *addr, *id, *choice, *batch, opts)
 		return
 	}
 	sub, err := pub.NewClientSubmission(*id, *choice, nil)
 	if err != nil {
 		log.Fatalf("building submission: %v", err)
 	}
+	payload, err := pub.EncodeSubmitPayload(sub)
+	if err != nil {
+		log.Fatalf("encoding submission: %v", err)
+	}
 
-	pubEnc := pub.EncodeClientPublic(sub.Public)
-	plEnc := pub.EncodeClientPayload(sub.Payloads[0])
-	payload := make([]byte, 4, 4+len(pubEnc)+len(plEnc))
-	binary.BigEndian.PutUint32(payload, uint32(len(pubEnc)))
-	payload = append(payload, pubEnc...)
-	payload = append(payload, plEnc...)
-
-	conn, err := transport.Dial(*addr)
+	// Dial retries ride the shared backoff policy; once connected, the
+	// server verifies eagerly and answers on this connection, so each frame
+	// leg gets the -timeout deadline.
+	c, err := transport.DialClient(*addr, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
-	if *timeout > 0 {
-		// The server verifies eagerly and answers on this connection, so one
-		// deadline covers the whole submit→verdict round trip.
-		if err := conn.SetDeadline(time.Now().Add(*timeout)); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := transport.WriteFrame(conn, &transport.Frame{Kind: "submit", Sender: *id, Payload: payload}); err != nil {
-		log.Fatal(err)
-	}
-	reply, err := transport.ReadFrame(conn)
+	defer c.Close()
+	reply, err := c.RoundTrip(&transport.Frame{Kind: "submit", Sender: *id, Payload: payload})
 	if err != nil {
-		log.Fatalf("reading server reply: %v", err)
+		log.Fatalf("submitting: %v", err)
 	}
 	switch reply.Kind {
 	case "ack":
@@ -129,7 +124,7 @@ func main() {
 // "submit-batch" frame, then reports the server's per-client verdicts. One
 // connection, one frame, one reply — the round trip a gateway aggregating
 // many devices (or a load generator) pays per n clients.
-func submitBatch(pub *vdp.Public, addr string, firstID, choice, n int, timeout time.Duration) {
+func submitBatch(pub *vdp.Public, addr string, firstID, choice, n int, opts transport.ClientOptions) {
 	if n > vdp.MaxBatchClients {
 		log.Fatalf("-batch %d exceeds the per-frame limit of %d", n, vdp.MaxBatchClients)
 	}
@@ -141,24 +136,16 @@ func submitBatch(pub *vdp.Public, addr string, firstID, choice, n int, timeout t
 		}
 		subs[i] = sub
 	}
-	conn, err := transport.Dial(addr)
+	c, err := transport.DialClient(addr, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
-	if timeout > 0 {
-		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-			log.Fatal(err)
-		}
-	}
+	defer c.Close()
 	start := time.Now()
 	frame := &transport.Frame{Kind: "submit-batch", Sender: firstID, Payload: pub.EncodeSubmissionBatch(subs)}
-	if err := transport.WriteFrame(conn, frame); err != nil {
-		log.Fatal(err)
-	}
-	reply, err := transport.ReadFrame(conn)
+	reply, err := c.RoundTrip(frame)
 	if err != nil {
-		log.Fatalf("reading server reply: %v", err)
+		log.Fatalf("submitting batch: %v", err)
 	}
 	switch reply.Kind {
 	case "batch-verdicts":

@@ -97,6 +97,8 @@ func main() {
 		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining and finalizing")
 		storeDir = flag.String("store-dir", "", "directory for the durable board log (empty = in-memory board)")
 		shards   = flag.Int("shards", 1, "independent board shards (client IDs are consistent-hashed across them)")
+		shardIdx = flag.Int("shard-index", -1, "cluster node mode: serve this shard of -shard-count behind a vdprouter")
+		shardCnt = flag.Int("shard-count", 0, "cluster node mode: total shards in the cluster (requires -shard-index)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -111,6 +113,20 @@ func main() {
 	// ctx is cancelled on SIGINT/SIGTERM; every in-flight Submit observes it.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *shardCnt > 0 || *shardIdx >= 0 {
+		// Cluster node mode: one shard of a router-fronted cluster. The
+		// node's board is a single sub-session; in-process sharding does not
+		// compose with it.
+		if *shardIdx < 0 || *shardIdx >= *shardCnt {
+			log.Fatalf("-shard-index %d out of range for -shard-count %d", *shardIdx, *shardCnt)
+		}
+		if *shards != 1 {
+			log.Fatalf("-shards cannot be combined with cluster node mode (-shard-index/-shard-count)")
+		}
+		runNode(ctx, pub, *addr, *storeDir, *shardIdx, *shardCnt, *grace)
+		return
+	}
 
 	sess, sharded, closeStore, err := openSession(ctx, pub, *storeDir, *shards)
 	if err != nil {

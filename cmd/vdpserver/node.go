@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/vdp"
+)
+
+// mergedLogName is the merged-seal sidecar a cluster node keeps next to its
+// board log: the router replicates each epoch's merged seal here, so any
+// single surviving node can attest the cluster-level seal.
+const mergedLogName = "merged.log"
+
+// runNode serves one shard of a multi-node cluster: a single-shard session
+// seeded with shard shardIndex's substream of the cluster's deterministic
+// seed derivation (so K nodes merge to the same digest as one ShardedSession
+// with Shards=K), plus the cluster RPC for the router's finalize-merge
+// handshake. Unlike standalone mode the node never finalizes on its own —
+// sealing, merging and epoch turnover are driven by the router — so reaching
+// any particular accepted count does not stop the server, and shutdown
+// leaves an open epoch on disk exactly where ResumeShardSession can pick it
+// up.
+func runNode(ctx context.Context, pub *vdp.Public, addr, storeDir string, shardIndex, shardCount int, grace time.Duration) {
+	var (
+		boardLog *store.FileLog
+		sealLog  *store.FileLog
+		sess     *vdp.Session
+		err      error
+	)
+	if storeDir == "" {
+		sess, err = vdp.NewShardSession(pub, vdp.SessionOptions{}, shardIndex, shardCount)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if err := os.MkdirAll(storeDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		boardLog, err = store.OpenFileLog(filepath.Join(storeDir, boardLogName))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer boardLog.Close()
+		if tb := boardLog.Truncated(); tb > 0 {
+			log.Printf("board log: discarded %d torn-tail bytes from an interrupted append", tb)
+		}
+		sealLog, err = store.OpenFileLog(filepath.Join(storeDir, mergedLogName))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sealLog.Close()
+		opts := vdp.SessionOptions{Store: boardLog}
+		if boardLog.Len() == 0 {
+			sess, err = vdp.NewShardSession(pub, opts, shardIndex, shardCount)
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			sess, err = vdp.ResumeShardSession(ctx, pub, opts, shardIndex, shardCount)
+			if err != nil {
+				log.Fatalf("recovering board log: %v", err)
+			}
+			// Standalone recovery Resets a sealed epoch to open the next one;
+			// a cluster node must not — the merged seal may still be in
+			// flight, and the router's roll-forward (or an explicit
+			// node-reset) is the only sanctioned turnover.
+			if sess.Finalized() {
+				log.Printf("recovered board log: epoch %d sealed locally; awaiting the router's merge/reset", sess.Epoch())
+			} else {
+				log.Printf("recovered board log: resuming epoch %d with %d submissions (%d rejected)",
+					sess.Epoch(), sess.Submitted(), len(sess.Rejected()))
+			}
+		}
+	}
+
+	var blog, slog store.BoardLog
+	if boardLog != nil {
+		blog = boardLog
+	}
+	if sealLog != nil {
+		slog = sealLog
+	}
+	node, err := cluster.NewNode(ctx, pub, sess, cluster.NodeConfig{
+		Shard: shardIndex, Shards: shardCount, BoardLog: blog, SealLog: slog,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		mu       sync.Mutex
+		accepted = node.Accepted()
+	)
+	handler := func(f *transport.Frame) ([]*transport.Frame, error) {
+		if cluster.IsRPC(f.Kind) {
+			return node.Handle(f), nil
+		}
+		switch f.Kind {
+		case "submit":
+			sub, err := pub.DecodeSubmitPayload(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if err := node.Submit(ctx, sub); err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			accepted++
+			n := accepted
+			mu.Unlock()
+			log.Printf("shard %d: accepted client %d (%d so far)", shardIndex, sub.Public.ID, n)
+			return []*transport.Frame{{Kind: "ack", Payload: []byte("accepted")}}, nil
+		case "submit-batch":
+			subs, err := pub.DecodeSubmissionBatch(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			verdicts, err := node.SubmitBatch(ctx, subs)
+			if err != nil {
+				return nil, err
+			}
+			ok := 0
+			for _, v := range verdicts {
+				if v == nil {
+					ok++
+				}
+			}
+			mu.Lock()
+			accepted += ok
+			n := accepted
+			mu.Unlock()
+			log.Printf("shard %d: accepted batch of %d: %d admitted, %d rejected (%d so far)",
+				shardIndex, len(subs), ok, len(subs)-ok, n)
+			reply := vdp.EncodeBatchVerdicts(vdp.VerdictsFor(subs, verdicts))
+			return []*transport.Frame{{Kind: "batch-verdicts", Payload: reply}}, nil
+		default:
+			return nil, fmt.Errorf("unexpected frame kind %q", f.Kind)
+		}
+	}
+
+	srv, err := transport.Listen(addr, handler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("verifiable-dp cluster node listening on %s (shard %d of %d, M=%d, nb=%d, store=%s)",
+		srv.Addr(), shardIndex, shardCount, pub.Bins(), pub.Coins(), storeDesc(storeDir))
+
+	<-ctx.Done()
+	log.Printf("signal received: shutting down shard %d", shardIndex)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), grace)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("listener drain: %v", err)
+	}
+	if sess.Finalized() {
+		log.Printf("shard %d exiting with epoch %d sealed", shardIndex, sess.Epoch())
+	} else if storeDir != "" {
+		log.Printf("shard %d exiting mid-epoch; epoch %d is resumable from %s", shardIndex, sess.Epoch(), storeDir)
+	} else {
+		log.Printf("shard %d exiting mid-epoch; in-memory board discarded", shardIndex)
+	}
+}

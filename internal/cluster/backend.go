@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Backend is the router's view of one shard node: a persistent frame
+// connection plus health state. All round trips on one backend are
+// serialized (the frame protocol is strictly request/reply per connection);
+// the router's throughput comes from having one backend per shard, not from
+// multiplexing within a shard.
+//
+// Failure policy: idempotent cluster RPCs (status, seal, fetches) may
+// transparently redial and retry after a mid-stream failure. Submissions
+// never retry mid-stream — the router cannot know whether a lost reply
+// means "not admitted" or "admitted, reply lost", and a replay would be a
+// duplicate-submission rejection — so a submit failure surfaces to the
+// caller, which converts it into per-client unavailable verdicts.
+type Backend struct {
+	// Addr is the node's listen address; Shard its topology position.
+	Addr  string
+	Shard int
+
+	opts transport.ClientOptions
+
+	mu      sync.Mutex
+	cli     *transport.Client
+	healthy bool
+	lastErr error
+}
+
+func newBackend(addr string, shard int, opts transport.ClientOptions) *Backend {
+	// Born healthy so the first operation attempts the dial.
+	return &Backend{Addr: addr, Shard: shard, opts: opts, healthy: true}
+}
+
+// Healthy reports whether the last operation (or probe) succeeded.
+func (b *Backend) Healthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
+}
+
+// LastErr returns the error that marked the backend unhealthy, if any.
+func (b *Backend) LastErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastErr
+}
+
+// Submit performs one non-idempotent round trip. An unhealthy backend fails
+// fast without touching the network, so a dead shard costs its clients an
+// immediate verdict, not a dial timeout each.
+func (b *Backend) Submit(f *transport.Frame) (*transport.Frame, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.healthy {
+		return nil, fmt.Errorf("shard %d backend %s unavailable: %v", b.Shard, b.Addr, b.lastErr)
+	}
+	return b.roundTripLocked(f, false)
+}
+
+// Call performs one idempotent round trip, redialing and retrying under the
+// backend's retry policy. Unlike Submit it will try to revive an unhealthy
+// backend — Call is how probes and the finalize handshake pull a restarted
+// node back in.
+func (b *Backend) Call(f *transport.Frame) (*transport.Frame, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.roundTripLocked(f, true)
+}
+
+func (b *Backend) roundTripLocked(f *transport.Frame, idempotent bool) (*transport.Frame, error) {
+	attempts := 1
+	if idempotent {
+		attempts += b.opts.Retry.Retries
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if b.cli == nil {
+			cli, err := transport.DialClient(b.Addr, b.opts)
+			if err != nil {
+				b.healthy = false
+				b.lastErr = err
+				return nil, err
+			}
+			b.cli = cli
+		}
+		reply, err := b.cli.RoundTrip(f)
+		if err == nil {
+			b.healthy = true
+			b.lastErr = nil
+			if reply.Kind == "error" {
+				// The transport server writes a terminal "error" frame and
+				// then drops the connection; discard our half so the next
+				// operation redials instead of hitting a dead socket.
+				b.cli.Close()
+				b.cli = nil
+			}
+			return reply, nil
+		}
+		b.cli.Close()
+		b.cli = nil
+		lastErr = err
+		if !idempotent {
+			break
+		}
+	}
+	b.healthy = false
+	b.lastErr = lastErr
+	return nil, lastErr
+}
+
+// Close drops the backend's connection, if any.
+func (b *Backend) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cli != nil {
+		b.cli.Close()
+		b.cli = nil
+	}
+}

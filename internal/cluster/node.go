@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/vdp"
+)
+
+// Node is the per-shard server half of the cluster: it wraps one
+// single-shard vdp.Session (seeded with the exact substream a
+// single-process ShardedSession would hand shard i of K, so the merged
+// digest comes out byte-identical) and answers the cluster RPC. The hot
+// admission path stays entirely local — the only network coordination is
+// the finalize-merge handshake and audit fetches.
+type Node struct {
+	pub    *vdp.Public
+	sess   *vdp.Session
+	shard  int
+	shards int
+	ctx    context.Context
+
+	// boardLog is the session's own durable log when the node persists one
+	// (nil for a memory-only node); served verbatim over KindLog.
+	boardLog store.BoardLog
+	// sealLog is the merged-seal sidecar: RecordMergedSeal records replicated
+	// from the router, one per merged epoch, so the cluster-level seal
+	// survives on every node even though the router keeps no state. nil keeps
+	// seals in memory only.
+	sealLog store.BoardLog
+
+	mu    sync.Mutex
+	seals map[int][]byte // epoch → merged transcript digest
+}
+
+// NodeConfig configures NewNode.
+type NodeConfig struct {
+	// Shard and Shards position this node in the cluster; the session must
+	// have been opened with NewShardSession/ResumeShardSession for the same
+	// coordinates or merged digests will not reproduce.
+	Shard, Shards int
+	// BoardLog is the session's durable log, if any (enables KindLog).
+	BoardLog store.BoardLog
+	// SealLog is the merged-seal sidecar log, if any. Existing records are
+	// replayed so a restarted node still knows its merged epochs.
+	SealLog store.BoardLog
+}
+
+// NewNode wraps a shard session for cluster serving, replaying any existing
+// merged-seal sidecar records.
+func NewNode(ctx context.Context, pub *vdp.Public, sess *vdp.Session, cfg NodeConfig) (*Node, error) {
+	if sess == nil {
+		return nil, fmt.Errorf("cluster: nil session")
+	}
+	n := &Node{
+		pub:      pub,
+		sess:     sess,
+		shard:    cfg.Shard,
+		shards:   cfg.Shards,
+		ctx:      ctx,
+		boardLog: cfg.BoardLog,
+		sealLog:  cfg.SealLog,
+		seals:    make(map[int][]byte),
+	}
+	if cfg.SealLog != nil {
+		err := cfg.SealLog.Replay(func(rec *store.Record) error {
+			if rec.Kind != vdp.RecordMergedSeal {
+				return fmt.Errorf("cluster: unexpected record kind %d in merged-seal sidecar", rec.Kind)
+			}
+			shards, digest, err := vdp.DecodeMergedSealRecord(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if shards != cfg.Shards {
+				return fmt.Errorf("cluster: merged-seal sidecar records %d shards, node configured for %d",
+					shards, cfg.Shards)
+			}
+			n.seals[int(rec.Epoch)] = digest
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Session exposes the wrapped shard session.
+func (n *Node) Session() *vdp.Session { return n.sess }
+
+// Accepted reports the session's accepted-submission count (the aggregator
+// surface the serving loop uses).
+func (n *Node) Accepted() int { return n.sess.Accepted() }
+
+// Submit admits one submission after checking it is routed to the right
+// shard; a misrouted client is rejected with a public verdict rather than
+// silently admitted into the wrong sub-board.
+func (n *Node) Submit(ctx context.Context, sub *vdp.ClientSubmission) error {
+	if sub == nil || sub.Public == nil {
+		return fmt.Errorf("%w: nil submission", vdp.ErrClientReject)
+	}
+	if got := vdp.ShardOf(sub.Public.ID, n.shards); got != n.shard {
+		return fmt.Errorf("%w: client %d belongs to shard %d, this node serves shard %d",
+			vdp.ErrClientReject, sub.Public.ID, got, n.shard)
+	}
+	return n.sess.Submit(ctx, sub)
+}
+
+// SubmitBatch admits a batch, rejecting misrouted members individually and
+// passing the rest to the session in arrival order.
+func (n *Node) SubmitBatch(ctx context.Context, subs []*vdp.ClientSubmission) ([]error, error) {
+	verdicts := make([]error, len(subs))
+	keep := make([]*vdp.ClientSubmission, 0, len(subs))
+	keepIdx := make([]int, 0, len(subs))
+	for i, sub := range subs {
+		if sub == nil || sub.Public == nil {
+			verdicts[i] = fmt.Errorf("%w: nil submission", vdp.ErrClientReject)
+			continue
+		}
+		if got := vdp.ShardOf(sub.Public.ID, n.shards); got != n.shard {
+			verdicts[i] = fmt.Errorf("%w: client %d belongs to shard %d, this node serves shard %d",
+				vdp.ErrClientReject, sub.Public.ID, got, n.shard)
+			continue
+		}
+		keep = append(keep, sub)
+		keepIdx = append(keepIdx, i)
+	}
+	if len(keep) == 0 {
+		return verdicts, nil
+	}
+	vs, err := n.sess.SubmitBatch(ctx, keep)
+	for j, i := range keepIdx {
+		if vs != nil {
+			verdicts[i] = vs[j]
+		} else if err != nil {
+			verdicts[i] = err
+		}
+	}
+	return verdicts, err
+}
+
+// Status snapshots the node for KindStatus replies.
+func (n *Node) Status() *NodeStatus {
+	n.mu.Lock()
+	_, merged := n.seals[n.sess.Epoch()]
+	n.mu.Unlock()
+	return &NodeStatus{
+		Shard:        n.shard,
+		Shards:       n.shards,
+		Epoch:        n.sess.Epoch(),
+		Submitted:    n.sess.Submitted(),
+		Accepted:     n.sess.Accepted(),
+		Finalized:    n.sess.Finalized(),
+		MergedSealed: merged,
+		Durable:      n.boardLog != nil,
+	}
+}
+
+// Handle serves one cluster RPC frame and always produces exactly one reply
+// frame — KindError for failures — so the router's persistent connection
+// survives malformed or unserviceable requests.
+func (n *Node) Handle(f *transport.Frame) []*transport.Frame {
+	reply := n.handle(f)
+	return []*transport.Frame{reply}
+}
+
+func (n *Node) handle(f *transport.Frame) *transport.Frame {
+	switch f.Kind {
+	case KindStatus:
+		return &transport.Frame{Kind: okKind(KindStatus), Payload: encodeStatus(n.Status())}
+
+	case KindSeal:
+		epoch, err := decodeEpochReq(f.Payload)
+		if err != nil {
+			return errFrame("%v", err)
+		}
+		return n.seal(epoch)
+
+	case KindTranscript:
+		epoch, err := decodeEpochReq(f.Payload)
+		if err != nil {
+			return errFrame("%v", err)
+		}
+		return n.transcript(epoch)
+
+	case KindLog:
+		return n.shipLog()
+
+	case KindMergedSeal:
+		epoch, shards, digest, err := decodeMergedSeal(f.Payload)
+		if err != nil {
+			return errFrame("%v", err)
+		}
+		return n.recordMergedSeal(epoch, shards, digest)
+
+	case KindMergedGet:
+		epoch, latest, err := decodeMergedGetReq(f.Payload)
+		if err != nil {
+			return errFrame("%v", err)
+		}
+		return n.mergedGet(epoch, latest)
+
+	case KindReset:
+		epoch, err := decodeEpochReq(f.Payload)
+		if err != nil {
+			return errFrame("%v", err)
+		}
+		return n.reset(epoch)
+
+	default:
+		return errFrame("cluster: unknown rpc kind %q", f.Kind)
+	}
+}
+
+// seal finalizes the local epoch (idempotently) and returns the sealed
+// transcript. The epoch argument guards against a router and node that have
+// drifted apart: sealing is only ever valid for the node's current epoch.
+func (n *Node) seal(epoch int) *transport.Frame {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if epoch != n.sess.Epoch() {
+		return errFrame("cluster: shard %d serves epoch %d, seal requested for epoch %d",
+			n.shard, n.sess.Epoch(), epoch)
+	}
+	if !n.sess.Finalized() {
+		if _, err := n.sess.Finalize(n.ctx); err != nil {
+			return errFrame("cluster: shard %d seal: %v", n.shard, err)
+		}
+	}
+	t := n.sess.SealedTranscript()
+	if t == nil {
+		return errFrame("cluster: shard %d epoch %d sealed but transcript unavailable", n.shard, epoch)
+	}
+	return &transport.Frame{
+		Kind:    okKind(KindSeal),
+		Payload: encodeTranscriptReply(epoch, n.pub.EncodeTranscript(t)),
+	}
+}
+
+func (n *Node) transcript(epoch int) *transport.Frame {
+	if epoch == n.sess.Epoch() {
+		if t := n.sess.SealedTranscript(); t != nil {
+			return &transport.Frame{
+				Kind:    okKind(KindTranscript),
+				Payload: encodeTranscriptReply(epoch, n.pub.EncodeTranscript(t)),
+			}
+		}
+	}
+	if n.boardLog == nil {
+		return errFrame("cluster: shard %d holds no sealed transcript for epoch %d and has no board log",
+			n.shard, epoch)
+	}
+	t, err := vdp.TranscriptFromLog(n.pub, n.boardLog, epoch)
+	if err != nil {
+		return errFrame("cluster: shard %d epoch %d: %v", n.shard, epoch, err)
+	}
+	return &transport.Frame{
+		Kind:    okKind(KindTranscript),
+		Payload: encodeTranscriptReply(epoch, n.pub.EncodeTranscript(t)),
+	}
+}
+
+func (n *Node) shipLog() *transport.Frame {
+	if n.boardLog == nil {
+		return errFrame("cluster: shard %d keeps no board log", n.shard)
+	}
+	recs, err := n.boardLog.Snapshot()
+	if err != nil {
+		return errFrame("cluster: shard %d board log: %v", n.shard, err)
+	}
+	payload, err := encodeLogReply(recs)
+	if err != nil {
+		return errFrame("%v", err)
+	}
+	return &transport.Frame{Kind: okKind(KindLog), Payload: payload}
+}
+
+func (n *Node) recordMergedSeal(epoch, shards int, digest []byte) *transport.Frame {
+	if shards != n.shards {
+		return errFrame("cluster: merged seal names %d shards, node configured for %d", shards, n.shards)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if epoch > n.sess.Epoch() {
+		return errFrame("cluster: merged seal for future epoch %d (node at %d)", epoch, n.sess.Epoch())
+	}
+	if epoch == n.sess.Epoch() && !n.sess.Finalized() {
+		return errFrame("cluster: merged seal for epoch %d, but the local epoch is not sealed", epoch)
+	}
+	if have, ok := n.seals[epoch]; ok {
+		if bytes.Equal(have, digest) {
+			return &transport.Frame{Kind: okKind(KindMergedSeal)}
+		}
+		return errFrame("cluster: epoch %d already merged-sealed with a different digest", epoch)
+	}
+	if n.sealLog != nil {
+		rec := &store.Record{
+			Kind:    vdp.RecordMergedSeal,
+			Epoch:   uint32(epoch),
+			Payload: vdp.EncodeMergedSealRecord(shards, digest),
+		}
+		if err := n.sealLog.Append(rec); err != nil {
+			return errFrame("cluster: persisting merged seal: %v", err)
+		}
+	}
+	n.seals[epoch] = append([]byte(nil), digest...)
+	return &transport.Frame{Kind: okKind(KindMergedSeal)}
+}
+
+func (n *Node) mergedGet(epoch int, latest bool) *transport.Frame {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if latest {
+		found := false
+		for e := range n.seals {
+			if !found || e > epoch {
+				epoch, found = e, true
+			}
+		}
+		if !found {
+			return errFrame("cluster: shard %d has no merged seal recorded", n.shard)
+		}
+	}
+	digest, ok := n.seals[epoch]
+	if !ok {
+		return errFrame("cluster: shard %d has no merged seal for epoch %d", n.shard, epoch)
+	}
+	return &transport.Frame{
+		Kind:    okKind(KindMergedGet),
+		Payload: encodeMergedSeal(epoch, n.shards, digest),
+	}
+}
+
+// reset opens the next epoch. Only a merged-sealed epoch may be reset: the
+// router drives resets after the merged seal is replicated, so a node never
+// discards an epoch the cluster has not finished merging.
+func (n *Node) reset(epoch int) *transport.Frame {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if epoch != n.sess.Epoch() {
+		return errFrame("cluster: shard %d serves epoch %d, reset requested for epoch %d",
+			n.shard, n.sess.Epoch(), epoch)
+	}
+	if !n.sess.Finalized() {
+		return errFrame("cluster: refusing to reset open epoch %d", epoch)
+	}
+	if _, ok := n.seals[epoch]; !ok {
+		return errFrame("cluster: refusing to reset epoch %d before its merged seal is recorded", epoch)
+	}
+	if err := n.sess.Reset(); err != nil {
+		return errFrame("cluster: shard %d reset: %v", n.shard, err)
+	}
+	return &transport.Frame{Kind: okKind(KindReset)}
+}

@@ -1,0 +1,559 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/vdp"
+)
+
+// Router is the stateless front door of a K-node cluster. It speaks the
+// existing client wire protocol ("submit", "submit-batch") on the outside
+// and the cluster RPC on the inside: submissions are routed by ShardOf to
+// the owning node over a persistent backend connection, and at finalize
+// time the router drives the merged-seal handshake — seal every node,
+// merge the K sealed transcripts in shard order, replicate the merged seal
+// back to every node. The router itself keeps no durable state; everything
+// needed to resume or audit the cluster lives on the nodes, so a router
+// restart mid-epoch is harmless.
+type Router struct {
+	pub      *vdp.Public
+	backends []*Backend
+	target   int
+
+	mu       sync.Mutex
+	accepted int
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// Config configures a Router.
+type Config struct {
+	// Pub is the shared protocol public parameters (same -clients/-bins/-eps
+	// derivation as the nodes).
+	Pub *vdp.Public
+	// Backends lists node addresses in shard order: Backends[i] must serve
+	// shard i of len(Backends). Verified against each node's own claim by
+	// CheckTopology.
+	Backends []string
+	// Timeout bounds each backend round-trip leg; Retry governs backend
+	// dials and idempotent-RPC retries.
+	Timeout time.Duration
+	Retry   transport.RetryPolicy
+	// Target, when positive, closes Done() once that many submissions have
+	// been accepted across all shards.
+	Target int
+}
+
+// New builds a Router. No connections are opened yet; backends are dialed
+// lazily on first use (or by CheckTopology / the probe loop).
+func New(cfg Config) (*Router, error) {
+	if cfg.Pub == nil {
+		return nil, fmt.Errorf("cluster: router needs public parameters")
+	}
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one backend")
+	}
+	opts := transport.ClientOptions{Timeout: cfg.Timeout, Retry: cfg.Retry}
+	r := &Router{
+		pub:    cfg.Pub,
+		target: cfg.Target,
+		done:   make(chan struct{}),
+	}
+	for i, addr := range cfg.Backends {
+		r.backends = append(r.backends, newBackend(addr, i, opts))
+	}
+	return r, nil
+}
+
+// Shards returns the cluster's shard count.
+func (r *Router) Shards() int { return len(r.backends) }
+
+// Backends exposes the per-shard backends (for health reporting).
+func (r *Router) Backends() []*Backend { return r.backends }
+
+// Accepted returns the count of accepted submissions observed so far.
+func (r *Router) Accepted() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.accepted
+}
+
+// SeedAccepted folds in submissions accepted before this router came up
+// (recovered nodes report them in their status), so Target counts the
+// epoch's total, not just this router process's share.
+func (r *Router) SeedAccepted(n int) {
+	r.countAccepted(n)
+}
+
+// Done is closed once Target accepted submissions have been observed.
+func (r *Router) Done() <-chan struct{} { return r.done }
+
+func (r *Router) countAccepted(n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.accepted += n
+	total := r.accepted
+	r.mu.Unlock()
+	if r.target > 0 && total >= r.target {
+		r.doneOnce.Do(func() { close(r.done) })
+	}
+}
+
+// Close drops all backend connections.
+func (r *Router) Close() {
+	for _, b := range r.backends {
+		b.Close()
+	}
+}
+
+// StartProbes launches a background health-probe loop: every interval, each
+// unhealthy backend gets a status probe, which (via Call's redial) pulls a
+// restarted node back into rotation. Returns after ctx is done.
+func (r *Router) StartProbes(ctx context.Context, interval time.Duration) {
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				for _, b := range r.backends {
+					if b.Healthy() {
+						continue
+					}
+					if reply, err := b.Call(&transport.Frame{Kind: KindStatus}); err == nil {
+						_ = replyErr(reply, KindStatus) // health is tracked by Call itself
+					}
+				}
+			}
+		}
+	}()
+}
+
+// Handler returns the client-facing frame handler: the same protocol a
+// single vdpserver speaks, with admission fanned out to the owning shards.
+func (r *Router) Handler() transport.Handler {
+	return func(f *transport.Frame) ([]*transport.Frame, error) {
+		switch f.Kind {
+		case "submit":
+			return r.routeSubmit(f)
+		case "submit-batch":
+			return r.routeBatch(f)
+		default:
+			return nil, fmt.Errorf("unexpected frame kind %q", f.Kind)
+		}
+	}
+}
+
+// routeSubmit forwards one single-submission frame to its shard as a
+// batch of one. The batch form matters: on the node, a rejected batch
+// member is a verdict reply, not a handler error, so the node↔router
+// connection survives rejected clients. The verdict is unpacked back into
+// the single-submit reply shape ("ack" or an "error" frame) for the client;
+// error frames are produced by the router itself rather than by failing the
+// handler, so the client's connection is never dropped because a shard is.
+func (r *Router) routeSubmit(f *transport.Frame) ([]*transport.Frame, error) {
+	rec, id, err := vdp.RepackSubmitPayload(f.Payload)
+	if err != nil {
+		// Malformed frame: a protocol violation, same terminal error a
+		// backend would produce.
+		return nil, err
+	}
+	shard := vdp.ShardOf(id, len(r.backends))
+	reply, err := r.backends[shard].Submit(&transport.Frame{
+		Kind:    "submit-batch",
+		Sender:  f.Sender,
+		Payload: vdp.EncodeRawSubmissionBatch([][]byte{rec}),
+	})
+	if err != nil {
+		return errorReply("shard %d unavailable: %v", shard, err), nil
+	}
+	if reply.Kind == "error" {
+		return []*transport.Frame{{Kind: "error", Payload: reply.Payload}}, nil
+	}
+	if reply.Kind != "batch-verdicts" {
+		return errorReply("shard %d: unexpected reply kind %q", shard, reply.Kind), nil
+	}
+	vs, err := vdp.DecodeBatchVerdicts(reply.Payload)
+	if err != nil || len(vs) != 1 {
+		return errorReply("shard %d: malformed verdict reply: %v", shard, err), nil
+	}
+	if !vs[0].Accepted {
+		return errorReply("%s", vs[0].Reason), nil
+	}
+	r.countAccepted(1)
+	return []*transport.Frame{{Kind: "ack", Payload: []byte("accepted")}}, nil
+}
+
+// routeBatch splits a submit-batch frame into per-shard sub-batches (by
+// peeking client IDs at fixed offsets — the router never decodes, let alone
+// verifies, a proof), forwards them concurrently, and reassembles the
+// verdicts in the caller's original submission order. Members of an
+// unavailable shard get individual unavailable verdicts; the rest of the
+// batch proceeds normally.
+func (r *Router) routeBatch(f *transport.Frame) ([]*transport.Frame, error) {
+	recs, ids, err := vdp.SplitSubmissionBatch(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	k := len(r.backends)
+	groups := make([][][]byte, k)
+	indices := make([][]int, k)
+	for i, rec := range recs {
+		sh := vdp.ShardOf(ids[i], k)
+		groups[sh] = append(groups[sh], rec)
+		indices[sh] = append(indices[sh], i)
+	}
+
+	out := make([]vdp.BatchVerdict, len(recs))
+	var wg sync.WaitGroup
+	for sh := range groups {
+		if len(groups[sh]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			fill := func(reason string) {
+				for _, i := range indices[sh] {
+					out[i] = vdp.BatchVerdict{ID: ids[i], Reason: reason}
+				}
+			}
+			reply, err := r.backends[sh].Submit(&transport.Frame{
+				Kind:    "submit-batch",
+				Sender:  f.Sender,
+				Payload: vdp.EncodeRawSubmissionBatch(groups[sh]),
+			})
+			if err != nil {
+				fill(fmt.Sprintf("shard %d unavailable: %v", sh, err))
+				return
+			}
+			if reply.Kind == "error" {
+				fill(fmt.Sprintf("shard %d: %s", sh, reply.Payload))
+				return
+			}
+			vs, err := vdp.DecodeBatchVerdicts(reply.Payload)
+			if reply.Kind != "batch-verdicts" || err != nil || len(vs) != len(indices[sh]) {
+				fill(fmt.Sprintf("shard %d returned a malformed verdict reply", sh))
+				return
+			}
+			for j, i := range indices[sh] {
+				out[i] = vs[j]
+			}
+		}(sh)
+	}
+	wg.Wait()
+
+	ok := 0
+	for _, v := range out {
+		if v.Accepted {
+			ok++
+		}
+	}
+	r.countAccepted(ok)
+	return []*transport.Frame{{Kind: "batch-verdicts", Payload: vdp.EncodeBatchVerdicts(out)}}, nil
+}
+
+func errorReply(format string, args ...any) []*transport.Frame {
+	return []*transport.Frame{{Kind: "error", Payload: []byte(fmt.Sprintf(format, args...))}}
+}
+
+// Statuses queries every backend's status, in shard order. All backends
+// must be reachable.
+func (r *Router) Statuses() ([]*NodeStatus, error) {
+	sts := make([]*NodeStatus, len(r.backends))
+	errs := make([]error, len(r.backends))
+	var wg sync.WaitGroup
+	for i, b := range r.backends {
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			reply, err := b.Call(&transport.Frame{Kind: KindStatus})
+			if err == nil {
+				err = replyErr(reply, KindStatus)
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d (%s): %w", i, b.Addr, err)
+				return
+			}
+			sts[i], errs[i] = decodeStatus(reply.Payload)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sts, nil
+}
+
+// CheckTopology verifies that backend i really serves shard i of K and
+// that all nodes sit on one epoch, rolling lagging nodes forward when it is
+// provably safe: a node exactly one epoch behind whose epoch is sealed and
+// merged-sealed was simply missed by a reset broadcast (router crash
+// between merge and reset), so it is reset and re-checked — the same
+// roll-forward rule ResumeShardedSession applies to segmented stores.
+func (r *Router) CheckTopology() ([]*NodeStatus, error) {
+	const maxRollForward = 2 // one re-check after healing
+	for attempt := 0; ; attempt++ {
+		sts, err := r.Statuses()
+		if err != nil {
+			return nil, err
+		}
+		k := len(r.backends)
+		maxEpoch := 0
+		for i, st := range sts {
+			if st.Shard != i || st.Shards != k {
+				return nil, fmt.Errorf("cluster: backend %d (%s) identifies as shard %d of %d, want shard %d of %d",
+					i, r.backends[i].Addr, st.Shard, st.Shards, i, k)
+			}
+			if st.Epoch > maxEpoch {
+				maxEpoch = st.Epoch
+			}
+		}
+		healed := false
+		for i, st := range sts {
+			if st.Epoch == maxEpoch {
+				continue
+			}
+			if st.Epoch != maxEpoch-1 || !st.Finalized || !st.MergedSealed {
+				return nil, fmt.Errorf("cluster: epoch skew: shard %d at epoch %d (finalized=%v merged=%v), cluster at epoch %d",
+					i, st.Epoch, st.Finalized, st.MergedSealed, maxEpoch)
+			}
+			reply, err := r.backends[i].Call(&transport.Frame{Kind: KindReset, Payload: encodeEpochReq(st.Epoch)})
+			if err == nil {
+				err = replyErr(reply, KindReset)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("cluster: rolling shard %d forward to epoch %d: %w", i, maxEpoch, err)
+			}
+			healed = true
+		}
+		if !healed {
+			return sts, nil
+		}
+		if attempt+1 >= maxRollForward {
+			return nil, fmt.Errorf("cluster: epoch skew persists after roll-forward")
+		}
+	}
+}
+
+// MergeResult is a completed finalize-merge handshake.
+type MergeResult struct {
+	Epoch int
+	// Transcripts holds each node's sealed transcript, in shard order.
+	Transcripts []*vdp.Transcript
+	// Release is the merged epoch release (summed per-prover aggregates).
+	Release *vdp.Release
+	// Digest is the merged transcript digest — byte-identical to what a
+	// single-process ShardedSession with Shards=K would seal.
+	Digest []byte
+}
+
+// FinalizeMerge drives the cluster's finalize handshake: status/topology
+// check, parallel node-seal (idempotent — an already-sealed node returns
+// its kept transcript), shard-order merge, then merged-seal replication to
+// every node. Every step is retryable: if the handshake dies part-way (a
+// node down, the router killed), running FinalizeMerge again completes it
+// without double-sealing anything.
+func (r *Router) FinalizeMerge(ctx context.Context) (*MergeResult, error) {
+	sts, err := r.CheckTopology()
+	if err != nil {
+		return nil, err
+	}
+	epoch := sts[0].Epoch
+	k := len(r.backends)
+
+	ts := make([]*vdp.Transcript, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i, b := range r.backends {
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			reply, err := b.Call(&transport.Frame{Kind: KindSeal, Payload: encodeEpochReq(epoch)})
+			if err == nil {
+				err = replyErr(reply, KindSeal)
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("sealing shard %d: %w", i, err)
+				return
+			}
+			gotEpoch, raw, err := decodeTranscriptReply(reply.Payload)
+			if err == nil && gotEpoch != epoch {
+				err = fmt.Errorf("sealed epoch %d, want %d", gotEpoch, epoch)
+			}
+			if err == nil {
+				ts[i], err = r.pub.DecodeTranscript(raw)
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d seal reply: %w", i, err)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	digest := vdp.MergedTranscriptDigest(r.pub, ts)
+	release, err := vdp.MergeReleases(r.pub, ts)
+	if err != nil {
+		return nil, err
+	}
+
+	sealReq := encodeMergedSeal(epoch, k, digest)
+	for i, b := range r.backends {
+		reply, err := b.Call(&transport.Frame{Kind: KindMergedSeal, Payload: sealReq})
+		if err == nil {
+			err = replyErr(reply, KindMergedSeal)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("replicating merged seal to shard %d: %w", i, err)
+		}
+	}
+	return &MergeResult{Epoch: epoch, Transcripts: ts, Release: release, Digest: digest}, nil
+}
+
+// ResetAll opens the next epoch on every node after a completed merge.
+func (r *Router) ResetAll(epoch int) error {
+	for i, b := range r.backends {
+		reply, err := b.Call(&transport.Frame{Kind: KindReset, Payload: encodeEpochReq(epoch)})
+		if err == nil {
+			err = replyErr(reply, KindReset)
+		}
+		if err != nil {
+			return fmt.Errorf("resetting shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ClusterAudit is the outcome of a cross-node audit.
+type ClusterAudit struct {
+	Epoch  int
+	Shards int
+	// Digest is the merged digest recomputed from fetched evidence; it
+	// matched the merged seal recorded on every node.
+	Digest []byte
+	// Source records the evidence grade: "logs" when every node shipped its
+	// board log (per-arrival records cross-checked against the seal), or
+	// "transcripts" when at least one memory-only node could provide only
+	// its sealed transcript.
+	Source string
+}
+
+// AuditCluster re-verifies a merged epoch from evidence fetched over the
+// wire: the merged seal recorded on every node (all K must agree), plus
+// either every node's board log (log-grade audit via AuditMergedLogs) or,
+// when a node keeps no log, the sealed transcripts (transcript-grade audit
+// via AuditMerged). epoch < 0 audits the latest merged epoch. The recomputed
+// digest must equal the recorded seal byte-for-byte.
+func (r *Router) AuditCluster(ctx context.Context, epoch, workers int) (*ClusterAudit, error) {
+	k := len(r.backends)
+
+	// Every node must hold the same merged seal; a single disagreeing node
+	// is evidence of a forked merge and fails the audit outright.
+	var sealEpoch int
+	var sealDigest []byte
+	for i, b := range r.backends {
+		reply, err := b.Call(&transport.Frame{Kind: KindMergedGet, Payload: encodeMergedGetReq(epoch)})
+		if err == nil {
+			err = replyErr(reply, KindMergedGet)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fetching merged seal from shard %d: %w", i, err)
+		}
+		gotEpoch, gotShards, digest, err := decodeMergedSeal(reply.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d merged-seal reply: %w", i, err)
+		}
+		if gotShards != k {
+			return nil, fmt.Errorf("shard %d records a merged seal over %d shards, cluster has %d", i, gotShards, k)
+		}
+		if i == 0 {
+			sealEpoch, sealDigest = gotEpoch, append([]byte(nil), digest...)
+			continue
+		}
+		if gotEpoch != sealEpoch || !bytes.Equal(digest, sealDigest) {
+			return nil, fmt.Errorf("merged seal disagreement: shard %d records epoch %d digest %x, shard 0 records epoch %d digest %x",
+				i, gotEpoch, digest, sealEpoch, sealDigest)
+		}
+	}
+
+	// Prefer the log-grade audit; fall back to transcripts when any node
+	// keeps no board log.
+	logs := make([]store.BoardLog, k)
+	logGrade := true
+	for i, b := range r.backends {
+		reply, err := b.Call(&transport.Frame{Kind: KindLog})
+		if err != nil {
+			return nil, fmt.Errorf("fetching board log from shard %d: %w", i, err)
+		}
+		if rerr := replyErr(reply, KindLog); rerr != nil {
+			logGrade = false
+			break
+		}
+		logs[i], err = decodeLogReply(reply.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d board log: %w", i, err)
+		}
+	}
+
+	if logGrade {
+		digest, err := vdp.AuditMergedLogs(ctx, r.pub, logs, sealEpoch, workers)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(digest, sealDigest) {
+			return nil, fmt.Errorf("%w: merged digest from node logs is %x, recorded seal is %x",
+				vdp.ErrAuditFail, digest, sealDigest)
+		}
+		return &ClusterAudit{Epoch: sealEpoch, Shards: k, Digest: digest, Source: "logs"}, nil
+	}
+
+	ts := make([]*vdp.Transcript, k)
+	for i, b := range r.backends {
+		reply, err := b.Call(&transport.Frame{Kind: KindTranscript, Payload: encodeEpochReq(sealEpoch)})
+		if err == nil {
+			err = replyErr(reply, KindTranscript)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fetching transcript from shard %d: %w", i, err)
+		}
+		gotEpoch, raw, err := decodeTranscriptReply(reply.Payload)
+		if err == nil && gotEpoch != sealEpoch {
+			err = fmt.Errorf("transcript for epoch %d, want %d", gotEpoch, sealEpoch)
+		}
+		if err == nil {
+			ts[i], err = r.pub.DecodeTranscript(raw)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shard %d transcript reply: %w", i, err)
+		}
+	}
+	if err := vdp.AuditMerged(ctx, r.pub, ts, nil, workers); err != nil {
+		return nil, err
+	}
+	digest := vdp.MergedTranscriptDigest(r.pub, ts)
+	if !bytes.Equal(digest, sealDigest) {
+		return nil, fmt.Errorf("%w: merged digest from node transcripts is %x, recorded seal is %x",
+			vdp.ErrAuditFail, digest, sealDigest)
+	}
+	return &ClusterAudit{Epoch: sealEpoch, Shards: k, Digest: digest, Source: "transcripts"}, nil
+}

@@ -41,6 +41,11 @@ type BenchEntry struct {
 	// so per-item costs diff across batch sizes without arithmetic, and
 	// equal to NsPerOp for unit operations.
 	PerItemNs float64 `json:"per_item_ns"`
+	// NodeCount is the number of cluster nodes the operation ran across
+	// (schema vdp-bench/3): 1 for every single-process measurement, >1 for
+	// the cluster flood entries, so multi-node numbers are never mistaken
+	// for single-process ones when diffing.
+	NodeCount int `json:"node_count"`
 }
 
 // BenchReport is the top-level -json document.
@@ -53,12 +58,20 @@ type BenchReport struct {
 }
 
 // benchSchema is bumped only when the document shape changes. Version 2
-// adds batch_size to every entry and makes per_item_ns unconditional.
-const benchSchema = "vdp-bench/2"
+// adds batch_size to every entry and makes per_item_ns unconditional;
+// version 3 adds node_count.
+const benchSchema = "vdp-bench/3"
 
 func entryFrom(name string, items int, r testing.BenchmarkResult) BenchEntry {
+	return entryFromNodes(name, items, 1, r)
+}
+
+func entryFromNodes(name string, items, nodes int, r testing.BenchmarkResult) BenchEntry {
 	if items < 1 {
 		items = 1
+	}
+	if nodes < 1 {
+		nodes = 1
 	}
 	return BenchEntry{
 		Name:        name,
@@ -69,6 +82,7 @@ func entryFrom(name string, items int, r testing.BenchmarkResult) BenchEntry {
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		BatchSize:   items,
 		PerItemNs:   float64(r.NsPerOp()) / float64(items),
+		NodeCount:   nodes,
 	}
 }
 
@@ -200,6 +214,55 @@ func BenchJSON() ([]byte, error) {
 		report.Entries = append(report.Entries,
 			entryFrom(fmt.Sprintf("flood-%d-batch-%d/p256", floodClients, bs), floodClients, floodRes))
 	}
+
+	// cluster-flood: the same batched admission through a 3-node loopback
+	// cluster — client → router → owning node over real TCP, eager
+	// verification on each node — followed by the finalize-merge handshake.
+	// Boot/teardown run outside the timer; the entry carries node_count 3.
+	const clusterNodes = 3
+	const clusterBatch = 64
+	clusterFloodRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			lc, err := BootCluster(ctx, pub, clusterNodes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := FloodCluster(lc, pub, subs, clusterBatch); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			lc.Close()
+			b.StartTimer()
+		}
+	})
+	report.Entries = append(report.Entries,
+		entryFromNodes(fmt.Sprintf("cluster-flood-%d-batch-%d/p256", boardClients, clusterBatch),
+			boardClients, clusterNodes, clusterFloodRes))
+
+	clusterFinalizeRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			lc, err := BootCluster(ctx, pub, clusterNodes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := FloodCluster(lc, pub, subs, clusterBatch); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := lc.Router.FinalizeMerge(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			lc.Close()
+			b.StartTimer()
+		}
+	})
+	report.Entries = append(report.Entries,
+		entryFromNodes(fmt.Sprintf("cluster-finalize-merge-%d/p256", boardClients), 1, clusterNodes, clusterFinalizeRes))
 
 	return json.MarshalIndent(report, "", "  ")
 }

@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client-side frame plumbing. Every peer that talks to a frame server — the
+// submitting vdpclient, the cluster router's per-backend connections — needs
+// the same three things: a dial that survives transient failures (a backend
+// that is still booting, a router restarting mid-epoch), read/write deadlines
+// so a stalled peer cannot wedge the caller forever, and the
+// WriteFrame/ReadFrame pairing for a request/reply round trip. Client bundles
+// them so callers stop duplicating raw net.Dial + frame wiring.
+
+// RetryPolicy bounds how transient failures are retried: up to Retries
+// additional attempts after the first, sleeping Backoff before the first
+// retry and doubling it each time, capped at MaxBackoff when set. The zero
+// value tries exactly once. The same policy drives vdpclient's -retries
+// flags and the cluster router's bounded backend reconnects.
+type RetryPolicy struct {
+	// Retries is the number of additional attempts after the first failure.
+	Retries int
+	// Backoff is the sleep before the first retry; it doubles per attempt.
+	Backoff time.Duration
+	// MaxBackoff caps the doubled sleep (0 = uncapped).
+	MaxBackoff time.Duration
+}
+
+// Do runs fn until it succeeds or the policy is exhausted, sleeping with
+// exponential backoff between attempts, and returns fn's last error.
+func (p RetryPolicy) Do(fn func() error) error {
+	var err error
+	d := p.Backoff
+	for attempt := 0; ; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if attempt >= p.Retries {
+			return err
+		}
+		if d > 0 {
+			time.Sleep(d)
+			d *= 2
+			if p.MaxBackoff > 0 && d > p.MaxBackoff {
+				d = p.MaxBackoff
+			}
+		}
+	}
+}
+
+// ClientOptions configures a frame client connection.
+type ClientOptions struct {
+	// Timeout bounds each dial attempt and each Send/Recv (and therefore
+	// each RoundTrip leg) with a fresh deadline. 0 means no deadline.
+	Timeout time.Duration
+	// Retry governs dial attempts. Established connections are never
+	// silently redialed: a mid-stream failure surfaces to the caller, who
+	// decides whether the request is safe to repeat.
+	Retry RetryPolicy
+}
+
+// Client is one persistent frame connection with per-operation deadlines.
+// It is not safe for concurrent use; callers that share one connection
+// across goroutines must serialize round trips themselves.
+type Client struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// DialClient connects to a frame server, retrying transient dial failures
+// under the options' retry policy.
+func DialClient(addr string, opts ClientOptions) (*Client, error) {
+	var conn net.Conn
+	err := opts.Retry.Do(func() error {
+		var derr error
+		conn, derr = net.DialTimeout("tcp", addr, opts.Timeout)
+		return derr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	return &Client{conn: conn, timeout: opts.Timeout}, nil
+}
+
+// Send writes one frame under a fresh deadline.
+func (c *Client) Send(f *Frame) error {
+	if err := c.setDeadline(); err != nil {
+		return err
+	}
+	return WriteFrame(c.conn, f)
+}
+
+// Recv reads one frame under a fresh deadline.
+func (c *Client) Recv() (*Frame, error) {
+	if err := c.setDeadline(); err != nil {
+		return nil, err
+	}
+	return ReadFrame(c.conn)
+}
+
+// RoundTrip sends one frame and reads one reply, each leg under its own
+// deadline.
+func (c *Client) RoundTrip(f *Frame) (*Frame, error) {
+	if err := c.Send(f); err != nil {
+		return nil, err
+	}
+	return c.Recv()
+}
+
+func (c *Client) setDeadline() error {
+	if c.timeout <= 0 {
+		return nil
+	}
+	return c.conn.SetDeadline(time.Now().Add(c.timeout))
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestClientDeadlineExpires pins the deadline contract: a peer that accepts
+// the frame but never replies must fail the round trip with a timeout within
+// the configured budget, not hang the caller.
+func TestClientDeadlineExpires(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Swallow whatever arrives, reply with nothing.
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	c, err := DialClient(ln.Addr().String(), ClientOptions{Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, err = c.RoundTrip(&Frame{Kind: "submit", Payload: []byte("x")})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("round trip against a mute peer succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire, want ~150ms", elapsed)
+	}
+}
+
+// TestRetryPolicyBounded pins that Do makes exactly 1+Retries attempts and
+// returns the final error.
+func TestRetryPolicyBounded(t *testing.T) {
+	attempts := 0
+	sentinel := errors.New("still down")
+	err := RetryPolicy{Retries: 3, Backoff: time.Millisecond}.Do(func() error {
+		attempts++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want the last attempt's error, got %v", err)
+	}
+	if attempts != 4 {
+		t.Fatalf("made %d attempts, want 4 (1 + 3 retries)", attempts)
+	}
+
+	attempts = 0
+	if err := (RetryPolicy{}).Do(func() error { attempts++; return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("zero policy: %v", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("zero policy made %d attempts, want 1", attempts)
+	}
+}
+
+// TestDialClientRetriesTransientFailure starts the server only after the
+// client's first dial attempts have failed; the bounded backoff must carry
+// the client across the gap — the exact scenario of a backend that is still
+// booting when the router (or a flood client) comes up.
+func TestDialClientRetriesTransientFailure(t *testing.T) {
+	// Reserve an address, then free it so the first dials are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	srvUp := make(chan *Server, 1)
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		srv, err := Listen(addr, func(f *Frame) ([]*Frame, error) {
+			return []*Frame{{Kind: "ack", Payload: f.Payload}}, nil
+		})
+		if err != nil {
+			srvUp <- nil
+			return
+		}
+		srvUp <- srv
+	}()
+
+	c, err := DialClient(addr, ClientOptions{
+		Timeout: 2 * time.Second,
+		Retry:   RetryPolicy{Retries: 20, Backoff: 25 * time.Millisecond, MaxBackoff: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("dial never recovered: %v", err)
+	}
+	defer c.Close()
+	srv := <-srvUp
+	if srv == nil {
+		t.Fatal("delayed server failed to listen (port likely stolen); cannot test retry")
+	}
+	defer srv.Close()
+
+	reply, err := c.RoundTrip(&Frame{Kind: "ping", Payload: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != "ack" || string(reply.Payload) != "hello" {
+		t.Fatalf("unexpected reply %q %q", reply.Kind, reply.Payload)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // MaxFrameSize bounds a frame's payload (16 MiB): large enough for any
@@ -129,6 +130,7 @@ type Server struct {
 	mu     sync.Mutex
 	closed bool
 	lnErr  error
+	conns  map[net.Conn]bool // conn -> handler currently running
 	wg     sync.WaitGroup
 }
 
@@ -138,7 +140,7 @@ func Listen(addr string, h Handler) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	s := &Server{ln: ln, handler: h}
+	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -154,7 +156,17 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		if s.closed {
+			// Accepted in the window between Shutdown closing the
+			// listener and Accept noticing: refuse, we are draining.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = false
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
@@ -164,6 +176,11 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 	// One payload buffer per connection, reused across frames (the Handler
 	// contract permits this); a flood of batch frames costs zero payload
 	// allocations after the largest frame has sized the buffer.
@@ -173,8 +190,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		var err error
 		buf, err = ReadFrameInto(conn, &f, buf)
 		if err != nil {
-			return // EOF or malformed peer: drop the connection
+			return // EOF, shutdown, or malformed peer: drop the connection
 		}
+		s.mu.Lock()
+		s.conns[conn] = true // in-flight: Shutdown must let this frame finish
+		s.mu.Unlock()
 		replies, err := s.handler(&f)
 		if err != nil {
 			// Send an error frame so the peer knows why it was dropped.
@@ -186,6 +206,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 		}
+		s.mu.Lock()
+		s.conns[conn] = false
+		draining := s.closed
+		s.mu.Unlock()
+		if draining {
+			// The frame that was on the wire when Shutdown began has been
+			// answered; persistent peers must redial elsewhere.
+			return
+		}
 	}
 }
 
@@ -194,16 +223,34 @@ func (s *Server) Close() error {
 	return s.Shutdown(context.Background())
 }
 
+// drainGrace is how long Shutdown lets an idle connection's read linger: a
+// frame already on the wire (buffered but not yet read) is picked up and
+// served, while a persistent peer merely parked between frames fails its
+// read and hangs up. Without it, one idle long-lived connection — a router's
+// cached backend conn, say — would hold the drain open forever.
+const drainGrace = 100 * time.Millisecond
+
 // Shutdown stops accepting new connections and waits for in-flight ones to
-// drain, giving up (but leaving the listener closed) when ctx expires. It is
-// the graceful half of a SIGINT/SIGTERM handler: close the door, let the
-// handler finish the submissions already on the wire, then finalize the
-// session. Safe to call more than once.
+// drain, giving up (but leaving the listener closed and pending handlers
+// running) when ctx expires. Idle persistent connections are not "in
+// flight": they get drainGrace to produce a frame and are then dropped;
+// a connection that is answered after Shutdown begins is closed once its
+// reply is written. It is the graceful half of a SIGINT/SIGTERM handler:
+// close the door, let the handler finish the submissions already on the
+// wire, then finalize the session. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
 		s.lnErr = s.ln.Close()
+		deadline := time.Now().Add(drainGrace)
+		for c, busy := range s.conns {
+			if !busy {
+				// Parked in ReadFrameInto: wake it when the grace ends. A
+				// frame already buffered still reads fine before then.
+				_ = c.SetReadDeadline(deadline)
+			}
+		}
 	}
 	err := s.lnErr
 	s.mu.Unlock()

@@ -1,10 +1,11 @@
 #!/bin/sh
 # check_bench_json.sh — validate a vdp-bench JSON document (stdin or $1)
-# against the vdp-bench/2 schema: every benchmark entry must carry its
-# batch_size metadata and an unconditional per_item_ns consistent with
-# ns_per_op. This is what CI runs over a fresh `vdpbench -json`, so a
-# schema regression (an entry missing per_item_ns, a batch benchmark that
-# forgot its size) fails before a malformed BENCH_<n>.json gets recorded.
+# against the vdp-bench/3 schema: every benchmark entry must carry its
+# batch_size and node_count metadata and an unconditional per_item_ns
+# consistent with ns_per_op. This is what CI runs over a fresh
+# `vdpbench -json`, so a schema regression (an entry missing per_item_ns,
+# a batch benchmark that forgot its size, a cluster entry without its node
+# count) fails before a malformed BENCH_<n>.json gets recorded.
 #
 # Usage: vdpbench -json | check_bench_json.sh
 #        check_bench_json.sh BENCH_6.json
@@ -21,19 +22,21 @@ def fail(msg):
     print(f"bench JSON check FAILED: {msg}", file=sys.stderr)
     sys.exit(1)
 
-if doc.get("schema") != "vdp-bench/2":
-    fail(f"schema is {doc.get('schema')!r}, want 'vdp-bench/2'")
+if doc.get("schema") != "vdp-bench/3":
+    fail(f"schema is {doc.get('schema')!r}, want 'vdp-bench/3'")
 entries = doc.get("benchmarks")
 if not entries:
     fail("no benchmark entries")
 for e in entries:
     name = e.get("name", "<unnamed>")
     for key in ("name", "n", "ns_per_op", "us_per_op", "allocs_per_op",
-                "bytes_per_op", "batch_size", "per_item_ns"):
+                "bytes_per_op", "batch_size", "per_item_ns", "node_count"):
         if key not in e:
             fail(f"entry {name}: missing {key}")
     if e["batch_size"] < 1:
         fail(f"entry {name}: batch_size {e['batch_size']} < 1")
+    if e["node_count"] < 1:
+        fail(f"entry {name}: node_count {e['node_count']} < 1")
     if e["per_item_ns"] <= 0:
         fail(f"entry {name}: per_item_ns {e['per_item_ns']} <= 0")
     want = e["ns_per_op"] / e["batch_size"]

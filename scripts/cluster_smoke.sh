@@ -1,0 +1,128 @@
+#!/bin/bash
+# cluster_smoke.sh — multi-process cluster integration smoke.
+#
+# Boots a real 3-node cluster as separate OS processes: three vdpserver
+# backends in node mode (one shard each, durable board + merged-seal logs),
+# one vdprouter in front. Floods batched submissions through vdpclient
+# against the router, lets the router drive the finalize-merge handshake on
+# shutdown, then runs the cross-node audit (vdprouter -audit) against the
+# restarted backends — the same sequence an operator runs, so a regression
+# anywhere in the wire path, the routing, the merge RPC, or the audit
+# fetch fails here even when the in-process tests pass.
+#
+# Usage: scripts/cluster_smoke.sh [clients] [batch]
+set -eu
+
+CLIENTS="${1:-48}"
+BATCH="${2:-16}"
+NODES=3
+BINS=2
+COINS=8
+
+WORK="$(mktemp -d)"
+BIN="$WORK/bin"
+mkdir -p "$BIN"
+PIDS=""
+
+cleanup() {
+    # shellcheck disable=SC2086
+    [ -n "$PIDS" ] && kill $PIDS 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+say() { printf '\n== %s\n' "$*"; }
+
+say "building binaries"
+go build -o "$BIN/vdpserver" ./cmd/vdpserver
+go build -o "$BIN/vdprouter" ./cmd/vdprouter
+go build -o "$BIN/vdpclient" ./cmd/vdpclient
+
+# Wait until a TCP endpoint accepts connections (the binaries log their
+# listen line before serving, so poll the port itself).
+wait_port() {
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then
+            exec 3>&- 3<&- 2>/dev/null || true
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "port $1 never came up" >&2
+    return 1
+}
+
+say "booting $NODES backend nodes"
+BACKENDS=""
+i=0
+while [ "$i" -lt "$NODES" ]; do
+    port=$((7410 + i))
+    mkdir -p "$WORK/node$i"
+    "$BIN/vdpserver" -addr "127.0.0.1:$port" -store-dir "$WORK/node$i" \
+        -shard-index "$i" -shard-count "$NODES" \
+        -bins "$BINS" -coins "$COINS" >"$WORK/node$i.log" 2>&1 &
+    PIDS="$PIDS $!"
+    BACKENDS="${BACKENDS:+$BACKENDS,}127.0.0.1:$port"
+    i=$((i + 1))
+done
+i=0
+while [ "$i" -lt "$NODES" ]; do wait_port $((7410 + i)); i=$((i + 1)); done
+
+say "booting router in front of $BACKENDS"
+"$BIN/vdprouter" -addr 127.0.0.1:7400 -backends "$BACKENDS" \
+    -clients "$CLIENTS" -bins "$BINS" -coins "$COINS" \
+    -retries 5 -backoff 50ms >"$WORK/router.log" 2>&1 &
+ROUTER_PID=$!
+PIDS="$PIDS $ROUTER_PID"
+wait_port 7400
+
+say "flooding $CLIENTS submissions in batches of $BATCH through the router"
+id=0
+while [ "$id" -lt "$CLIENTS" ]; do
+    n=$BATCH
+    [ $((id + n)) -gt "$CLIENTS" ] && n=$((CLIENTS - id))
+    "$BIN/vdpclient" -addr 127.0.0.1:7400 -id "$id" -batch "$n" \
+        -choice $((id % BINS)) -bins "$BINS" -coins "$COINS" \
+        -retries 3 -backoff 50ms
+    id=$((id + n))
+done
+
+say "router reached its target; waiting for finalize-merge"
+# The router exits on its own after -clients accepted submissions: it seals
+# every node, merges the transcripts in shard order, replicates the merged
+# seal, and self-audits before exiting 0.
+router_ok=0
+for _ in $(seq 1 300); do
+    if ! kill -0 "$ROUTER_PID" 2>/dev/null; then router_ok=1; break; fi
+    sleep 0.1
+done
+if [ "$router_ok" -ne 1 ]; then
+    echo "router did not finalize after the flood" >&2
+    cat "$WORK/router.log" >&2
+    exit 1
+fi
+if ! wait "$ROUTER_PID"; then
+    echo "router exited non-zero" >&2
+    cat "$WORK/router.log" >&2
+    exit 1
+fi
+grep -E "merged transcript audit: PASSED" "$WORK/router.log" || {
+    echo "router log missing merged-audit line" >&2
+    cat "$WORK/router.log" >&2
+    exit 1
+}
+
+say "cross-node audit against the live backends"
+"$BIN/vdprouter" -backends "$BACKENDS" -bins "$BINS" -coins "$COINS" -audit \
+    | tee "$WORK/audit.log"
+grep -q "cross-node audit: PASSED" "$WORK/audit.log"
+
+say "offline per-node audit of each backend's durable board log"
+i=0
+while [ "$i" -lt "$NODES" ]; do
+    "$BIN/vdpclient" -audit-store "$WORK/node$i" -bins "$BINS" -coins "$COINS"
+    i=$((i + 1))
+done
+
+say "cluster smoke passed: $CLIENTS clients across $NODES nodes, merged, audited"
