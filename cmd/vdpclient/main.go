@@ -17,12 +17,20 @@
 // per-arrival records. No network, no server cooperation — the log file is
 // the whole input.
 //
+// With -follow it plays the auditor live: given the cluster's node
+// addresses in shard order, it tails every node's bulletin board over the
+// node-log RPC while the epoch is still open, verifies each submission as
+// it arrives, and certifies each merged epoch the instant its seals land —
+// the paper's public verifiability made continuous, with no trust in the
+// router or any single node.
+//
 // Examples:
 //
 //	vdpclient -addr 127.0.0.1:7001 -id 0 -choice 1 -bins 2 -coins 32
 //	vdpclient -addr 127.0.0.1:7001 -id 100 -batch 64 -choice 1 -bins 2 -coins 32
 //	vdpclient -audit-store /var/lib/vdp -bins 2 -coins 32          # latest epoch
 //	vdpclient -audit-store /var/lib/vdp -epoch 0 -bins 2 -coins 32 # specific epoch
+//	vdpclient -follow 127.0.0.1:7410,127.0.0.1:7411,127.0.0.1:7412 -bins 2 -coins 8
 package main
 
 import (
@@ -32,8 +40,10 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/group"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -56,6 +66,9 @@ func main() {
 		batch      = flag.Int("batch", 0, "flood mode: send this many submissions (IDs -id..) in one batch frame")
 		auditStore = flag.String("audit-store", "", "audit a server's board log directory offline instead of submitting")
 		epoch      = flag.Int("epoch", -1, "epoch to audit with -audit-store (-1 = latest sealed)")
+		follow     = flag.String("follow", "", "live-audit mode: comma-separated node addresses in shard order")
+		followN    = flag.Int("follow-epochs", 1, "with -follow, exit after this many merged epochs verify (0 = follow forever)")
+		interval   = flag.Duration("interval", 200*time.Millisecond, "with -follow, the poll interval between log fetches")
 	)
 	flag.Parse()
 
@@ -68,6 +81,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *follow != "" {
+		opts := transport.ClientOptions{
+			Timeout: *timeout,
+			Retry:   transport.RetryPolicy{Retries: *retries, Backoff: *backoff, MaxBackoff: 2 * time.Second},
+		}
+		followCluster(pub, strings.Split(*follow, ","), *followN, *interval, opts)
+		return
+	}
 	if *auditStore != "" {
 		// The -timeout default is sized for a network round trip, not for
 		// re-verifying a whole epoch; only bound the offline audit when the
@@ -249,4 +270,54 @@ func auditSharded(pub *vdp.Public, dir string, epoch int, timeout time.Duration)
 	}
 	fmt.Printf("offline sharded audit of %s: PASSED — every shard's proofs, coins and aggregate check out,\n", which)
 	fmt.Println("every client sits on its assigned shard, and the merged digest matches the manifest seal")
+}
+
+// followCluster live-audits a running cluster: it tails every node's board
+// log over RPC, verifying records as they are appended, and certifies
+// merged epochs as their seals land. With epochs > 0 it exits successfully
+// after that many certifications; any divergence — a bad proof, a forged
+// record, disagreeing merged seals — kills it with the offending record's
+// shard and offset.
+func followCluster(pub *vdp.Public, addrs []string, epochs int, interval time.Duration, opts transport.ClientOptions) {
+	backends := make([]*cluster.Backend, len(addrs))
+	for i, addr := range addrs {
+		backends[i] = cluster.NewBackend(strings.TrimSpace(addr), i, opts)
+	}
+	f, err := cluster.NewTailFollower(pub, backends, vdp.TailOptions{})
+	if err != nil {
+		log.Fatalf("live audit: %v", err)
+	}
+	fmt.Printf("live audit: following %d shards\n", len(addrs))
+	certified := 0
+	for {
+		n, err := f.Poll()
+		if err != nil {
+			log.Fatalf("live audit FAILED: %v", err)
+		}
+		if n > 0 {
+			recs := f.Records()
+			total := 0
+			for _, r := range recs {
+				total += r
+			}
+			fmt.Printf("live audit: +%d records (%d total)\n", n, total)
+		}
+		for {
+			epoch, digest, ready, err := f.VerifyNext()
+			if err != nil {
+				log.Fatalf("live audit FAILED: %v", err)
+			}
+			if !ready {
+				break
+			}
+			certified++
+			fmt.Printf("live audit: merged epoch %d PASSED (digest %x..., %d shards)\n",
+				epoch, digest[:8], len(addrs))
+			if epochs > 0 && certified >= epochs {
+				fmt.Printf("live audit: %d merged epoch(s) certified — every record verified at arrival\n", certified)
+				return
+			}
+		}
+		time.Sleep(interval)
+	}
 }

@@ -339,12 +339,18 @@ func openSession(ctx context.Context, pub *vdp.Public, storeDir string, shards i
 		return nil, nil, nil, fmt.Errorf("recovering board log: %w", err)
 	}
 	if sess.Finalized() {
-		// The previous incarnation sealed its epoch; open the next one.
-		if err := sess.Reset(); err != nil {
-			boardLog.Close()
-			return nil, nil, nil, err
+		// The previous incarnation sealed its epoch; compact it — the
+		// snapshot pins the sealed digest and becomes the epoch boundary, so
+		// the next restart boots from it instead of replaying the whole log.
+		// A finalized epoch whose seal was lost mid-append cannot be
+		// snapshotted; Reset closes it the old way.
+		if err := sess.Compact(); err != nil {
+			if err = sess.Reset(); err != nil {
+				boardLog.Close()
+				return nil, nil, nil, err
+			}
 		}
-		log.Printf("recovered board log: last epoch sealed, opening epoch %d", sess.Epoch())
+		log.Printf("recovered board log: last epoch sealed, compacted, opening epoch %d", sess.Epoch())
 	} else {
 		log.Printf("recovered board log: resuming epoch %d with %d submissions (%d rejected)",
 			sess.Epoch(), sess.Submitted(), len(sess.Rejected()))
@@ -383,11 +389,16 @@ func openShardedSession(ctx context.Context, pub *vdp.Public, storeDir string, s
 		return nil, nil, nil, fmt.Errorf("recovering segmented board log: %w", err)
 	}
 	if ss.Finalized() {
-		if err := ss.Reset(); err != nil {
-			seg.Close()
-			return nil, nil, nil, err
+		// Compact the sealed epoch (per-shard snapshots pin the digests, so
+		// the next boot skips the replay); fall back to Reset when a shard's
+		// sealed transcript did not survive.
+		if err := ss.Compact(); err != nil {
+			if err = ss.Reset(); err != nil {
+				seg.Close()
+				return nil, nil, nil, err
+			}
 		}
-		log.Printf("recovered segmented board log: last epoch sealed, opening epoch %d", ss.Epoch())
+		log.Printf("recovered segmented board log: last epoch sealed, compacted, opening epoch %d", ss.Epoch())
 	} else {
 		log.Printf("recovered segmented board log: resuming epoch %d with %d submissions across %d shards (%d rejected)",
 			ss.Epoch(), ss.Submitted(), ss.Shards(), len(ss.Rejected()))

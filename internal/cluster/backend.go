@@ -37,6 +37,12 @@ func newBackend(addr string, shard int, opts transport.ClientOptions) *Backend {
 	return &Backend{Addr: addr, Shard: shard, opts: opts, healthy: true}
 }
 
+// NewBackend opens a standalone backend handle on one node, for tools that
+// talk to nodes without a Router — the live-audit follower chief among them.
+func NewBackend(addr string, shard int, opts transport.ClientOptions) *Backend {
+	return newBackend(addr, shard, opts)
+}
+
 // Healthy reports whether the last operation (or probe) succeeded.
 func (b *Backend) Healthy() bool {
 	b.mu.Lock()

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/transport"
+	"repro/internal/vdp"
+)
+
+// TailFollower is the cluster-wide live audit tail: a third party pointed at
+// the K node addresses follows every shard's bulletin board over the
+// existing node-log RPC, feeds the records through per-shard TailAuditors
+// (the same incremental verification a local tail runs), and certifies each
+// merged epoch the moment every shard's seal verifies — cross-checking the
+// merged-seal record replicated on every node. It holds no trust in the
+// router: everything it certifies it verified itself from node evidence.
+type TailFollower struct {
+	backends []*Backend
+	merged   *vdp.MergedTailAuditor
+	cursor   []int // per-node count of records already fed
+	next     int   // next merged epoch to certify
+}
+
+// NewTailFollower opens a live tail over a cluster's nodes, given in shard
+// order (the router's -backends order). Every node's topology is probed up
+// front: its shard coordinates must match its position and it must be
+// durable (a memory-only node has no log to tail).
+func NewTailFollower(pub *vdp.Public, backends []*Backend, opts vdp.TailOptions) (*TailFollower, error) {
+	k := len(backends)
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: tail needs at least one backend")
+	}
+	for i, b := range backends {
+		reply, err := b.Call(&transport.Frame{Kind: KindStatus})
+		if err == nil {
+			err = replyErr(reply, KindStatus)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cluster: probing shard %d: %w", i, err)
+		}
+		st, err := decodeStatus(reply.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: probing shard %d: %w", i, err)
+		}
+		if st.Shard != i || st.Shards != k {
+			return nil, fmt.Errorf("cluster: backend %d serves shard %d/%d, want %d/%d",
+				i, st.Shard, st.Shards, i, k)
+		}
+		if !st.Durable {
+			return nil, fmt.Errorf("cluster: shard %d keeps no board log and cannot be tailed", i)
+		}
+	}
+	return &TailFollower{
+		backends: backends,
+		merged:   vdp.NewMergedTailAuditor(pub, k, opts),
+		cursor:   make([]int, k),
+	}, nil
+}
+
+// Merged returns the underlying merged auditor (per-shard state, digests).
+func (f *TailFollower) Merged() *vdp.MergedTailAuditor { return f.merged }
+
+// Poll fetches every node's board log and feeds the records appended since
+// the last poll into that shard's auditor, returning how many new records
+// were consumed. The log is append-only, so the per-node cursor only moves
+// forward; a node whose log shrank rewrote history and fails the tail.
+func (f *TailFollower) Poll() (int, error) {
+	n := 0
+	for i, b := range f.backends {
+		reply, err := b.Call(&transport.Frame{Kind: KindLog})
+		if err == nil {
+			err = replyErr(reply, KindLog)
+		}
+		if err != nil {
+			return n, fmt.Errorf("cluster: fetching board log from shard %d: %w", i, err)
+		}
+		log, err := decodeLogReply(reply.Payload)
+		if err != nil {
+			return n, fmt.Errorf("cluster: shard %d board log: %w", i, err)
+		}
+		recs, err := log.Snapshot()
+		if err != nil {
+			return n, err
+		}
+		if len(recs) < f.cursor[i] {
+			return n, fmt.Errorf("cluster: shard %d board log shrank from %d to %d records — history was rewritten",
+				i, f.cursor[i], len(recs))
+		}
+		a := f.merged.Shard(i)
+		for idx := f.cursor[i]; idx < len(recs); idx++ {
+			if err := a.Feed(recs[idx], int64(idx)); err != nil {
+				return n, fmt.Errorf("cluster: shard %d: %w", i, err)
+			}
+			f.cursor[i] = idx + 1
+			n++
+		}
+	}
+	return n, nil
+}
+
+// VerifyNext tries to certify the next merged epoch. ready is false while
+// some shard has not sealed it yet, or while the merged seal has not been
+// replicated to every node. Once every shard's seal has verified, the
+// merged digest is derived and cross-checked against the merged-seal record
+// on every node — all K must hold the identical claim — and the follower
+// advances to the next epoch. A divergence anywhere is a hard failure.
+func (f *TailFollower) VerifyNext() (epoch int, digest []byte, ready bool, err error) {
+	epoch = f.next
+	digest, ready, err = f.merged.VerifyMerged(epoch)
+	if err != nil || !ready {
+		return epoch, nil, false, err
+	}
+	// Every node must hold the same merged seal for this epoch. A node that
+	// does not have it yet (the router replicates seals after the shards
+	// seal) just means "not ready"; a node holding a different one is a
+	// forked merge.
+	for i, b := range f.backends {
+		reply, cerr := b.Call(&transport.Frame{Kind: KindMergedGet, Payload: encodeMergedGetReq(epoch)})
+		if cerr != nil {
+			return epoch, nil, false, fmt.Errorf("cluster: fetching merged seal from shard %d: %w", i, cerr)
+		}
+		if replyErr(reply, KindMergedGet) != nil {
+			return epoch, nil, false, nil // seal not replicated here yet
+		}
+		gotEpoch, gotShards, got, derr := decodeMergedSeal(reply.Payload)
+		if derr != nil {
+			return epoch, nil, false, fmt.Errorf("cluster: shard %d merged seal: %w", i, derr)
+		}
+		if gotEpoch != epoch || gotShards != len(f.backends) {
+			return epoch, nil, false, fmt.Errorf("cluster: shard %d returned a merged seal for epoch %d/%d shards, want %d/%d",
+				i, gotEpoch, gotShards, epoch, len(f.backends))
+		}
+		if !bytes.Equal(got, digest) {
+			return epoch, nil, false, fmt.Errorf("cluster: shard %d's merged seal for epoch %d disagrees with the live audit",
+				i, epoch)
+		}
+		if err := f.merged.SetMergedSeal(gotEpoch, gotShards, got); err != nil {
+			return epoch, nil, false, err
+		}
+	}
+	f.next++
+	return epoch, digest, true, nil
+}
+
+// Statuses reports every node's status, for follower progress displays.
+func (f *TailFollower) Statuses() ([]*NodeStatus, error) {
+	out := make([]*NodeStatus, len(f.backends))
+	for i, b := range f.backends {
+		reply, err := b.Call(&transport.Frame{Kind: KindStatus})
+		if err == nil {
+			err = replyErr(reply, KindStatus)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cluster: probing shard %d: %w", i, err)
+		}
+		st, err := decodeStatus(reply.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: probing shard %d: %w", i, err)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// Records returns how many records the follower has consumed per shard.
+func (f *TailFollower) Records() []int {
+	out := make([]int, len(f.cursor))
+	copy(out, f.cursor)
+	return out
+}

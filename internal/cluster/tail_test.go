@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/vdp"
+)
+
+// testBackends opens standalone backend handles in shard order — the
+// follower's view of the cluster, independent of any router.
+func testBackends(addrs []string) []*Backend {
+	backends := make([]*Backend, len(addrs))
+	for i, addr := range addrs {
+		backends[i] = NewBackend(addr, i, transport.ClientOptions{Timeout: 10 * time.Second, Retry: testRetry()})
+	}
+	return backends
+}
+
+// certifyNext polls the follower until the expected merged epoch certifies,
+// then checks it against the sealed digest.
+func certifyNext(t *testing.T, fol *TailFollower, wantEpoch int, wantDigest []byte) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := fol.Poll(); err != nil {
+			t.Fatalf("polling for epoch %d: %v", wantEpoch, err)
+		}
+		epoch, digest, ready, err := fol.VerifyNext()
+		if err != nil {
+			t.Fatalf("verifying epoch %d: %v", wantEpoch, err)
+		}
+		if ready {
+			if epoch != wantEpoch {
+				t.Fatalf("certified epoch %d, want %d", epoch, wantEpoch)
+			}
+			if !bytes.Equal(digest, wantDigest) {
+				t.Fatalf("live audit digest %x, sealed digest %x", digest, wantDigest)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("epoch %d never certified", wantEpoch)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTailFollowerCertifiesMergedEpochs runs the cluster-wide live audit
+// end to end: a follower attached to K nodes over the node-log RPC observes
+// a flood mid-epoch without certifying anything, certifies merged epoch 0
+// the moment the finalize-merge handshake lands (digest identical to the
+// router's sealed result), then follows a reset into epoch 1 and certifies
+// that one too.
+func TestTailFollowerCertifiesMergedEpochs(t *testing.T) {
+	const k, n = 3, 12
+	pub := testPub(t)
+	ctx := context.Background()
+
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		nd := startNode(t, ctx, pub, i, k, "", "")
+		defer nd.stop()
+		addrs[i] = nd.addr
+	}
+	router, err := New(Config{Pub: pub, Backends: addrs, Timeout: 10 * time.Second, Retry: testRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	handler := router.Handler()
+
+	fol, err := NewTailFollower(pub, testBackends(addrs), vdp.TailOptions{})
+	if err != nil {
+		t.Fatalf("opening follower: %v", err)
+	}
+
+	flood := func(first int) {
+		t.Helper()
+		subs := buildSubs(t, pub, first, n)
+		replies, err := handler(&transport.Frame{Kind: "submit-batch", Payload: pub.EncodeSubmissionBatch(subs)})
+		if err != nil {
+			t.Fatalf("batch handler: %v", err)
+		}
+		verdicts, err := vdp.DecodeBatchVerdicts(replies[0].Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range verdicts {
+			if !v.Accepted {
+				t.Fatalf("client %d rejected: %s", v.ID, v.Reason)
+			}
+		}
+	}
+
+	// Mid-epoch: the follower sees the flood's records but certifies
+	// nothing before the merge.
+	flood(0)
+	got, err := fol.Poll()
+	if err != nil {
+		t.Fatalf("mid-epoch poll: %v", err)
+	}
+	if got < n {
+		t.Fatalf("mid-epoch poll consumed %d records, want at least %d submissions", got, n)
+	}
+	if _, _, ready, err := fol.VerifyNext(); err != nil {
+		t.Fatalf("mid-epoch verify: %v", err)
+	} else if ready {
+		t.Fatal("follower certified an epoch before any shard sealed")
+	}
+
+	res, err := router.FinalizeMerge(ctx)
+	if err != nil {
+		t.Fatalf("finalize-merge: %v", err)
+	}
+	certifyNext(t, fol, 0, res.Digest)
+
+	// The underlying merged auditor agrees with what was certified.
+	digest, ready, err := fol.Merged().VerifyMerged(0)
+	if err != nil || !ready {
+		t.Fatalf("merged auditor: ready=%v err=%v", ready, err)
+	}
+	if !bytes.Equal(digest, res.Digest) {
+		t.Fatalf("merged auditor digest %x, sealed %x", digest, res.Digest)
+	}
+
+	// Progress surfaces: every shard reported a status and contributed
+	// records to the tail.
+	sts, err := fol.Statuses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != k {
+		t.Fatalf("got %d statuses, want %d", len(sts), k)
+	}
+	for i, st := range sts {
+		if st.Shard != i || st.Shards != k {
+			t.Fatalf("status %d reports shard %d/%d", i, st.Shard, st.Shards)
+		}
+		if !st.Durable {
+			t.Fatalf("shard %d reported non-durable after being tailed", i)
+		}
+	}
+	recs := fol.Records()
+	if len(recs) != k {
+		t.Fatalf("got %d record counts, want %d", len(recs), k)
+	}
+	for i, c := range recs {
+		if c < 1 {
+			t.Fatalf("shard %d contributed %d records", i, c)
+		}
+	}
+
+	// A second epoch: reset every node, flood fresh clients, merge, and the
+	// follower advances and certifies epoch 1 as well.
+	if err := router.ResetAll(0); err != nil {
+		t.Fatalf("reset-all: %v", err)
+	}
+	flood(100)
+	res1, err := router.FinalizeMerge(ctx)
+	if err != nil {
+		t.Fatalf("second finalize-merge: %v", err)
+	}
+	if res1.Epoch != 1 {
+		t.Fatalf("second merge sealed epoch %d, want 1", res1.Epoch)
+	}
+	certifyNext(t, fol, 1, res1.Digest)
+
+	// The backends stayed healthy throughout.
+	for i, b := range testBackends(addrs) {
+		if b.LastErr() != nil {
+			t.Fatalf("backend %d recorded error: %v", i, b.LastErr())
+		}
+	}
+}
+
+// TestTailFollowerRefusesBadTopology pins the probe-time checks: no
+// backends at all, and backends wired up in the wrong shard order.
+func TestTailFollowerRefusesBadTopology(t *testing.T) {
+	pub := testPub(t)
+	ctx := context.Background()
+
+	if _, err := NewTailFollower(pub, nil, vdp.TailOptions{}); err == nil {
+		t.Fatal("follower accepted an empty backend set")
+	}
+
+	const k = 2
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		nd := startNode(t, ctx, pub, i, k, "", "")
+		defer nd.stop()
+		addrs[i] = nd.addr
+	}
+	swapped := []string{addrs[1], addrs[0]}
+	if _, err := NewTailFollower(pub, testBackends(swapped), vdp.TailOptions{}); err == nil {
+		t.Fatal("follower accepted backends in the wrong shard order")
+	} else if !strings.Contains(err.Error(), "serves shard") {
+		t.Fatalf("wrong-order error %q does not name the topology mismatch", err)
+	}
+}

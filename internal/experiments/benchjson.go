@@ -4,11 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"repro/internal/group"
 	"repro/internal/pedersen"
+	"repro/internal/store"
 	"repro/internal/vdp"
 )
 
@@ -263,6 +266,137 @@ func BenchJSON() ([]byte, error) {
 	})
 	report.Entries = append(report.Entries,
 		entryFromNodes(fmt.Sprintf("cluster-finalize-merge-%d/p256", boardClients), 1, clusterNodes, clusterFinalizeRes))
+
+	// tail-seal: the live auditor's seal step. The tail verified every
+	// submission on arrival, so sealing the epoch costs one roster byte-walk
+	// plus the K Line-13 checks against the rolling commitment product —
+	// crypto work independent of epoch size. The 1k/10k pair is the
+	// headline: ns_per_op must not scale with the 10× larger epoch the way
+	// the offline audit baseline below does.
+	var tailLog1k *store.MemLog
+	for _, n := range []int{1000, 10000} {
+		tlog := store.NewMemLog()
+		sess, err := vdp.NewSession(pub, vdp.SessionOptions{Store: tlog})
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: tail-seal session: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			var sub *vdp.ClientSubmission
+			if i < len(floodSubs) {
+				sub = floodSubs[i]
+			} else if sub, err = pub.NewClientSubmission(i, i%2, nil); err != nil {
+				return nil, fmt.Errorf("benchjson: tail-seal client %d: %w", i, err)
+			}
+			if err := sess.Submit(ctx, sub); err != nil {
+				return nil, fmt.Errorf("benchjson: tail-seal submit %d: %w", i, err)
+			}
+		}
+		res, err := sess.Finalize(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: tail-seal finalize: %w", err)
+		}
+		tail, err := vdp.TailAuditLog(pub, tlog, vdp.TailOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: tail-seal attach: %w", err)
+		}
+		if _, err := tail.Poll(); err != nil {
+			return nil, fmt.Errorf("benchjson: tail-seal prime: %w", err)
+		}
+		if !tail.Sealed() {
+			return nil, fmt.Errorf("benchjson: tail did not seal after draining the log")
+		}
+		sealBytes := pub.EncodeTranscript(res.Transcript)
+		sealRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := tail.ReverifySeal(sealBytes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Entries = append(report.Entries,
+			entryFrom(fmt.Sprintf("tail-seal-verify-%d/p256", n), 1, sealRes))
+		tail.Close()
+		if n == 1000 {
+			tailLog1k = tlog
+		}
+	}
+
+	// audit-offline: the pre-tail baseline the seal step is measured
+	// against — AuditLog re-verifies the whole 1k-client epoch from
+	// scratch, so its cost scales with the board while tail-seal-verify
+	// does not.
+	auditRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := vdp.AuditLog(ctx, pub, tailLog1k, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report.Entries = append(report.Entries,
+		entryFrom("audit-offline-1000/p256", 1000, auditRes))
+
+	// resume: epoch-boot cost on a durable log holding a finished
+	// 1k-client epoch — once across a Reset boundary (full replay of the
+	// old epoch's records) and once across a Compact boundary (snapshot
+	// fast boot: a frame scan, zero submission decodes). The pair is the
+	// compaction payoff in boot latency.
+	bootDir, err := os.MkdirTemp("", "vdpbench-boot")
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: boot dir: %w", err)
+	}
+	defer os.RemoveAll(bootDir)
+	buildBootLog := func(name string, compact bool) (string, error) {
+		path := filepath.Join(bootDir, name)
+		blog, err := store.OpenFileLog(path, store.WithNoSync())
+		if err != nil {
+			return "", err
+		}
+		defer blog.Close()
+		sess, err := vdp.NewSession(pub, vdp.SessionOptions{Store: blog})
+		if err != nil {
+			return "", err
+		}
+		for _, sub := range floodSubs {
+			if err := sess.Submit(ctx, sub); err != nil {
+				return "", err
+			}
+		}
+		if _, err := sess.Finalize(ctx); err != nil {
+			return "", err
+		}
+		if compact {
+			return path, sess.Compact()
+		}
+		return path, sess.Reset()
+	}
+	for _, bc := range []struct {
+		entry   string
+		file    string
+		compact bool
+	}{
+		{"resume-full-replay-1000/p256", "replay.log", false},
+		{"resume-snapshot-boot-1000/p256", "snapshot.log", true},
+	} {
+		path, err := buildBootLog(bc.file, bc.compact)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: building %s: %w", bc.entry, err)
+		}
+		bootRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				blog, err := store.OpenFileLog(path, store.WithNoSync())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := vdp.ResumeSession(ctx, pub, vdp.SessionOptions{Store: blog}); err != nil {
+					b.Fatal(err)
+				}
+				blog.Close()
+			}
+		})
+		report.Entries = append(report.Entries, entryFrom(bc.entry, 1, bootRes))
+	}
 
 	return json.MarshalIndent(report, "", "  ")
 }

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The sweep experiments are sized for measurement, not CI; these smoke runs
+// drive each sweep end to end at tiny workloads so a refactor that breaks a
+// harness (bad partitioning, a flood that drops verdicts, a recovery that
+// no longer replays) fails here rather than on the next paper-scale run.
+
+func TestFloodSweepSmoke(t *testing.T) {
+	if _, err := FloodSweep(FloodConfig{}); err == nil {
+		t.Fatal("invalid flood config accepted")
+	}
+	res, err := FloodSweep(FloodConfig{Clients: 16, DurClients: 8, BatchSizes: []int{1, 8}, Gateways: 2, Coins: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Mem <= 0 || pt.Dur <= 0 {
+			t.Fatalf("batch=%d reported non-positive times: mem=%v dur=%v", pt.BatchSize, pt.Mem, pt.Dur)
+		}
+	}
+	if out := res.Format(); !strings.Contains(out, "batch") {
+		t.Fatalf("flood table missing batch column:\n%s", out)
+	}
+}
+
+func TestParallelSweepSmoke(t *testing.T) {
+	if _, err := ParallelSweep(ParallelConfig{}); err == nil {
+		t.Fatal("invalid parallel config accepted")
+	}
+	res, err := ParallelSweep(ParallelConfig{N: 12, Coins: 4, Provers: 1, Workers: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Elapsed <= 0 || row.Speedup <= 0 {
+			t.Fatalf("workers=%d: elapsed=%v speedup=%v", row.Workers, row.Elapsed, row.Speedup)
+		}
+	}
+	if out := res.Format(); !strings.Contains(out, "speedup") {
+		t.Fatalf("parallel table missing speedup column:\n%s", out)
+	}
+}
+
+func TestShardingSweepSmoke(t *testing.T) {
+	if _, err := ShardingSweep(ShardingConfig{}); err == nil {
+		t.Fatal("invalid sharding config accepted")
+	}
+	res, err := ShardingSweep(ShardingConfig{
+		ShardCounts: []int{1, 2}, MemFlood: 400, DurFlood: 64, Goroutines: 4, E2EClients: 8, Coins: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.FloodMem <= 0 || pt.FloodDur <= 0 || pt.SubmitE2E <= 0 || pt.FinalizeE2E <= 0 || pt.AuditE2E <= 0 {
+			t.Fatalf("shards=%d reported a non-positive phase: %+v", pt.Shards, pt)
+		}
+	}
+	if out := res.Format(); !strings.Contains(out, "shards") {
+		t.Fatalf("sharding table missing shards column:\n%s", out)
+	}
+}
+
+func TestDurabilitySweepSmoke(t *testing.T) {
+	if _, err := DurabilitySweep(DurabilityConfig{}); err == nil {
+		t.Fatal("invalid durability config accepted")
+	}
+	res, err := DurabilitySweep(DurabilityConfig{RawRecords: 300, Clients: 8, Coins: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawThroughput <= 0 {
+		t.Fatalf("raw replay throughput %v", res.RawThroughput)
+	}
+	if res.LogRecords < 8 {
+		t.Fatalf("recovered log holds %d records for 8 clients", res.LogRecords)
+	}
+	if res.Recovery <= 0 {
+		t.Fatalf("recovery time %v", res.Recovery)
+	}
+	if out := res.Format(); !strings.Contains(out, "recovery") {
+		t.Fatalf("durability report missing recovery line:\n%s", out)
+	}
+}
+
+func TestClusterSweepSmoke(t *testing.T) {
+	if _, err := ClusterSweep(ClusterConfig{}); err == nil {
+		t.Fatal("invalid cluster config accepted")
+	}
+	res, err := ClusterSweep(ClusterConfig{NodeCounts: []int{1, 2}, Clients: 8, Batch: 3, Coins: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Flood <= 0 || pt.Finalize <= 0 || pt.Audit <= 0 {
+			t.Fatalf("nodes=%d reported a non-positive phase: %+v", pt.Nodes, pt)
+		}
+	}
+	if out := res.Format(); !strings.Contains(out, "nodes") {
+		t.Fatalf("cluster table missing nodes column:\n%s", out)
+	}
+}
+
+// TestSweepConfigScales pins the named workloads: every experiment's scale
+// presets must be populated and must not shrink when the scale grows.
+func TestSweepConfigScales(t *testing.T) {
+	scales := []Scale{Quick, Standard, Paper}
+	for i := 1; i < len(scales); i++ {
+		lo, hi := scales[i-1], scales[i]
+		if a, b := floodConfigFor(lo), floodConfigFor(hi); b.Clients < a.Clients || a.Clients < 1 {
+			t.Fatalf("flood clients shrink from %s to %s", lo, hi)
+		}
+		if a, b := parallelConfigFor(lo), parallelConfigFor(hi); b.N < a.N || a.N < 1 {
+			t.Fatalf("parallel n shrinks from %s to %s", lo, hi)
+		}
+		if a, b := shardingConfigFor(lo), shardingConfigFor(hi); b.MemFlood < a.MemFlood || a.MemFlood < 1 {
+			t.Fatalf("sharding flood shrinks from %s to %s", lo, hi)
+		}
+		if a, b := durabilityConfigFor(lo), durabilityConfigFor(hi); b.Clients < a.Clients || a.Clients < 1 {
+			t.Fatalf("durability clients shrink from %s to %s", lo, hi)
+		}
+		if a, b := clusterConfigFor(lo), clusterConfigFor(hi); b.Clients < a.Clients || a.Clients < 1 {
+			t.Fatalf("cluster clients shrink from %s to %s", lo, hi)
+		}
+		if a, b := dpErrorConfigFor(lo), dpErrorConfigFor(hi); len(b.Populations) < len(a.Populations) || len(a.Populations) < 1 {
+			t.Fatalf("dp-error sweep shrinks from %s to %s", lo, hi)
+		}
+		if a, b := figure3ConfigFor(lo), figure3ConfigFor(hi); len(b.Epsilons) < len(a.Epsilons) || len(a.Epsilons) < 1 {
+			t.Fatalf("figure3 sweep shrinks from %s to %s", lo, hi)
+		}
+		if a, b := figure4ConfigFor(lo), figure4ConfigFor(hi); len(b.Dimensions) < len(a.Dimensions) || len(a.Dimensions) < 1 {
+			t.Fatalf("figure4 sweep shrinks from %s to %s", lo, hi)
+		}
+		if a, b := table1ConfigFor(lo), table1ConfigFor(hi); b.N < a.N || a.N < 1 {
+			t.Fatalf("table1 n shrinks from %s to %s", lo, hi)
+		}
+	}
+}

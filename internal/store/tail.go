@@ -1,0 +1,142 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrNoRecord is returned by Tailer.Next when the log holds no complete
+// record past the tailer's cursor yet. It is the "try again later" signal a
+// live follower polls on — never an indication of corruption.
+var ErrNoRecord = errors.New("store: no record available yet")
+
+// Tailer follows a board log incrementally: each Next returns the next
+// record in append order together with the byte offset (file logs) or
+// record index (memory logs) it starts at. When the log has no further
+// complete record, Next returns ErrNoRecord; the caller polls again after
+// the writer makes progress. A corruption error does not advance the
+// cursor, so a follower re-reading the same offset sees the same verdict —
+// a tail never silently skips evidence.
+type Tailer interface {
+	// Next returns the next record and the offset it starts at. With no
+	// complete record available the error is ErrNoRecord.
+	Next() (*Record, int64, error)
+	// Close releases the tailer's read handle. The underlying log is
+	// unaffected.
+	Close() error
+}
+
+// TailableLog is a BoardLog that supports live tailing.
+type TailableLog interface {
+	BoardLog
+	Tail() (Tailer, error)
+}
+
+// FileTailer tails a FileLog through its own read handle. Reads are gated
+// on the log's committed size — the append offset advanced only after a
+// full frame is on disk — so a tailer never parses the bytes of an append
+// still in flight or of a torn fragment a crash left behind.
+type FileTailer struct {
+	log *FileLog
+	f   *os.File
+	off int64
+	idx int
+}
+
+// Tail opens a live follower on the log. It reads through a separate
+// read-only handle, so tailing never disturbs appends and is safe to run
+// concurrently with them.
+func (l *FileLog) Tail() (Tailer, error) {
+	l.mu.Lock()
+	path := l.path
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: tail: %w", err)
+	}
+	hdr := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: tail: %s is not a board log: %w", path, err)
+	}
+	if string(hdr) != string(fileMagic) {
+		f.Close()
+		return nil, fmt.Errorf("store: tail: %s is not a board log", path)
+	}
+	return &FileTailer{log: l, f: f, off: int64(len(fileMagic))}, nil
+}
+
+// committedSize returns the log's append offset: every byte below it is a
+// whole, CRC'd record.
+func (l *FileLog) committedSize() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Offset returns the byte offset the next record will be read from.
+func (t *FileTailer) Offset() int64 { return t.off }
+
+// Next implements Tailer. A record whose bytes fail framing or CRC checks
+// inside the committed region is corruption (the log itself vouches a whole
+// record lives there), reported with its record index and byte offset; the
+// cursor does not advance past it.
+func (t *FileTailer) Next() (*Record, int64, error) {
+	limit := t.log.committedSize()
+	if t.off >= limit {
+		return nil, t.off, ErrNoRecord
+	}
+	r := io.NewSectionReader(t.f, t.off, limit-t.off)
+	rec, n, err := readRecord(r)
+	if err == io.EOF {
+		return nil, t.off, ErrNoRecord
+	}
+	if err != nil {
+		if errors.Is(err, errTruncated) {
+			// The committed size promises a complete record here; running
+			// out of bytes means the length prefix was tampered with.
+			err = errors.New("store: record overruns the committed log")
+		}
+		return nil, t.off, fmt.Errorf("store: tail: record %d (offset %d): %w", t.idx, t.off, err)
+	}
+	off := t.off
+	t.off += int64(n)
+	t.idx++
+	return rec, off, nil
+}
+
+// Close implements Tailer.
+func (t *FileTailer) Close() error { return t.f.Close() }
+
+// MemTailer tails a MemLog; offsets are record indices.
+type MemTailer struct {
+	log *MemLog
+	idx int
+}
+
+// Tail opens a live follower on the in-memory log.
+func (l *MemLog) Tail() (Tailer, error) {
+	return &MemTailer{log: l}, nil
+}
+
+// Next implements Tailer.
+func (t *MemTailer) Next() (*Record, int64, error) {
+	t.log.mu.Lock()
+	defer t.log.mu.Unlock()
+	if t.idx >= len(t.log.recs) {
+		return nil, int64(t.idx), ErrNoRecord
+	}
+	rec := t.log.recs[t.idx]
+	off := int64(t.idx)
+	t.idx++
+	return rec, off, nil
+}
+
+// Close implements Tailer.
+func (t *MemTailer) Close() error { return nil }

@@ -1,0 +1,310 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tailRec(kind uint8, epoch uint32, payload string) *Record {
+	return &Record{Kind: kind, Epoch: epoch, Payload: []byte(payload)}
+}
+
+func mustAppend(t *testing.T, l BoardLog, recs ...*Record) {
+	t.Helper()
+	for _, rec := range recs {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// drain pulls records until ErrNoRecord, returning them with their offsets.
+func drain(t *testing.T, tl Tailer) ([]*Record, []int64) {
+	t.Helper()
+	var recs []*Record
+	var offs []int64
+	for {
+		rec, off, err := tl.Next()
+		if errors.Is(err, ErrNoRecord) {
+			return recs, offs
+		}
+		if err != nil {
+			t.Fatalf("tail: %v", err)
+		}
+		recs = append(recs, rec)
+		offs = append(offs, off)
+	}
+}
+
+// TestFileTailerFollowsAppends: a tailer sees exactly the records appended so
+// far, at strictly increasing offsets, then ErrNoRecord; appends made after
+// the tailer drained become visible on the next poll — the live-follow
+// contract the vdp tail auditor is built on.
+func TestFileTailerFollowsAppends(t *testing.T) {
+	l, err := OpenFileLog(filepath.Join(t.TempDir(), "board.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	first := []*Record{tailRec(1, 0, "alpha"), tailRec(2, 0, "beta"), tailRec(3, 0, "")}
+	mustAppend(t, l, first...)
+
+	tl, err := l.Tail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	recs, offs := drain(t, tl)
+	if len(recs) != len(first) {
+		t.Fatalf("tailed %d records, want %d", len(recs), len(first))
+	}
+	for i, rec := range recs {
+		if rec.Kind != first[i].Kind || rec.Epoch != first[i].Epoch || !bytes.Equal(rec.Payload, first[i].Payload) {
+			t.Fatalf("record %d differs from what was appended", i)
+		}
+		if i > 0 && offs[i] <= offs[i-1] {
+			t.Fatalf("offsets not increasing: %v", offs)
+		}
+	}
+	if offs[0] != int64(len(fileMagic)) {
+		t.Fatalf("first record at offset %d, want %d", offs[0], len(fileMagic))
+	}
+
+	// Nothing more yet.
+	if _, _, err := tl.Next(); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("drained tail returned %v, want ErrNoRecord", err)
+	}
+
+	// New appends become visible without reopening the tailer.
+	late := tailRec(5, 1, "late arrival")
+	mustAppend(t, l, late)
+	rec, _, err := tl.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != late.Kind || !bytes.Equal(rec.Payload, late.Payload) {
+		t.Fatal("late append not visible to live tailer")
+	}
+}
+
+// TestFileTailerIgnoresUncommittedBytes: bytes past the committed offset — a
+// torn fragment from a crashed append — are never served, even though they
+// are on disk. The tailer answers ErrNoRecord, not garbage.
+func TestFileTailerIgnoresUncommittedBytes(t *testing.T) {
+	l, err := OpenFileLog(filepath.Join(t.TempDir(), "board.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mustAppend(t, l, tailRec(1, 0, "committed"))
+	frag := EncodeRecord(tailRec(2, 0, "never committed"))
+	if err := l.writeRaw(frag[:len(frag)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	tl, err := l.Tail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	recs, _ := drain(t, tl)
+	if len(recs) != 1 || string(recs[0].Payload) != "committed" {
+		t.Fatalf("tailer served %d records, want only the committed one", len(recs))
+	}
+}
+
+// TestFileTailerDetectsCorruption: a byte flipped inside the committed
+// region is corruption, reported with the record's index and byte offset —
+// and the cursor does not advance, so re-polling repeats the verdict
+// instead of skipping the damaged evidence.
+func TestFileTailerDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "board.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rec0, rec1 := tailRec(1, 0, "intact record"), tailRec(2, 0, "doomed record")
+	mustAppend(t, l, rec0, rec1)
+
+	tl, err := l.Tail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	if _, _, err := tl.Next(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a body byte of record 1 behind the tailer's back (through a
+	// second handle, as an attacker editing the file in place would).
+	rec1Off := int64(len(fileMagic) + len(EncodeRecord(rec0)))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, rec1Off+6); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, off, err := tl.Next()
+	if err == nil || errors.Is(err, ErrNoRecord) {
+		t.Fatalf("corrupted record tailed without error (err=%v)", err)
+	}
+	if off != rec1Off {
+		t.Fatalf("corruption reported at offset %d, want %d", off, rec1Off)
+	}
+	wantFrag := "record 1 (offset"
+	if !bytes.Contains([]byte(err.Error()), []byte(wantFrag)) {
+		t.Fatalf("error %q does not carry the offending position %q", err, wantFrag)
+	}
+	// Cursor pinned: the same verdict again, never a silent skip.
+	if _, _, err2 := tl.Next(); err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("re-poll after corruption returned %v, want the same error", err2)
+	}
+}
+
+// TestFileTailerLengthTamper: growing a record's length prefix makes it
+// overrun the committed region; the tailer refuses rather than reading into
+// uncommitted bytes.
+func TestFileTailerLengthTamper(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "board.log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mustAppend(t, l, tailRec(1, 0, "short"))
+
+	tl, err := l.Tail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Length prefix lives at the first 4 bytes of the frame; make it huge.
+	if _, err := f.WriteAt([]byte{0x00, 0x00, 0xff, 0xff}, int64(len(fileMagic))); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, _, err = tl.Next()
+	if err == nil || errors.Is(err, ErrNoRecord) {
+		t.Fatalf("overrunning record tailed without error (err=%v)", err)
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("overruns the committed log")) {
+		t.Fatalf("error %q does not name the overrun", err)
+	}
+}
+
+// TestMemTailer: the in-memory log's tailer follows live appends with record
+// indices as offsets.
+func TestMemTailer(t *testing.T) {
+	l := NewMemLog()
+	mustAppend(t, l, tailRec(1, 0, "a"), tailRec(2, 0, "b"))
+	tl, err := l.Tail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, offs := drain(t, tl)
+	if len(recs) != 2 || offs[0] != 0 || offs[1] != 1 {
+		t.Fatalf("mem tail: %d records, offsets %v", len(recs), offs)
+	}
+	if _, _, err := tl.Next(); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("drained mem tail returned %v, want ErrNoRecord", err)
+	}
+	mustAppend(t, l, tailRec(3, 0, "c"))
+	rec, off, err := tl.Next()
+	if err != nil || rec.Kind != 3 || off != 2 {
+		t.Fatalf("late mem append: rec=%v off=%d err=%v", rec, off, err)
+	}
+}
+
+// TestFaultLogDiskOutcomes pins what each fault kind leaves on disk, which
+// is the ground truth the vdp crash-recovery matrix builds on:
+//
+//	fail        — nothing; the record never reached the file.
+//	short-write — a torn fragment past the committed offset; reopening
+//	              recovers the intact prefix and reports the truncation.
+//	torn-append — the record is durable even though the append "failed";
+//	              reopening finds it.
+func TestFaultLogDiskOutcomes(t *testing.T) {
+	for _, tc := range []struct {
+		kind      FaultKind
+		wantLen   int  // records visible after reopen
+		truncated bool // reopen had to drop a torn tail
+	}{
+		{FaultFail, 1, false},
+		{FaultShortWrite, 1, true},
+		{FaultTornAppend, 2, false},
+	} {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "board.log")
+			inner, err := OpenFileLog(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fl := NewFaultLog(inner, tc.kind, 1)
+			if err := fl.Append(tailRec(1, 0, "survives")); err != nil {
+				t.Fatal(err)
+			}
+			if fl.Tripped() {
+				t.Fatal("fault fired before its trip point")
+			}
+			err = fl.Append(tailRec(2, 0, "at the trip"))
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("trip append returned %v, want ErrInjected", err)
+			}
+			if !fl.Tripped() {
+				t.Fatal("fault did not report tripping")
+			}
+			// The log is dead after the trip, like the process that owned it.
+			if err := fl.Append(tailRec(3, 0, "after death")); !errors.Is(err, ErrInjected) {
+				t.Fatalf("post-trip append returned %v, want ErrInjected", err)
+			}
+			if err := fl.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := OpenFileLog(path)
+			if err != nil {
+				t.Fatalf("recovery reopen failed: %v", err)
+			}
+			defer re.Close()
+			if re.Len() != tc.wantLen {
+				t.Fatalf("after %s: recovered %d records, want %d", tc.kind, re.Len(), tc.wantLen)
+			}
+			if (re.Truncated() > 0) != tc.truncated {
+				t.Fatalf("after %s: truncated=%d, want torn tail=%v", tc.kind, re.Truncated(), tc.truncated)
+			}
+		})
+	}
+}
+
+// TestFaultFromSeed: the seed→plan map is deterministic and always lands the
+// trip inside [0, maxTrip).
+func TestFaultFromSeed(t *testing.T) {
+	seenKind := map[FaultKind]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		k1, t1 := FaultFromSeed(seed, 9)
+		k2, t2 := FaultFromSeed(seed, 9)
+		if k1 != k2 || t1 != t2 {
+			t.Fatalf("seed %d is not deterministic", seed)
+		}
+		if t1 < 0 || t1 >= 9 {
+			t.Fatalf("seed %d: trip %d outside [0,9)", seed, t1)
+		}
+		seenKind[k1] = true
+	}
+	if len(seenKind) != 3 {
+		t.Fatalf("64 seeds exercised only %d fault kinds", len(seenKind))
+	}
+}

@@ -76,57 +76,63 @@ func adversarySurfaces() []adversarySurface {
 	}
 }
 
+// adversaryCorruption is one entry of the shared corruption table: a
+// mutation of the target submission, given a well-formed donor from the
+// same deployment. wantOnBoard states whether the corrupt client's public
+// part still belongs on the bulletin board (board-proof failures are
+// publicly attributable; payload failures are refused outright so the
+// transcript stays auditable).
+type adversaryCorruption struct {
+	name        string
+	corrupt     func(pub *Public, sub, donor *ClientSubmission)
+	wantOnBoard bool
+}
+
+// adversaryCorruptions is driven through both front doors by
+// TestAdversarialClients and through the live-tail/offline-audit parity
+// matrix by TestTailParityWithAdversaries.
+var adversaryCorruptions = []adversaryCorruption{
+	{"bit-flipped-commitment", func(pub *Public, sub, donor *ClientSubmission) {
+		// The commitment no longer matches the Σ-proof statement.
+		sub.Public.ShareCommitments[0][0] = donor.Public.ShareCommitments[0][0]
+	}, true},
+	{"replayed-proof", func(pub *Public, sub, donor *ClientSubmission) {
+		// A transplanted proof is well-formed but bound to the donor's
+		// identity and statement.
+		sub.Public.BitProof = donor.Public.BitProof
+	}, true},
+	{"swapped-commitment-rows", func(pub *Public, sub, donor *ClientSubmission) {
+		// Same commitments, permuted across provers. The homomorphic
+		// product — the board proof's statement — is invariant under the
+		// swap, so the public proof still verifies; the corruption is
+		// caught on the private channel when prover 0's opening fails
+		// against the swapped commitment, which is a non-attributable
+		// dispute: refused outright, never posted.
+		row := sub.Public.ShareCommitments[0]
+		row[0], row[1] = row[1], row[0]
+	}, false},
+	{"equivocating-payload", func(pub *Public, sub, donor *ClientSubmission) {
+		// The private opening no longer matches the public commitment.
+		f := pub.Field()
+		sub.Payloads[1].Openings[0].X = sub.Payloads[1].Openings[0].X.Add(f.One())
+	}, false},
+	{"truncated-payloads", func(pub *Public, sub, donor *ClientSubmission) {
+		sub.Payloads = sub.Payloads[:1]
+	}, false},
+	{"payload-for-wrong-client", func(pub *Public, sub, donor *ClientSubmission) {
+		// Payload transplanted from the donor: openings for the wrong
+		// commitments.
+		sub.Payloads = donor.Payloads
+	}, false},
+}
+
 // TestAdversarialClients drives the corruption table through both front
 // doors.
 func TestAdversarialClients(t *testing.T) {
 	pub := testPublic(t, 2, 1, 4)
-	f := pub.Field()
-
-	// Each corruption mutates the target submission, given a well-formed
-	// donor from the same deployment. wantOnBoard states whether the corrupt
-	// client's public part still belongs on the bulletin board (board-proof
-	// failures are publicly attributable; payload failures are refused
-	// outright so the transcript stays auditable).
-	cases := []struct {
-		name        string
-		corrupt     func(sub, donor *ClientSubmission)
-		wantOnBoard bool
-	}{
-		{"bit-flipped-commitment", func(sub, donor *ClientSubmission) {
-			// The commitment no longer matches the Σ-proof statement.
-			sub.Public.ShareCommitments[0][0] = donor.Public.ShareCommitments[0][0]
-		}, true},
-		{"replayed-proof", func(sub, donor *ClientSubmission) {
-			// A transplanted proof is well-formed but bound to the donor's
-			// identity and statement.
-			sub.Public.BitProof = donor.Public.BitProof
-		}, true},
-		{"swapped-commitment-rows", func(sub, donor *ClientSubmission) {
-			// Same commitments, permuted across provers. The homomorphic
-			// product — the board proof's statement — is invariant under the
-			// swap, so the public proof still verifies; the corruption is
-			// caught on the private channel when prover 0's opening fails
-			// against the swapped commitment, which is a non-attributable
-			// dispute: refused outright, never posted.
-			row := sub.Public.ShareCommitments[0]
-			row[0], row[1] = row[1], row[0]
-		}, false},
-		{"equivocating-payload", func(sub, donor *ClientSubmission) {
-			// The private opening no longer matches the public commitment.
-			sub.Payloads[1].Openings[0].X = sub.Payloads[1].Openings[0].X.Add(f.One())
-		}, false},
-		{"truncated-payloads", func(sub, donor *ClientSubmission) {
-			sub.Payloads = sub.Payloads[:1]
-		}, false},
-		{"payload-for-wrong-client", func(sub, donor *ClientSubmission) {
-			// Payload transplanted from the donor: openings for the wrong
-			// commitments.
-			sub.Payloads = donor.Payloads
-		}, false},
-	}
 
 	for _, surface := range adversarySurfaces() {
-		for _, tc := range cases {
+		for _, tc := range adversaryCorruptions {
 			t.Run(surface.name+"/"+tc.name, func(t *testing.T) {
 				const n, target = 6, 3
 				subs := make([]*ClientSubmission, n)
@@ -141,7 +147,7 @@ func TestAdversarialClients(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				tc.corrupt(subs[target], donor)
+				tc.corrupt(pub, subs[target], donor)
 
 				door := surface.open(t, pub)
 				for i, sub := range subs {

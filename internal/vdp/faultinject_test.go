@@ -1,0 +1,246 @@
+package vdp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// faultSubs is the fixed client population of the crash matrix; every run —
+// uninterrupted baseline, crashed, and recovered — submits these exact
+// submissions, so any digest divergence is the server's fault.
+func faultSubs(t *testing.T, pub *Public) []*ClientSubmission {
+	t.Helper()
+	return buildSubs(t, pub, []int{1, 0, 1, 1})
+}
+
+// faultBaseline runs the population uninterrupted on a plain file log and
+// returns the sealed digest plus the number of appends the epoch costs —
+// which is exactly the space of crash points worth injecting.
+func faultBaseline(t *testing.T, pub *Public, subs []*ClientSubmission) (digest []byte, appends int) {
+	t.Helper()
+	ctx := context.Background()
+	log, err := store.OpenFileLog(filepath.Join(t.TempDir(), "board.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	sess, err := NewSession(pub, SessionOptions{Rand: testSeed(70), Store: log, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range subs {
+		if err := sess.Submit(ctx, sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sess.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return TranscriptDigest(pub, res.Transcript), log.Len()
+}
+
+// crashRun drives a session against a fault-injected log until the fault
+// fires (or the epoch completes, for trips past the epoch's append count),
+// modeling the process dying at that exact write.
+func crashRun(t *testing.T, pub *Public, subs []*ClientSubmission, path string, kind store.FaultKind, trip int) {
+	t.Helper()
+	ctx := context.Background()
+	inner, err := store.OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := store.NewFaultLog(inner, kind, trip)
+	defer fl.Close()
+	sess, err := NewSession(pub, SessionOptions{Rand: testSeed(70), Store: fl, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range subs {
+		if err := sess.Submit(ctx, sub); err != nil {
+			if errors.Is(err, store.ErrInjected) {
+				return // the process is dead
+			}
+			t.Fatalf("pre-crash submit: %v", err)
+		}
+	}
+	if _, err := sess.Finalize(ctx); err != nil && !errors.Is(err, store.ErrInjected) {
+		t.Fatalf("pre-crash finalize: %v", err)
+	}
+}
+
+// recoverRun reopens the crashed log the honest way, resumes the session,
+// replays the client population (tolerating duplicate rejections for
+// clients whose records survived the crash), finalizes if the crash
+// happened before the seal landed, and returns the sealed digest.
+func recoverRun(t *testing.T, pub *Public, subs []*ClientSubmission, path string) []byte {
+	t.Helper()
+	ctx := context.Background()
+	log, err := store.OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("recovery reopen: %v", err)
+	}
+	defer log.Close()
+	sess, err := ResumeSession(ctx, pub, SessionOptions{Rand: testSeed(70), Store: log, Parallelism: 2})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !sess.Finalized() {
+		for _, sub := range subs {
+			err := sess.Submit(ctx, sub)
+			if err != nil && !errors.Is(err, ErrClientReject) {
+				t.Fatalf("post-recovery submit: %v", err)
+			}
+		}
+		res, err := sess.Finalize(ctx)
+		if err != nil {
+			t.Fatalf("post-recovery finalize: %v", err)
+		}
+		return TranscriptDigest(pub, res.Transcript)
+	}
+	return TranscriptDigest(pub, sess.SealedTranscript())
+}
+
+// TestFaultInjectionMatrix is the crash-recovery acceptance criterion of
+// the live-audit PR: for EVERY append the epoch performs and EVERY fault
+// kind — clean failure, torn half-write, committed-but-unacknowledged — the
+// resumed session finishes the epoch with a TranscriptDigest byte-identical
+// to the uninterrupted run, and the live tail independently verifies the
+// recovered log to that same digest. No crash point may corrupt evidence or
+// fork the release.
+func TestFaultInjectionMatrix(t *testing.T) {
+	pub := testPublic(t, 2, 1, 4)
+	subs := faultSubs(t, pub)
+	want, appends := faultBaseline(t, pub, subs)
+	if appends < 2*len(subs)+1 {
+		t.Fatalf("baseline epoch cost %d appends, want at least %d", appends, 2*len(subs)+1)
+	}
+
+	for _, kind := range []store.FaultKind{store.FaultFail, store.FaultShortWrite, store.FaultTornAppend} {
+		for trip := 0; trip < appends; trip++ {
+			t.Run(fmt.Sprintf("%s/append-%d", kind, trip), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "board.log")
+				crashRun(t, pub, subs, path, kind, trip)
+				got := recoverRun(t, pub, subs, path)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s at append %d: recovered digest differs from the uninterrupted run", kind, trip)
+				}
+
+				// The recovered log as a third party sees it: the live tail
+				// replays it from byte zero and lands on the same digest.
+				log, err := store.OpenFileLogReadOnly(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer log.Close()
+				a, err := TailAuditLog(pub, log, TailOptions{Workers: 2, Window: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer a.Close()
+				pollUntilSealed(t, a)
+				if !bytes.Equal(a.Digest(), want) {
+					t.Fatalf("%s at append %d: live tail digest differs from the uninterrupted run", kind, trip)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultInjectionSeeded sweeps seed-derived fault plans through the same
+// harness — the entry point a future chaos runner would use: pick a seed,
+// reproduce the exact crash.
+func TestFaultInjectionSeeded(t *testing.T) {
+	pub := testPublic(t, 2, 1, 4)
+	subs := faultSubs(t, pub)
+	want, appends := faultBaseline(t, pub, subs)
+
+	for seed := uint64(0); seed < 6; seed++ {
+		kind, trip := store.FaultFromSeed(seed, appends)
+		path := filepath.Join(t.TempDir(), "board.log")
+		crashRun(t, pub, subs, path, kind, trip)
+		if got := recoverRun(t, pub, subs, path); !bytes.Equal(got, want) {
+			t.Fatalf("seed %d (%s at append %d): recovered digest differs from the uninterrupted run",
+				seed, kind, trip)
+		}
+	}
+}
+
+// TestFaultInjectionCompactBoundary crashes the snapshot append itself: a
+// fault while compacting must either leave the epoch sealed-and-resumable
+// (no snapshot) or complete the compaction — never a half-compacted log.
+func TestFaultInjectionCompactBoundary(t *testing.T) {
+	ctx := context.Background()
+	pub := testPublic(t, 2, 1, 4)
+	subs := faultSubs(t, pub)
+	want, appends := faultBaseline(t, pub, subs)
+
+	for _, kind := range []store.FaultKind{store.FaultFail, store.FaultShortWrite, store.FaultTornAppend} {
+		t.Run(kind.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "board.log")
+			inner, err := store.OpenFileLog(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Trip on the append right after the seal: the snapshot record.
+			fl := store.NewFaultLog(inner, kind, appends)
+			sess, err := NewSession(pub, SessionOptions{Rand: testSeed(70), Store: fl, Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sub := range subs {
+				if err := sess.Submit(ctx, sub); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := sess.Finalize(ctx); err != nil {
+				t.Fatal(err)
+			}
+			err = sess.Compact()
+			if kind == store.FaultTornAppend {
+				// The snapshot is durable even though the append reported
+				// failure; Compact refuses to advance the epoch.
+				if !errors.Is(err, store.ErrInjected) {
+					t.Fatalf("Compact over a torn append returned %v", err)
+				}
+			} else if !errors.Is(err, store.ErrInjected) {
+				t.Fatalf("Compact over an injected fault returned %v", err)
+			}
+			fl.Close()
+
+			log, err := store.OpenFileLog(path)
+			if err != nil {
+				t.Fatalf("recovery reopen: %v", err)
+			}
+			defer log.Close()
+			sess2, err := ResumeSession(ctx, pub, SessionOptions{Rand: testSeed(70), Store: log, Parallelism: 2})
+			if err != nil {
+				t.Fatalf("resume after crashed Compact: %v", err)
+			}
+			switch kind {
+			case store.FaultTornAppend:
+				// The snapshot landed: the resumed session starts epoch 1.
+				if sess2.Epoch() != 1 || sess2.Finalized() {
+					t.Fatalf("resumed epoch %d finalized=%v, want open epoch 1", sess2.Epoch(), sess2.Finalized())
+				}
+			default:
+				// No snapshot: the resumed session still holds sealed epoch 0.
+				if sess2.Epoch() != 0 || !sess2.Finalized() {
+					t.Fatalf("resumed epoch %d finalized=%v, want sealed epoch 0", sess2.Epoch(), sess2.Finalized())
+				}
+				if !bytes.Equal(TranscriptDigest(pub, sess2.SealedTranscript()), want) {
+					t.Fatal("sealed digest lost across the crashed Compact")
+				}
+			}
+			if err := AuditLog(ctx, pub, log, 0, 2); err != nil {
+				t.Fatalf("audit after crashed Compact: %v", err)
+			}
+		})
+	}
+}

@@ -170,3 +170,28 @@ func FuzzDecodeProverOutput(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeSnapshotRecord: the compaction snapshot is the one record a
+// fast boot trusts instead of replayed evidence, so its decoder gets the
+// same hostile-bytes treatment as the wire surface — any accepted input
+// must be exactly what the canonical encoder emits.
+func FuzzDecodeSnapshotRecord(f *testing.F) {
+	digest := bytes.Repeat([]byte{0xab}, 32)
+	f.Add(encodeSnapshot(0, digest))
+	f.Add(encodeSnapshot(1<<20, digest))
+	f.Add(encodeSnapshot(3, digest)[:7]) // torn tail
+	f.Add([]byte{WireVersion, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		epoch, d, err := decodeSnapshot(b)
+		if err != nil {
+			return
+		}
+		if len(d) != 32 {
+			t.Fatalf("accepted snapshot with a %d-byte digest", len(d))
+		}
+		if enc := encodeSnapshot(epoch, d); !bytes.Equal(enc, b) {
+			t.Fatalf("accepted snapshot is not canonical: %x re-encodes to %x", b, enc)
+		}
+	})
+}

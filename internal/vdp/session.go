@@ -556,3 +556,36 @@ func (s *Session) Reset() error {
 	s.sealedT = nil
 	return nil
 }
+
+// Compact closes a finalized epoch with a snapshot record instead of a
+// Reset: the snapshot pins the sealed epoch's TranscriptDigest and doubles
+// as the epoch boundary, so the next restart boots from it — replaying only
+// the records appended after the snapshot — while the compacted epoch's
+// full evidence stays in the log for offline auditing. Compact requires a
+// sealed transcript (a finalized epoch always has one except after a crash
+// that lost the seal mid-append; Reset still closes that epoch). On a
+// memory-backed session Compact degenerates to Reset.
+func (s *Session) Compact() error {
+	s.flight.Lock()
+	defer s.flight.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != sessionFinalized {
+		return fmt.Errorf("%w: only a finalized epoch can be compacted", ErrBadConfig)
+	}
+	if s.sealedT == nil {
+		return fmt.Errorf("%w: epoch %d has no sealed transcript to snapshot", ErrBadConfig, s.epoch)
+	}
+	digest := TranscriptDigest(s.pub, s.sealedT)
+	if err := s.appendRecord(RecordSnapshot, s.epoch, encodeSnapshot(s.epoch, digest)); err != nil {
+		return err
+	}
+	s.epoch++
+	s.rs = s.root.fork(s.epoch)
+	s.state = sessionOpen
+	s.order = nil
+	s.byID = make(map[int]*sessionClient)
+	s.rejected = make(map[int]error)
+	s.sealedT = nil
+	return nil
+}

@@ -398,6 +398,38 @@ func (ss *ShardedSession) Reset() error {
 	return nil
 }
 
+// Compact closes a finalized merged epoch with per-shard snapshot records
+// instead of Resets: each shard pins its sealed transcript's digest in its
+// own segment (the manifest's merged seal already binds them together), so
+// ResumeShardedSession boots every shard from its snapshot. A shard whose
+// sealed transcript is unrecoverable cannot be compacted — the error names
+// it, and Reset remains the way to close such an epoch. Like Reset, a
+// missing merged-seal manifest record is healed first, and a retry skips
+// shards an earlier partial Compact already advanced.
+func (ss *ShardedSession) Compact() error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.state != sessionFinalized {
+		return fmt.Errorf("%w: only a finalized epoch can be compacted", ErrBadConfig)
+	}
+	if ss.opts.Segmented != nil {
+		if err := ss.healMergedSealLocked(); err != nil {
+			return err
+		}
+	}
+	for i, s := range ss.shards {
+		if s.Epoch() > ss.epoch {
+			continue // already advanced by an earlier, partially failed Compact
+		}
+		if err := s.Compact(); err != nil {
+			return fmt.Errorf("vdp: compacting shard %d: %w", i, err)
+		}
+	}
+	ss.epoch++
+	ss.state = sessionOpen
+	return nil
+}
+
 // healMergedSealLocked appends the current epoch's missing merged-seal
 // manifest record when every shard is sealed with its transcript kept —
 // the state a failed appendMergedSeal leaves behind. A no-op when the
@@ -432,14 +464,26 @@ func (ss *ShardedSession) healMergedSealLocked() error {
 // order, so two parties agree on the merged digest iff they agree on every
 // bulletin-board byte of every shard.
 func MergedTranscriptDigest(pub *Public, shards []*Transcript) []byte {
-	if len(shards) == 1 {
-		return TranscriptDigest(pub, shards[0])
+	ds := make([][]byte, len(shards))
+	for i, t := range shards {
+		ds[i] = TranscriptDigest(pub, t)
+	}
+	return mergedDigestFromShards(ds)
+}
+
+// mergedDigestFromShards folds already-computed per-shard transcript digests
+// into the merged digest. The live tail uses it directly: its per-shard
+// digests come from incremental seal verification, never from re-decoding
+// transcripts.
+func mergedDigestFromShards(digests [][]byte) []byte {
+	if len(digests) == 1 {
+		return digests[0]
 	}
 	h := sha256.New()
 	h.Write([]byte("vdp/merged-transcript/1"))
-	writeU32(h, uint32(len(shards)))
-	for _, t := range shards {
-		chunk(h, TranscriptDigest(pub, t))
+	writeU32(h, uint32(len(digests)))
+	for _, d := range digests {
+		chunk(h, d)
 	}
 	return h.Sum(nil)
 }

@@ -1,7 +1,9 @@
 package vdp
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"strings"
@@ -28,6 +30,7 @@ import (
 //	RecordSeal        payload = EncodeTranscript (the epoch's full board)
 //	RecordSealChunk   payload = index, total, piece (oversized seal split)
 //	RecordReset       payload = empty (epoch closed by Reset)
+//	RecordSnapshot    payload = epoch, TranscriptDigest (epoch compacted)
 //
 // Submission records are appended while the session's reservation lock is
 // held, so log order always equals board order — that is what makes the
@@ -45,7 +48,75 @@ const (
 	// crash mid-seal leaves a partial sequence that the Finalize retry
 	// supersedes).
 	RecordSealChunk uint8 = 6
+	// RecordSnapshot compacts a sealed epoch: its payload pins the epoch's
+	// TranscriptDigest, and the record doubles as the epoch boundary (no
+	// RecordReset follows — the snapshot is the boundary). Boot-time replay
+	// stops decoding at the last snapshot and reconstructs only the records
+	// after it, while the full evidence stays in the log for AuditLog to
+	// verify offline. Session.Compact writes it; a snapshot of an unsealed
+	// epoch, or one whose digest disagrees with the seal it follows, is a
+	// grammar violation.
+	RecordSnapshot uint8 = 8
 )
+
+// encodeSnapshot serializes a snapshot record body.
+func encodeSnapshot(epoch int, digest []byte) []byte {
+	var w wireWriter
+	w.version()
+	w.u32(uint32(epoch))
+	w.lpBytes(digest)
+	return w.b
+}
+
+// decodeSnapshot parses a snapshot record body.
+func decodeSnapshot(b []byte) (epoch int, digest []byte, err error) {
+	r := wireReader{b: b}
+	r.version()
+	epoch = int(r.u32())
+	digest = r.lpBytes()
+	if err := r.finish(); err != nil {
+		return 0, nil, err
+	}
+	if len(digest) != sha256.Size {
+		return 0, nil, fmt.Errorf("vdp: snapshot digest is %d bytes, want %d", len(digest), sha256.Size)
+	}
+	return epoch, digest, nil
+}
+
+// snapshotMark locates the newest snapshot in a board log.
+type snapshotMark struct {
+	index  int // record index of the snapshot
+	epoch  int // the sealed epoch it pins
+	digest []byte
+}
+
+// lastSnapshot scans a board log for its newest snapshot record. The scan
+// reads frames but decodes no submissions or seals, so it stays cheap even
+// on logs holding many compacted epochs.
+func lastSnapshot(log store.BoardLog) (*snapshotMark, error) {
+	var out *snapshotMark
+	i := -1
+	err := log.Replay(func(rec *store.Record) error {
+		i++
+		if rec.Kind != RecordSnapshot {
+			return nil
+		}
+		epoch, digest, err := decodeSnapshot(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("vdp: board log record %d: snapshot: %w", i, err)
+		}
+		if epoch != int(rec.Epoch) {
+			return fmt.Errorf("vdp: board log record %d: snapshot payload pins epoch %d but the record belongs to epoch %d",
+				i, epoch, rec.Epoch)
+		}
+		out = &snapshotMark{index: i, epoch: epoch, digest: digest}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // sealChunkSize caps one seal record's payload. It sits well under the
 // store's per-record decode limit; a var so tests can shrink it to exercise
@@ -304,10 +375,21 @@ func (st *replayState) removeFromOrder(rc *replayedClient) {
 // was appended and that the submission/verdict/seal/reset grammar holds —
 // a log that violates it was not written by a Session and is rejected.
 func replayLog(pub *Public, log store.BoardLog) (*replayState, error) {
-	st := &replayState{byID: make(map[int]*replayedClient)}
+	return replayLogFrom(pub, log, -1, 0)
+}
+
+// replayLogFrom is replayLog starting past a snapshot boundary: records up
+// to and including index skipTo are skipped without decoding (a snapshot
+// vouches for everything before it), and the state machine opens at
+// startEpoch. skipTo < 0 replays the whole log from epoch 0.
+func replayLogFrom(pub *Public, log store.BoardLog, skipTo, startEpoch int) (*replayState, error) {
+	st := &replayState{epoch: startEpoch, byID: make(map[int]*replayedClient)}
 	i := -1
 	err := log.Replay(func(rec *store.Record) error {
 		i++
+		if i <= skipTo {
+			return nil
+		}
 		if int(rec.Epoch) != st.epoch {
 			return fmt.Errorf("vdp: board log record %d belongs to epoch %d, current epoch is %d",
 				i, rec.Epoch, st.epoch)
@@ -396,6 +478,33 @@ func replayLog(pub *Public, log store.BoardLog) (*replayState, error) {
 			st.seal = sealAssembly{}
 			st.order = nil
 			st.byID = make(map[int]*replayedClient)
+		case RecordSnapshot:
+			if !st.sealed {
+				return fmt.Errorf("vdp: board log record %d: snapshot of epoch %d, which is not sealed", i, st.epoch)
+			}
+			snapEpoch, digest, err := decodeSnapshot(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("vdp: board log record %d: snapshot: %w", i, err)
+			}
+			if snapEpoch != st.epoch {
+				return fmt.Errorf("vdp: board log record %d: snapshot pins epoch %d, current epoch is %d",
+					i, snapEpoch, st.epoch)
+			}
+			d, err := transcriptDigestFromBytes(pub, st.sealBytes)
+			if err != nil {
+				return fmt.Errorf("vdp: board log record %d: sealed transcript: %w", i, err)
+			}
+			if !bytes.Equal(d, digest) {
+				return fmt.Errorf("vdp: board log record %d: snapshot digest for epoch %d disagrees with its seal",
+					i, st.epoch)
+			}
+			// The snapshot is the epoch boundary: open the next epoch.
+			st.epoch++
+			st.sealed = false
+			st.sealBytes = nil
+			st.seal = sealAssembly{}
+			st.order = nil
+			st.byID = make(map[int]*replayedClient)
 		default:
 			return fmt.Errorf("vdp: board log record %d: unknown kind %d", i, rec.Kind)
 		}
@@ -440,7 +549,19 @@ func resumeSessionFromSource(ctx context.Context, pub *Public, opts SessionOptio
 	if opts.Store == nil {
 		return nil, fmt.Errorf("%w: ResumeSession needs SessionOptions.Store", ErrBadConfig)
 	}
-	st, err := replayLog(pub, opts.Store)
+	// Snapshot boot: a compacted log carries a digest-pinned boundary for
+	// every sealed-and-compacted epoch, so recovery decodes only the records
+	// after the newest one instead of re-deriving every prior epoch. The
+	// skipped evidence stays in the log; AuditLog still verifies it offline.
+	snap, err := lastSnapshot(opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	skipTo, startEpoch := -1, 0
+	if snap != nil {
+		skipTo, startEpoch = snap.index, snap.epoch+1
+	}
+	st, err := replayLogFrom(pub, opts.Store, skipTo, startEpoch)
 	if err != nil {
 		return nil, err
 	}
@@ -520,6 +641,7 @@ func AuditLog(ctx context.Context, pub *Public, log store.BoardLog, epoch, worke
 func auditLogEpoch(ctx context.Context, pub *Public, log store.BoardLog, epoch, workers int) (*Transcript, error) {
 	er := struct {
 		seal    []byte
+		snap    []byte         // digest pinned by the epoch's snapshot, if compacted
 		pubs    map[int][]byte // client ID -> encoded ClientPublic from submissions
 		onBoard map[int]bool   // verdict-recorded board membership
 	}{pubs: make(map[int][]byte), onBoard: make(map[int]bool)}
@@ -529,12 +651,12 @@ func auditLogEpoch(ctx context.Context, pub *Public, log store.BoardLog, epoch, 
 			return nil
 		}
 		// The live session appends nothing to an epoch after sealing it
-		// except the Reset that closes it (Finalize drains in-flight Submits
-		// first), and nothing interleaves with a chunked seal's append loop.
-		// Any other record following (or splicing into) the seal is log
-		// tampering — typically an attempt to erase or rewrite the evidence
-		// the cross-check below relies on.
-		if er.seal != nil && rec.Kind != RecordReset {
+		// except the Reset or Snapshot that closes it (Finalize drains
+		// in-flight Submits first), and nothing interleaves with a chunked
+		// seal's append loop. Any other record following (or splicing into)
+		// the seal is log tampering — typically an attempt to erase or
+		// rewrite the evidence the cross-check below relies on.
+		if er.seal != nil && rec.Kind != RecordReset && rec.Kind != RecordSnapshot {
 			return fmt.Errorf("%w: epoch %d has records after its seal", ErrAuditFail, epoch)
 		}
 		if chunks.inProgress() && rec.Kind != RecordSealChunk {
@@ -596,6 +718,21 @@ func auditLogEpoch(ctx context.Context, pub *Public, log store.BoardLog, epoch, 
 			}
 		case RecordReset:
 			// The epoch-closing marker carries no evidence.
+		case RecordSnapshot:
+			if er.seal == nil {
+				return fmt.Errorf("%w: epoch %d snapshots before its seal", ErrAuditFail, epoch)
+			}
+			if er.snap != nil {
+				return fmt.Errorf("%w: epoch %d snapshots twice", ErrAuditFail, epoch)
+			}
+			snapEpoch, digest, err := decodeSnapshot(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("%w: board log snapshot: %v", ErrAuditFail, err)
+			}
+			if snapEpoch != epoch {
+				return fmt.Errorf("%w: epoch %d snapshot pins epoch %d", ErrAuditFail, epoch, snapEpoch)
+			}
+			er.snap = digest
 		default:
 			// Reject what a Session cannot have written, mirroring
 			// replayLog: the auditor must never certify a log the server's
@@ -613,6 +750,11 @@ func auditLogEpoch(ctx context.Context, pub *Public, log store.BoardLog, epoch, 
 	t, err := pub.DecodeTranscript(er.seal)
 	if err != nil {
 		return nil, fmt.Errorf("%w: sealed transcript for epoch %d: %v", ErrAuditFail, epoch, err)
+	}
+	if er.snap != nil && !bytes.Equal(er.snap, TranscriptDigest(pub, t)) {
+		// A compacted epoch's snapshot is what later boots trust instead of
+		// this evidence — it must pin exactly the transcript the log sealed.
+		return nil, fmt.Errorf("%w: epoch %d snapshot digest disagrees with its seal", ErrAuditFail, epoch)
 	}
 
 	// The seal must agree with the log's own arrival records: every client

@@ -1,0 +1,520 @@
+package vdp
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// pollUntilSealed drains the tail until the auditor reports the epoch
+// sealed; the records are already durable, so one sweep should do it.
+func pollUntilSealed(t *testing.T, a *TailAuditor) {
+	t.Helper()
+	if _, err := a.Poll(); err != nil {
+		t.Fatalf("tail poll: %v", err)
+	}
+	if !a.Sealed() {
+		t.Fatalf("tail consumed %d records but the epoch is not sealed", a.Records())
+	}
+}
+
+// TestTailAuditorLiveFileLog is the live-follow happy path: a tail attached
+// to a durable session's board log verifies every record as it lands, holds
+// the sealed digest the moment Finalize's seal record arrives, survives a
+// snapshot (Compact) epoch boundary, and agrees with the offline AuditLog
+// on both epochs.
+func TestTailAuditorLiveFileLog(t *testing.T) {
+	ctx := context.Background()
+	pub := testPublic(t, 2, 1, 4)
+	log, err := store.OpenFileLog(filepath.Join(t.TempDir(), "board.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	sess, err := NewSession(pub, SessionOptions{Rand: testSeed(77), Store: log, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := TailAuditLog(pub, log, TailOptions{Workers: 2, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	subs := buildSubs(t, pub, []int{1, 0, 1, 1})
+	for i, sub := range subs {
+		if err := sess.Submit(ctx, sub); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		// Interleave polling with submissions: the tail keeps up live.
+		if _, err := a.Poll(); err != nil {
+			t.Fatalf("mid-epoch poll after submit %d: %v", i, err)
+		}
+	}
+	if a.Sealed() {
+		t.Fatal("tail sealed before Finalize")
+	}
+	if a.Clients() != len(subs) {
+		t.Fatalf("tail follows %d clients, want %d", a.Clients(), len(subs))
+	}
+
+	res, err := sess.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollUntilSealed(t, a)
+	want := TranscriptDigest(pub, res.Transcript)
+	if !bytes.Equal(a.Digest(), want) {
+		t.Fatal("live tail digest differs from the sealed transcript's")
+	}
+	if err := AuditLog(ctx, pub, log, 0, 2); err != nil {
+		t.Fatalf("offline audit disagrees with the live tail: %v", err)
+	}
+	// The perf-harness hook re-verifies the already-consumed seal in place.
+	if err := a.ReverifySeal(pub.EncodeTranscript(res.Transcript)); err != nil {
+		t.Fatalf("re-verifying the consumed seal: %v", err)
+	}
+
+	// Compact: the snapshot record closes epoch 0 under the digest the tail
+	// just verified, and the tail rolls into epoch 1.
+	if err := sess.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Poll(); err != nil {
+		t.Fatalf("poll over snapshot: %v", err)
+	}
+	if a.Epoch() != 1 || a.Sealed() {
+		t.Fatalf("after snapshot: epoch %d sealed=%v, want epoch 1 open", a.Epoch(), a.Sealed())
+	}
+	if d, ok := a.VerifiedDigest(0); !ok || !bytes.Equal(d, want) {
+		t.Fatal("epoch 0's verified digest not retained across the snapshot")
+	}
+
+	// Epoch 1 on the compacted log.
+	for _, sub := range subs[:2] {
+		if err := sess.Submit(ctx, sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res1, err := sess.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollUntilSealed(t, a)
+	if !bytes.Equal(a.Digest(), TranscriptDigest(pub, res1.Transcript)) {
+		t.Fatal("epoch 1 tail digest differs from the sealed transcript's")
+	}
+	for _, epoch := range []int{0, 1} {
+		if err := AuditLog(ctx, pub, log, epoch, 2); err != nil {
+			t.Fatalf("offline audit of epoch %d after compaction: %v", epoch, err)
+		}
+	}
+}
+
+// TestTailAuditorDeferredMemLog: a DeferVerification session writes no
+// per-arrival verdicts; the tail decides the whole board by its own batch
+// check at seal time and still lands on the identical digest.
+func TestTailAuditorDeferredMemLog(t *testing.T) {
+	ctx := context.Background()
+	pub := testPublic(t, 2, 1, 4)
+	log := store.NewMemLog()
+	sess, err := NewSession(pub, SessionOptions{
+		Rand: testSeed(78), Store: log, Parallelism: 2, DeferVerification: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range buildSubs(t, pub, []int{1, 1, 0, 1}) {
+		if err := sess.Submit(ctx, sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sess.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := TailAuditLog(pub, log, TailOptions{Workers: 2, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	pollUntilSealed(t, a)
+	if !bytes.Equal(a.Digest(), TranscriptDigest(pub, res.Transcript)) {
+		t.Fatal("deferred-mode tail digest differs from the sealed transcript's")
+	}
+}
+
+// tailBaseRecords runs a clean durable session and returns its board-log
+// records, raw material for the mutation table.
+func tailBaseRecords(t *testing.T, pub *Public) []*store.Record {
+	t.Helper()
+	ctx := context.Background()
+	log := store.NewMemLog()
+	sess, err := NewSession(pub, SessionOptions{Rand: testSeed(79), Store: log, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range buildSubs(t, pub, []int{1, 0, 1, 1}) {
+		if err := sess.Submit(ctx, sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sess.Finalize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := log.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func copyRecords(recs []*store.Record) []*store.Record {
+	out := make([]*store.Record, len(recs))
+	for i, rec := range recs {
+		cp := *rec
+		cp.Payload = append([]byte(nil), rec.Payload...)
+		out[i] = &cp
+	}
+	return out
+}
+
+// TestTailAuditorAdversarialMutations feeds tampered record sequences into
+// the live tail: every mutation must be flagged at the first record where
+// the divergence is observable, with the offending position in the error —
+// and always before the epoch could certify. The offline AuditLog must
+// refuse the same sequence (parity on rejection).
+func TestTailAuditorAdversarialMutations(t *testing.T) {
+	pub := testPublic(t, 2, 1, 4)
+	base := tailBaseRecords(t, pub)
+	// Eager session, 4 accepted clients: sub/verdict pairs then the seal.
+	sealAt := len(base) - 1
+	if base[sealAt].Kind != RecordSeal && base[sealAt].Kind != RecordSealChunk {
+		t.Fatalf("unexpected base log shape: last record kind %d", base[sealAt].Kind)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]*store.Record) []*store.Record
+		// wantAt is the record index the error must point at; -1 skips the
+		// position check (mutations whose first observable divergence
+		// depends on where the flipped byte lands in the wire layout).
+		wantAt   int
+		wantFrag string
+		// auditAccepts marks mutations only the live tail can see: the
+		// offline audit cross-checks the roster as a set, so it accepts
+		// them, while the tail additionally pins arrival order.
+		auditAccepts bool
+	}{
+		{
+			// A verdict naming a client whose submission never arrived:
+			// divergence is observable immediately.
+			name: "verdict-before-submission",
+			mutate: func(recs []*store.Record) []*store.Record {
+				recs[0], recs[1] = recs[1], recs[0]
+				return recs
+			},
+			wantAt:   0,
+			wantFrag: "verdict for unknown client",
+		},
+		{
+			// Reordering whole client blocks is grammatically legal; the
+			// seal's roster walk is the first place the order is pinned.
+			name: "reordered-clients",
+			mutate: func(recs []*store.Record) []*store.Record {
+				recs[0], recs[2] = recs[2], recs[0]
+				recs[1], recs[3] = recs[3], recs[1]
+				return recs
+			},
+			wantAt:   sealAt,
+			wantFrag: "seal position 0 disagrees",
+			// The seal itself is untouched and every client's evidence is
+			// still present, so the set-based offline cross-check passes;
+			// only the tail notices the log no longer tells the truth about
+			// the order clients were admitted in.
+			auditAccepts: true,
+		},
+		{
+			// Erasing a decided client via a forged withdrawal record.
+			name: "forged-withdrawal",
+			mutate: func(recs []*store.Record) []*store.Record {
+				forged := &store.Record{Kind: RecordWithdraw, Epoch: 0, Payload: encodeWithdraw(0)}
+				out := append(recs[:sealAt:sealAt], forged)
+				return append(out, recs[sealAt:]...)
+			},
+			wantAt:   sealAt,
+			wantFrag: "withdrawal of decided client 0",
+		},
+		{
+			// Appending evidence after the seal: the epoch is closed.
+			name: "post-seal-append",
+			mutate: func(recs []*store.Record) []*store.Record {
+				return append(recs, recs[0])
+			},
+			wantAt:   len(base),
+			wantFrag: "after epoch 0 was sealed",
+		},
+		{
+			// A flipped byte inside the logged submission's public part: the
+			// logged acceptance verdict no longer matches the cryptography
+			// (or the bytes stop parsing — either way, before the seal).
+			name: "bit-flipped-submission",
+			mutate: func(recs []*store.Record) []*store.Record {
+				p := recs[0].Payload
+				pubLen := binary.BigEndian.Uint32(p[1:5])
+				p[5+pubLen-2] ^= 0x40
+				return recs
+			},
+			wantAt:   -1,
+			wantFrag: "offset",
+		},
+		{
+			// A flipped byte inside the seal itself.
+			name: "bit-flipped-seal",
+			mutate: func(recs []*store.Record) []*store.Record {
+				p := recs[sealAt].Payload
+				p[len(p)/2] ^= 0x04
+				return recs
+			},
+			wantAt:   -1,
+			wantFrag: "offset",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recs := tc.mutate(copyRecords(base))
+
+			a := NewTailAuditor(pub, TailOptions{Workers: 2, Window: 2})
+			defer a.Close()
+			gotAt := -1
+			var gotErr error
+			for i, rec := range recs {
+				if err := a.Feed(rec, int64(i)); err != nil {
+					gotAt, gotErr = i, err
+					break
+				}
+			}
+			if gotErr == nil {
+				t.Fatal("tampered log tailed clean")
+			}
+			if !errors.Is(gotErr, ErrAuditFail) {
+				t.Fatalf("tail error %v is not ErrAuditFail", gotErr)
+			}
+			if tc.wantAt >= 0 && gotAt != tc.wantAt {
+				t.Fatalf("flagged at record %d, want %d (%v)", gotAt, tc.wantAt, gotErr)
+			}
+			if tc.wantAt >= 0 {
+				if frag := fmt.Sprintf("tail record %d (offset %d)", tc.wantAt, tc.wantAt); !strings.Contains(gotErr.Error(), frag) {
+					t.Fatalf("error %q does not carry the offending position %q", gotErr, frag)
+				}
+			}
+			if !strings.Contains(gotErr.Error(), tc.wantFrag) {
+				t.Fatalf("error %q does not mention %q", gotErr, tc.wantFrag)
+			}
+			// The tail must never certify the epoch, and its error sticks.
+			if a.Sealed() && a.Err() == nil {
+				t.Fatal("tampered epoch was certified")
+			}
+			if err := a.Feed(base[0], 0); err == nil {
+				t.Fatal("tail accepted records after a corruption verdict")
+			}
+
+			// Parity: the offline auditor reaches the expected verdict on
+			// the same sequence (refusal, except where the tail is
+			// documented as strictly stronger).
+			mlog := store.NewMemLog()
+			for _, rec := range recs {
+				if err := mlog.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			auditErr := AuditLog(context.Background(), pub, mlog, 0, 2)
+			if tc.auditAccepts != (auditErr == nil) {
+				t.Fatalf("offline audit = %v, want accepted=%v", auditErr, tc.auditAccepts)
+			}
+		})
+	}
+}
+
+// TestTailAuditorFileBitFlip flips a byte of a committed record on disk
+// behind a live tail — in-flight tampering with the file itself, below the
+// record grammar. The storage layer's CRC catches it and the tail surfaces
+// the offending record and byte offset.
+func TestTailAuditorFileBitFlip(t *testing.T) {
+	ctx := context.Background()
+	pub := testPublic(t, 2, 1, 4)
+	path := filepath.Join(t.TempDir(), "board.log")
+	log, err := store.OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	sess, err := NewSession(pub, SessionOptions{Rand: testSeed(80), Store: log, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range buildSubs(t, pub, []int{1, 0, 1}) {
+		if err := sess.Submit(ctx, sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sess.Finalize(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte offset of record 2 in the file: magic, then framed records.
+	recs, err := log.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(7) // len(fileMagic)
+	for _, rec := range recs[:2] {
+		off += int64(len(store.EncodeRecord(rec)))
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, off+8); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	a, err := TailAuditLog(pub, log, TailOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	_, err = a.Poll()
+	if err == nil {
+		t.Fatal("tail certified a log with a flipped byte on disk")
+	}
+	frag := fmt.Sprintf("record 2 (offset %d)", off)
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not carry the offending position %q", err, frag)
+	}
+	if a.Sealed() {
+		t.Fatal("tampered epoch was certified")
+	}
+}
+
+// TestTailParityWithAdversaries pins live-tail == offline-audit over the
+// full front-door corruption table: for every corrupted client the session
+// itself already rejected, both auditors must accept the resulting log and
+// the tail's digest must equal the sealed transcript's — single-session
+// over a memory log, and sharded over a real segmented log.
+func TestTailParityWithAdversaries(t *testing.T) {
+	ctx := context.Background()
+	pub := testPublic(t, 2, 1, 4)
+
+	submitAll := func(t *testing.T, door interface {
+		Submit(context.Context, *ClientSubmission) error
+	}, tc adversaryCorruption) {
+		t.Helper()
+		const n, target = 6, 3
+		subs := make([]*ClientSubmission, n)
+		for i := range subs {
+			sub, err := pub.NewClientSubmission(i, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			subs[i] = sub
+		}
+		donor, err := pub.NewClientSubmission(100+target, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.corrupt(pub, subs[target], donor)
+		for i, sub := range subs {
+			err := door.Submit(ctx, sub)
+			if i == target {
+				if !errors.Is(err, ErrClientReject) {
+					t.Fatalf("corrupt client verdict = %v, want ErrClientReject", err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("honest client %d rejected: %v", i, err)
+			}
+		}
+	}
+
+	for _, tc := range adversaryCorruptions {
+		t.Run("session/"+tc.name, func(t *testing.T) {
+			log := store.NewMemLog()
+			sess, err := NewSession(pub, SessionOptions{Store: log, Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			submitAll(t, sess, tc)
+			res, err := sess.Finalize(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := AuditLog(ctx, pub, log, 0, 2); err != nil {
+				t.Fatalf("offline audit: %v", err)
+			}
+			a, err := TailAuditLog(pub, log, TailOptions{Workers: 2, Window: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			pollUntilSealed(t, a)
+			if !bytes.Equal(a.Digest(), TranscriptDigest(pub, res.Transcript)) {
+				t.Fatal("tail digest differs from the sealed transcript's")
+			}
+		})
+		t.Run("sharded/"+tc.name, func(t *testing.T) {
+			seg, err := store.OpenSegmentedLog(t.TempDir(), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer seg.Close()
+			ss, err := NewShardedSession(pub, SessionOptions{Shards: 4, Segmented: seg, Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			submitAll(t, ss, tc)
+			res, err := ss.Finalize(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := AuditSegmentedLog(ctx, pub, seg, 0, 2); err != nil {
+				t.Fatalf("offline segmented audit: %v", err)
+			}
+			st, err := TailAuditMerged(pub, seg, TailOptions{Workers: 2, Window: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			for {
+				n, err := st.Poll()
+				if err != nil {
+					t.Fatalf("segmented tail poll: %v", err)
+				}
+				if n == 0 {
+					break
+				}
+			}
+			digest, ready, err := st.VerifyMerged(0)
+			if err != nil {
+				t.Fatalf("merged verify: %v", err)
+			}
+			if !ready {
+				t.Fatal("merged epoch not ready after draining every segment")
+			}
+			if !bytes.Equal(digest, res.Digest) {
+				t.Fatal("merged tail digest differs from MergedTranscriptDigest")
+			}
+		})
+	}
+}

@@ -12,11 +12,18 @@
 set -eu
 
 input="${1:--}"
+if [ "$input" = "-" ]; then
+    # The python program below arrives on stdin via the heredoc, so the
+    # document itself cannot also ride stdin: buffer it to a file first.
+    buffered="$(mktemp)"
+    trap 'rm -f "$buffered"' EXIT
+    cat >"$buffered"
+    input="$buffered"
+fi
 python3 - "$input" <<'EOF'
 import json, sys
 
-path = sys.argv[1]
-doc = json.load(sys.stdin if path == "-" else open(path))
+doc = json.load(open(sys.argv[1]))
 
 def fail(msg):
     print(f"bench JSON check FAILED: {msg}", file=sys.stderr)

@@ -77,6 +77,16 @@ ROUTER_PID=$!
 PIDS="$PIDS $ROUTER_PID"
 wait_port 7400
 
+say "starting live audit tail against the backend nodes"
+# The follower attaches before any submission exists, verifies every record
+# at arrival while the flood runs, and exits 0 once it has certified the
+# merged epoch — the vdpclient -follow mode an external auditor would run.
+"$BIN/vdpclient" -follow "$BACKENDS" -follow-epochs 1 \
+    -bins "$BINS" -coins "$COINS" -retries 3 -backoff 50ms \
+    >"$WORK/follow.log" 2>&1 &
+FOLLOW_PID=$!
+PIDS="$PIDS $FOLLOW_PID"
+
 say "flooding $CLIENTS submissions in batches of $BATCH through the router"
 id=0
 while [ "$id" -lt "$CLIENTS" ]; do
@@ -110,6 +120,23 @@ fi
 grep -E "merged transcript audit: PASSED" "$WORK/router.log" || {
     echo "router log missing merged-audit line" >&2
     cat "$WORK/router.log" >&2
+    exit 1
+}
+
+say "waiting for the live audit tail to certify the merged epoch"
+follow_ok=0
+for _ in $(seq 1 300); do
+    if ! kill -0 "$FOLLOW_PID" 2>/dev/null; then follow_ok=1; break; fi
+    sleep 0.1
+done
+if [ "$follow_ok" -ne 1 ] || ! wait "$FOLLOW_PID"; then
+    echo "live audit tail did not certify the merged epoch" >&2
+    cat "$WORK/follow.log" >&2
+    exit 1
+fi
+grep -E "live audit: merged epoch 0 PASSED" "$WORK/follow.log" || {
+    echo "follow log missing live-audit certification line" >&2
+    cat "$WORK/follow.log" >&2
     exit 1
 }
 
