@@ -24,9 +24,19 @@
 // the paper's public verifiability made continuous, with no trust in the
 // router or any single node.
 //
+// With -sketch RxWxD it speaks to a heavy-hitters server: -item sends a
+// whole sketch contribution (one committed one-hot vector per count-min
+// row, all in one batch frame), -query top:K / point:ITEM reads estimates
+// back from the finalized, released sketch, and -audit-store re-verifies a
+// sketch store offline — rows, roster containment, budget chain and merged
+// seal.
+//
 // Examples:
 //
 //	vdpclient -addr 127.0.0.1:7001 -id 0 -choice 1 -bins 2 -coins 32
+//	vdpclient -addr 127.0.0.1:7001 -sketch 4x16x1024 -id 7 -item 42 -coins 8
+//	vdpclient -addr 127.0.0.1:7001 -query top:10
+//	vdpclient -sketch 4x16x1024 -audit-store /var/lib/vdp -coins 8
 //	vdpclient -addr 127.0.0.1:7001 -id 100 -batch 64 -choice 1 -bins 2 -coins 32
 //	vdpclient -audit-store /var/lib/vdp -bins 2 -coins 32          # latest epoch
 //	vdpclient -audit-store /var/lib/vdp -epoch 0 -bins 2 -coins 32 # specific epoch
@@ -40,11 +50,13 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/group"
+	"repro/internal/sketch"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/vdp"
@@ -69,14 +81,27 @@ func main() {
 		follow     = flag.String("follow", "", "live-audit mode: comma-separated node addresses in shard order")
 		followN    = flag.Int("follow-epochs", 1, "with -follow, exit after this many merged epochs verify (0 = follow forever)")
 		interval   = flag.Duration("interval", 200*time.Millisecond, "with -follow, the poll interval between log fetches")
+		sketchSp   = flag.String("sketch", "", "heavy-hitters deployment RxWxD (must match vdpserver -sketch; overrides -bins with W)")
+		item       = flag.Int("item", -1, "with -sketch: contribute this item (one committed one-hot vector per row)")
+		query      = flag.String("query", "", "query a finalized sketch server: \"top:K\" or \"point:ITEM\"")
 	)
 	flag.Parse()
+
+	binsEff := *bins
+	var layout sketch.Layout
+	if *sketchSp != "" {
+		var err error
+		if layout, err = sketch.ParseLayout(*sketchSp); err != nil {
+			log.Fatal(err)
+		}
+		binsEff = layout.Width
+	}
 
 	g, err := group.ByName(*grp)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pub, err := vdp.Setup(vdp.Config{Group: g, Provers: 1, Bins: *bins, Coins: *coins, Epsilon: *eps, Delta: *delta})
+	pub, err := vdp.Setup(vdp.Config{Group: g, Provers: 1, Bins: binsEff, Coins: *coins, Epsilon: *eps, Delta: *delta})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,12 +124,31 @@ func main() {
 				auditDeadline = *timeout
 			}
 		})
+		if *sketchSp != "" {
+			auditSketch(pub, layout, *auditStore, *epoch, auditDeadline)
+			return
+		}
 		auditOffline(pub, *auditStore, *epoch, auditDeadline)
 		return
 	}
 	opts := transport.ClientOptions{
 		Timeout: *timeout,
 		Retry:   transport.RetryPolicy{Retries: *retries, Backoff: *backoff, MaxBackoff: 2 * time.Second},
+	}
+	if *query != "" {
+		querySketch(*addr, *query, opts)
+		return
+	}
+	if *sketchSp != "" {
+		if *item < 0 || *item >= layout.Domain {
+			log.Fatalf("-sketch needs -item in [0, %d) (got %d)", layout.Domain, *item)
+		}
+		n := *batch
+		if n == 0 {
+			n = 1
+		}
+		submitSketch(pub, layout, *addr, *id, *item, n, opts)
+		return
 	}
 	if *batch > 0 {
 		submitBatch(pub, *addr, *id, *choice, *batch, opts)
@@ -193,6 +237,141 @@ func submitBatch(pub *vdp.Public, addr string, firstID, choice, n int, opts tran
 	default:
 		log.Fatalf("unexpected reply %q", reply.Kind)
 	}
+}
+
+// submitSketch builds n whole sketch contributions — layout.Rows committed
+// one-hot vectors each, bucketed by the shared row hashes of -item — and
+// sends them in one "submit-batch" frame. The server reassembles the rows
+// into contributions and answers one verdict per contribution, so a budget
+// refusal (or any other rejection) names the client, not a row.
+func submitSketch(pub *vdp.Public, layout sketch.Layout, addr string, firstID, item, n int, opts transport.ClientOptions) {
+	if n*layout.Rows > vdp.MaxBatchClients {
+		log.Fatalf("-batch %d needs %d row submissions, exceeding the per-frame limit of %d", n, n*layout.Rows, vdp.MaxBatchClients)
+	}
+	subs := make([]*vdp.ClientSubmission, 0, n*layout.Rows)
+	for i := 0; i < n; i++ {
+		c, err := pub.NewSketchContribution(layout, firstID+i, item, nil)
+		if err != nil {
+			log.Fatalf("building contribution %d: %v", firstID+i, err)
+		}
+		subs = append(subs, c.Rows...)
+	}
+	c, err := transport.DialClient(addr, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	reply, err := c.RoundTrip(&transport.Frame{Kind: "submit-batch", Sender: firstID, Payload: pub.EncodeSubmissionBatch(subs)})
+	if err != nil {
+		log.Fatalf("submitting contribution(s): %v", err)
+	}
+	switch reply.Kind {
+	case "batch-verdicts":
+		verdicts, err := vdp.DecodeBatchVerdicts(reply.Payload)
+		if err != nil {
+			log.Fatalf("decoding verdicts: %v", err)
+		}
+		ok := 0
+		for _, v := range verdicts {
+			if v.Accepted {
+				ok++
+			} else {
+				fmt.Printf("client %d: REFUSED: %s\n", v.ID, v.Reason)
+			}
+		}
+		fmt.Printf("%d of %d contribution(s) for item %d accepted (%d rows each)\n", ok, len(verdicts), item, layout.Rows)
+		if ok < len(verdicts) {
+			os.Exit(1)
+		}
+	case "error":
+		log.Fatalf("server rejected contribution(s): %s", reply.Payload)
+	default:
+		log.Fatalf("unexpected reply %q", reply.Kind)
+	}
+}
+
+// querySketch sends one "top:K" or "point:ITEM" query to a sketch-mode
+// server and prints the estimates with their error bound. The server only
+// answers once its epoch has finalized — estimates come from the released,
+// publicly-auditable sketch, never from a board still in flight.
+func querySketch(addr, spec string, opts transport.ClientOptions) {
+	kind, argStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		log.Fatalf("-query %q is not of the form top:K or point:ITEM", spec)
+	}
+	arg, err := strconv.Atoi(strings.TrimSpace(argStr))
+	if err != nil || arg < 0 {
+		log.Fatalf("-query %q: %q is not a non-negative integer", spec, argStr)
+	}
+	q := &vdp.SketchQuery{Arg: arg}
+	switch strings.TrimSpace(kind) {
+	case "top":
+		q.Kind = vdp.SketchQueryTopK
+	case "point":
+		q.Kind = vdp.SketchQueryPoint
+	default:
+		log.Fatalf("-query %q: unknown kind %q (want top or point)", spec, kind)
+	}
+	c, err := transport.DialClient(addr, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	reply, err := c.RoundTrip(&transport.Frame{Kind: "sketch-query", Payload: vdp.EncodeSketchQuery(q)})
+	if err != nil {
+		log.Fatalf("querying: %v", err)
+	}
+	switch reply.Kind {
+	case "sketch-estimates":
+		items, err := vdp.DecodeItemEstimates(reply.Payload)
+		if err != nil {
+			log.Fatalf("decoding estimates: %v", err)
+		}
+		if q.Kind == vdp.SketchQueryPoint {
+			for _, it := range items {
+				fmt.Printf("item %d: estimate %.1f (±%.1f)\n", it.Item, it.Estimate, it.Bound)
+			}
+			return
+		}
+		fmt.Printf("top %d item(s):\n", len(items))
+		for rank, it := range items {
+			fmt.Printf("  #%-2d item %d: estimate %.1f (±%.1f)\n", rank+1, it.Item, it.Estimate, it.Bound)
+		}
+	case "error":
+		log.Fatalf("server refused query: %s", reply.Payload)
+	default:
+		log.Fatalf("unexpected reply %q", reply.Kind)
+	}
+}
+
+// auditSketch plays the third-party auditor against a sketch-mode server's
+// store: every row segment is re-verified like a board log, the rows are
+// checked against the row-0 roster (a client cannot appear in a row it was
+// never admitted to), budget charges replay to the recorded chain, and the
+// merged digest must match the manifest seal.
+func auditSketch(pub *vdp.Public, layout sketch.Layout, dir string, epoch int, timeout time.Duration) {
+	seg, err := store.OpenSegmentedLogReadOnly(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer seg.Close()
+	fmt.Printf("sketch board log: %d row segments\n", seg.Shards())
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if err := vdp.AuditSketchLog(ctx, pub, layout, seg, epoch, 0); err != nil {
+		log.Fatalf("offline sketch audit FAILED: %v", err)
+	}
+	which := fmt.Sprintf("epoch %d", epoch)
+	if epoch < 0 {
+		which = "latest merged-sealed epoch"
+	}
+	fmt.Printf("offline sketch audit of %s: PASSED — every row's proofs, coins and aggregate check out,\n", which)
+	fmt.Println("every seated client traces to a row-0 admission, and the merged digest matches the manifest seal")
 }
 
 // auditOffline replays the board log under dir and re-verifies a sealed

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sketch"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/vdp"
+)
+
+// testCurator is a minimal in-process sketch-mode server: enough of
+// vdpserver's handler to drive the client-side paths over real TCP.
+func testCurator(t *testing.T, pub *vdp.Public, layout sketch.Layout, hs *vdp.SketchSession) (addr string, release func()) {
+	t.Helper()
+	ctx := context.Background()
+	var mu sync.Mutex
+	var released *vdp.NoisySketch
+	handler := func(f *transport.Frame) ([]*transport.Frame, error) {
+		switch f.Kind {
+		case "submit-batch":
+			subs, err := pub.DecodeSubmissionBatch(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if len(subs) == 0 || len(subs)%layout.Rows != 0 {
+				return nil, fmt.Errorf("ragged contribution bundle of %d rows", len(subs))
+			}
+			var vs []vdp.BatchVerdict
+			for at := 0; at < len(subs); at += layout.Rows {
+				rows := subs[at : at+layout.Rows]
+				v := vdp.BatchVerdict{ID: rows[0].Public.ID, Accepted: true}
+				if err := hs.Submit(ctx, &vdp.SketchContribution{ClientID: v.ID, Rows: rows}); err != nil {
+					v.Accepted, v.Reason = false, err.Error()
+				}
+				vs = append(vs, v)
+			}
+			return []*transport.Frame{{Kind: "batch-verdicts", Payload: vdp.EncodeBatchVerdicts(vs)}}, nil
+		case "sketch-query":
+			q, err := vdp.DecodeSketchQuery(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			ns := released
+			mu.Unlock()
+			if ns == nil {
+				return nil, fmt.Errorf("still collecting")
+			}
+			var items []vdp.ItemEstimate
+			if q.Kind == vdp.SketchQueryPoint {
+				est, bound, err := ns.PointQuery(q.Arg)
+				if err != nil {
+					return nil, err
+				}
+				items = []vdp.ItemEstimate{{Item: q.Arg, Estimate: est, Bound: bound}}
+			} else {
+				items = ns.HeavyHitters(q.Arg)
+			}
+			return []*transport.Frame{{Kind: "sketch-estimates", Payload: vdp.EncodeItemEstimates(items)}}, nil
+		}
+		return nil, fmt.Errorf("unexpected frame kind %q", f.Kind)
+	}
+	srv, err := transport.Listen("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Shutdown(context.Background()) })
+	return srv.Addr(), func() {
+		res, err := hs.Finalize(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		released = res.Sketch
+		mu.Unlock()
+	}
+}
+
+// TestSketchClientRoundTrips drives submitSketch and querySketch against a
+// live curator. The helpers log.Fatal / os.Exit(1) on any refusal or
+// decode failure, so reaching the end of the test is the assertion.
+func TestSketchClientRoundTrips(t *testing.T) {
+	layout := sketch.Layout{Rows: 2, Width: 4, Domain: 8}
+	pub, err := vdp.Setup(vdp.Config{Provers: 1, Bins: layout.Width, Coins: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := vdp.NewSketchSession(pub, layout, vdp.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, release := testCurator(t, pub, layout, hs)
+	opts := transport.ClientOptions{Timeout: 2 * time.Second}
+
+	submitSketch(pub, layout, addr, 10, 5, 2, opts)
+	if got := hs.Row(0).Accepted(); got != 2 {
+		t.Fatalf("curator admitted %d contributions, want 2", got)
+	}
+	release()
+	querySketch(addr, "top:3", opts)
+	querySketch(addr, "point:5", opts)
+}
+
+// TestAuditSketchOffline seals a durable sketch epoch and replays it
+// through the auditor entrypoint (log.Fatal on any audit failure).
+func TestAuditSketchOffline(t *testing.T) {
+	layout := sketch.Layout{Rows: 2, Width: 4, Domain: 8}
+	pub, err := vdp.Setup(vdp.Config{Provers: 1, Bins: layout.Width, Coins: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	seg, err := store.OpenSegmentedLog(dir, layout.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := vdp.NewSketchSession(pub, layout, vdp.SessionOptions{Segmented: seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	c, err := pub.NewSketchContribution(layout, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hs.Submit(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hs.Finalize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	auditSketch(pub, layout, dir, -1, 5*time.Second)
+}

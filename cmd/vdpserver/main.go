@@ -37,6 +37,22 @@
 // detects the layout the same way. Without -store-dir the board lives in
 // memory and a crash discards the epoch.
 //
+// Privacy-budget ledger: with -ledger "epochEps,totalEps" every first
+// admission of a client in an epoch debits its lifetime ε budget as a
+// digest-chained RecordBudgetCharge on the board, and a client whose next
+// charge would breach the cap is refused with an attributable, board-recorded
+// verdict. The ledger composes with every mode (plain, -shards, cluster
+// node, -sketch) and is replayed — and re-verified — on recovery and by every
+// auditor.
+//
+// Heavy-hitters mode: with -sketch RxWxD the board is a SketchSession — R
+// ΠBin sub-sessions of W bins each — fed by W-row committed one-hot
+// contributions (vdpclient -sketch -item), and Finalize releases a
+// verifiable noisy count-min sketch instead of a histogram. The release is
+// served: for -serve-queries the listener keeps answering vdpclient -query
+// frames (top:K / point:ITEM) with estimates carrying the sketch's error
+// bound.
+//
 // Graceful shutdown: on SIGINT/SIGTERM the listener closes, in-flight
 // submissions drain, the session is finalized with whatever clients were
 // accepted so far (or abandoned cleanly when none were), and the board log
@@ -66,6 +82,7 @@ import (
 	"time"
 
 	"repro/internal/group"
+	"repro/internal/sketch"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/vdp"
@@ -99,13 +116,34 @@ func main() {
 		shards   = flag.Int("shards", 1, "independent board shards (client IDs are consistent-hashed across them)")
 		shardIdx = flag.Int("shard-index", -1, "cluster node mode: serve this shard of -shard-count behind a vdprouter")
 		shardCnt = flag.Int("shard-count", 0, "cluster node mode: total shards in the cluster (requires -shard-index)")
+		ledger   = flag.String("ledger", "", "privacy-budget ledger policy \"epochEps,totalEps\" (e.g. 0.5,2; empty = no ledger)")
+		sketchSp = flag.String("sketch", "", "heavy-hitters mode: serve a RxWxD count-min sketch (e.g. 4x16x1024; overrides -bins with W)")
+		serveQ   = flag.Duration("serve-queries", 0, "sketch mode: keep answering -query frames this long after the release (0 = exit)")
 	)
 	flag.Parse()
 	if *shards < 1 {
 		log.Fatalf("-shards must be at least 1, got %d", *shards)
 	}
+	budget, err := parseLedgerFlag(*ledger)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	pub, err := setupFromFlags(*grp, *bins, *coins, *eps, *delta)
+	binsEff := *bins
+	var layout sketch.Layout
+	if *sketchSp != "" {
+		if layout, err = sketch.ParseLayout(*sketchSp); err != nil {
+			log.Fatal(err)
+		}
+		// Each sketch row is its own ΠBin instance over the row's buckets, so
+		// the deployment's bin count is the layout's width, not -bins.
+		if *bins != 1 && *bins != layout.Width {
+			log.Printf("-sketch %s sets the bin count to the row width %d; ignoring -bins %d", *sketchSp, layout.Width, *bins)
+		}
+		binsEff = layout.Width
+	}
+
+	pub, err := setupFromFlags(*grp, binsEff, *coins, *eps, *delta)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -124,11 +162,24 @@ func main() {
 		if *shards != 1 {
 			log.Fatalf("-shards cannot be combined with cluster node mode (-shard-index/-shard-count)")
 		}
-		runNode(ctx, pub, *addr, *storeDir, *shardIdx, *shardCnt, *grace)
+		if *sketchSp != "" {
+			log.Fatalf("-sketch cannot be combined with cluster node mode (-shard-index/-shard-count)")
+		}
+		runNode(ctx, pub, *addr, *storeDir, budget, *shardIdx, *shardCnt, *grace)
+		return
+	}
+	if *sketchSp != "" {
+		// Heavy-hitters mode: the board is a SketchSession (one sub-session
+		// per count-min row); the segmented store's segments are rows, not
+		// client-hash shards, so -shards does not compose with it.
+		if *shards != 1 {
+			log.Fatalf("-shards cannot be combined with -sketch (the sketch's rows are the segments)")
+		}
+		runSketch(ctx, pub, layout, budget, *addr, *storeDir, *clients, *grace, *serveQ)
 		return
 	}
 
-	sess, sharded, closeStore, err := openSession(ctx, pub, *storeDir, *shards)
+	sess, sharded, closeStore, err := openSession(ctx, pub, *storeDir, budget, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -213,8 +264,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("verifiable-dp curator listening on %s (K=1, M=%d, nb=%d, group=%s, shards=%d, store=%s)",
-		srv.Addr(), pub.Bins(), pub.Coins(), *grp, *shards, storeDesc(*storeDir))
+	log.Printf("verifiable-dp curator listening on %s (K=1, M=%d, nb=%d, group=%s, shards=%d, ledger=%s, store=%s)",
+		srv.Addr(), pub.Bins(), pub.Coins(), *grp, *shards, ledgerDesc(budget), storeDesc(*storeDir))
 
 	select {
 	case <-done:
@@ -297,13 +348,16 @@ func printRelease(rel *vdp.Release) {
 // and either starts a fresh durable session or — when the store already
 // holds records — recovers the interrupted one. Exactly one of the returned
 // sessions is non-nil: the plain one for shards <= 1, the sharded one
-// otherwise. An empty storeDir keeps the board in memory.
-func openSession(ctx context.Context, pub *vdp.Public, storeDir string, shards int) (*vdp.Session, *vdp.ShardedSession, func() error, error) {
+// otherwise. An empty storeDir keeps the board in memory. A non-nil budget
+// enables the privacy-budget ledger on whichever session opens — on the
+// resume paths it is also the policy the recorded charge chain is re-checked
+// against.
+func openSession(ctx context.Context, pub *vdp.Public, storeDir string, budget *vdp.BudgetConfig, shards int) (*vdp.Session, *vdp.ShardedSession, func() error, error) {
 	if shards > 1 {
-		return openShardedSession(ctx, pub, storeDir, shards)
+		return openShardedSession(ctx, pub, storeDir, budget, shards)
 	}
 	if storeDir == "" {
-		sess, err := vdp.NewSession(pub, vdp.SessionOptions{})
+		sess, err := vdp.NewSession(pub, vdp.SessionOptions{Budget: budget})
 		return sess, nil, nil, err
 	}
 	// A directory laid out by a sharded incarnation (even with one shard —
@@ -312,7 +366,7 @@ func openSession(ctx context.Context, pub *vdp.Public, storeDir string, shards i
 	// next to the old evidence. Adopt the manifest's recorded shard count.
 	if store.IsSegmented(storeDir) {
 		log.Printf("%s holds a segmented board log; adopting its recorded shard count", storeDir)
-		return openShardedSession(ctx, pub, storeDir, 0)
+		return openShardedSession(ctx, pub, storeDir, budget, 0)
 	}
 	if err := os.MkdirAll(storeDir, 0o755); err != nil {
 		return nil, nil, nil, err
@@ -324,7 +378,7 @@ func openSession(ctx context.Context, pub *vdp.Public, storeDir string, shards i
 	if tb := boardLog.Truncated(); tb > 0 {
 		log.Printf("board log: discarded %d torn-tail bytes from an interrupted append", tb)
 	}
-	opts := vdp.SessionOptions{Store: boardLog}
+	opts := vdp.SessionOptions{Store: boardLog, Budget: budget}
 	if boardLog.Len() == 0 {
 		sess, err := vdp.NewSession(pub, opts)
 		if err != nil {
@@ -360,9 +414,9 @@ func openSession(ctx context.Context, pub *vdp.Public, storeDir string, shards i
 
 // openShardedSession is openSession's sharded counterpart: the store is a
 // segmented log (manifest + one segment per shard) under storeDir.
-func openShardedSession(ctx context.Context, pub *vdp.Public, storeDir string, shards int) (*vdp.Session, *vdp.ShardedSession, func() error, error) {
+func openShardedSession(ctx context.Context, pub *vdp.Public, storeDir string, budget *vdp.BudgetConfig, shards int) (*vdp.Session, *vdp.ShardedSession, func() error, error) {
 	if storeDir == "" {
-		ss, err := vdp.NewShardedSession(pub, vdp.SessionOptions{Shards: shards})
+		ss, err := vdp.NewShardedSession(pub, vdp.SessionOptions{Shards: shards, Budget: budget})
 		return nil, ss, nil, err
 	}
 	// The converse of the unsharded guard: an unsharded incarnation's board
@@ -374,7 +428,7 @@ func openShardedSession(ctx context.Context, pub *vdp.Public, storeDir string, s
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	opts := vdp.SessionOptions{Segmented: seg}
+	opts := vdp.SessionOptions{Segmented: seg, Budget: budget}
 	if seg.Empty() {
 		ss, err := vdp.NewShardedSession(pub, opts)
 		if err != nil {

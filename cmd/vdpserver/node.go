@@ -29,7 +29,7 @@ const mergedLogName = "merged.log"
 // any particular accepted count does not stop the server, and shutdown
 // leaves an open epoch on disk exactly where ResumeShardSession can pick it
 // up.
-func runNode(ctx context.Context, pub *vdp.Public, addr, storeDir string, shardIndex, shardCount int, grace time.Duration) {
+func runNode(ctx context.Context, pub *vdp.Public, addr, storeDir string, budget *vdp.BudgetConfig, shardIndex, shardCount int, grace time.Duration) {
 	var (
 		boardLog *store.FileLog
 		sealLog  *store.FileLog
@@ -37,7 +37,7 @@ func runNode(ctx context.Context, pub *vdp.Public, addr, storeDir string, shardI
 		err      error
 	)
 	if storeDir == "" {
-		sess, err = vdp.NewShardSession(pub, vdp.SessionOptions{}, shardIndex, shardCount)
+		sess, err = vdp.NewShardSession(pub, vdp.SessionOptions{Budget: budget}, shardIndex, shardCount)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +58,7 @@ func runNode(ctx context.Context, pub *vdp.Public, addr, storeDir string, shardI
 			log.Fatal(err)
 		}
 		defer sealLog.Close()
-		opts := vdp.SessionOptions{Store: boardLog}
+		opts := vdp.SessionOptions{Store: boardLog, Budget: budget}
 		if boardLog.Len() == 0 {
 			sess, err = vdp.NewShardSession(pub, opts, shardIndex, shardCount)
 			if err != nil {

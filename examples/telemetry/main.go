@@ -4,13 +4,17 @@
 //
 // The example shows (1) an honest verifiable DP histogram over secret-
 // shared telemetry, (2) a malformed client being rejected with a public,
-// attributable reason, and (3) the two Figure 1 attacks succeeding against
-// the sketch baseline while being impossible here.
+// attributable reason, (3) the two Figure 1 attacks succeeding against
+// the sketch baseline while being impossible here, and (4) the streaming
+// upgrade: verifiable heavy hitters over a count-min sketch of error
+// codes, with a per-client privacy-budget ledger refusing a client that
+// tries to spend past its lifetime ε across epochs.
 //
 // Run with: go run ./examples/telemetry
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -97,4 +101,60 @@ func main() {
 	}
 	fmt.Printf("  (b) client-server coalition injects 500 phantom reports: input admitted=%v\n", admitted)
 	fmt.Println("      → with ΠBin both attacks fail: the roster and every aggregate are publicly checked")
+
+	// --- Streaming heavy hitters under a privacy budget -----------------
+	// The same browsers now stream error-code telemetry epoch after epoch.
+	// Each contribution is one committed one-hot vector per count-min row
+	// (Σ-OR checked like any submission), the release is a verifiable
+	// noisy sketch, and the budget ledger caps each client's lifetime ε:
+	// here one epoch's charge IS the whole budget, so a second epoch from
+	// the same client must be refused — durably, attributably, on the
+	// board.
+	fmt.Println("\nVerifiable heavy hitters over streaming error codes (budget ledger on):")
+	layout := sketch.Layout{Rows: 4, Width: 12, Domain: 16}
+	hhPub, err := vdp.Setup(vdp.Config{Provers: 1, Bins: layout.Width, Coins: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := &vdp.BudgetConfig{EpochCost: 1_000_000, Total: 1_000_000} // 1ε per epoch, 1ε for life
+	hs, err := vdp.NewSketchSession(hhPub, layout, vdp.SessionOptions{Budget: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// 30 clients report error codes; code 3 is the outage everyone hits.
+	for i := 0; i < 30; i++ {
+		code := []int{3, 3, 3, 7, 3, 12, 3, 3, 1, 3}[i%10]
+		c, err := hs.NewContribution(i, code)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hs.Submit(ctx, c); err != nil {
+			log.Fatalf("client %d: %v", i, err)
+		}
+	}
+	sres, err := hs.Finalize(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rank, it := range sres.Sketch.HeavyHitters(3) {
+		fmt.Printf("  #%d error code %2d: estimate %5.1f (±%.1f)\n", rank+1, it.Item, it.Estimate, it.Bound)
+	}
+	fmt.Printf("released sketch pinned by merged digest %x...\n", sres.Digest[:8])
+
+	// Epoch turnover: client 0 comes back, but its lifetime ε is spent.
+	if err := hs.Reset(); err != nil {
+		log.Fatal(err)
+	}
+	c0, err := hs.NewContribution(0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hs.Submit(ctx, c0); err != nil {
+		fmt.Printf("epoch %d: client 0 REFUSED: %v\n", hs.Epoch(), err)
+		fmt.Println("      → the refusal is a board-recorded verdict: auditors replay the charge chain and confirm it")
+	} else {
+		log.Fatal("over-budget client was admitted — the ledger failed")
+	}
 }

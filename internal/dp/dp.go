@@ -159,13 +159,47 @@ func (m *BinomialMechanism) Release(trueCount int64, r io.Reader) (int64, error)
 // Debias removes the additive nb·copies/2 mean of the noise, giving an
 // unbiased estimator of the true count.
 func (m *BinomialMechanism) Debias(release int64, copies int) float64 {
-	return float64(release) - float64(copies)*float64(m.nb)/2
+	return DebiasBinomial(release, m.nb, copies)
 }
 
 // Stddev returns the standard deviation of the noise with the given number
 // of independent copies: sqrt(copies·nb/4).
 func (m *BinomialMechanism) Stddev(copies int) float64 {
-	return math.Sqrt(float64(copies) * float64(m.nb) / 4)
+	return BinomialStddev(m.nb, copies)
+}
+
+// DebiasBinomial is the one debias formula every release path shares:
+// copies independent Binomial(coins, ½) noises have mean copies·coins/2, so
+// the unbiased estimate of the true count is release − copies·coins/2. It
+// is exposed at package level (without the MinCoins calibration floor) for
+// callers that carry an explicit coin count, such as transcript decoders
+// and the hybrid pipeline.
+func DebiasBinomial(release int64, coins, copies int) float64 {
+	return float64(release) - float64(copies)*float64(coins)/2
+}
+
+// BinomialStddev is the matching noise scale: sqrt(copies·coins/4).
+func BinomialStddev(coins, copies int) float64 {
+	return math.Sqrt(float64(copies) * float64(coins) / 4)
+}
+
+// CountMinBound is the additive error envelope of a count-min point query
+// over a width-w sketch holding total items, with per-cell noise of the
+// given standard deviation: the classic e·total/w overcount term (Cormode &
+// Muthukrishnan's bound, holding per query with probability ≥
+// 1 − CountMinFailureProb(rows)) plus a 3σ envelope of the debiased
+// binomial noise. A point estimate is within ±bound of the true count with
+// high probability; heavy-hitter callers use it to separate real hitters
+// from hash-collision inflation.
+func CountMinBound(width int, total int64, noiseStddev float64) float64 {
+	return math.E*float64(total)/float64(width) + 3*noiseStddev
+}
+
+// CountMinFailureProb is the probability the count-min overcount term of
+// CountMinBound fails for one query: e^-rows, driven down by taking the
+// minimum over independent rows.
+func CountMinFailureProb(rows int) float64 {
+	return math.Exp(-float64(rows))
 }
 
 // GeometricMechanism is the discrete Laplace baseline: the classic central-

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/group"
 	"repro/internal/pedersen"
+	"repro/internal/sketch"
 	"repro/internal/store"
 	"repro/internal/vdp"
 )
@@ -397,6 +398,87 @@ func BenchJSON() ([]byte, error) {
 		})
 		report.Entries = append(report.Entries, entryFrom(bc.entry, 1, bootRes))
 	}
+
+	// sketch: the verifiable heavy-hitter pipeline. One 64-client board
+	// through a 3×8 count-min sketch (3 ΠBin rows of 8 bins, budget ledger
+	// on): batched admission (row 0 gating the ledger charge, rows fanned
+	// out in parallel), then the finalize + assembly step, then the query
+	// layer ranking the whole domain. Contributions are built outside the
+	// timers, exactly like the flat-board entries above.
+	skLayout := sketch.Layout{Rows: 3, Width: 8, Domain: 64}
+	skPub, err := vdp.Setup(vdp.Config{Provers: 1, Bins: skLayout.Width, Coins: 6})
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: sketch setup: %w", err)
+	}
+	skBudget := &vdp.BudgetConfig{EpochCost: 1, Total: 1 << 20}
+	const skClients = 64
+	skContribs := make([]*vdp.SketchContribution, skClients)
+	for i := range skContribs {
+		if skContribs[i], err = skPub.NewSketchContribution(skLayout, i, i%skLayout.Domain, nil); err != nil {
+			return nil, fmt.Errorf("benchjson: sketch client %d: %w", i, err)
+		}
+	}
+	skFlood := func() (*vdp.SketchSession, error) {
+		hs, err := vdp.NewSketchSession(skPub, skLayout, vdp.SessionOptions{Budget: skBudget})
+		if err != nil {
+			return nil, err
+		}
+		verdicts, err := hs.SubmitBatch(ctx, skContribs)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range verdicts {
+			if v != nil {
+				return nil, fmt.Errorf("honest contribution refused: %w", v)
+			}
+		}
+		return hs, nil
+	}
+	skSubmitRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := skFlood(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report.Entries = append(report.Entries,
+		entryFrom(fmt.Sprintf("sketch-submit-batch-%dx%d/p256", skClients, skLayout.Rows), skClients, skSubmitRes))
+
+	skFinalizeRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			hs, err := skFlood()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := hs.Finalize(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report.Entries = append(report.Entries,
+		entryFrom(fmt.Sprintf("sketch-finalize-%dx%d/p256", skLayout.Rows, skLayout.Width), 1, skFinalizeRes))
+
+	hs, err := skFlood()
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: sketch query prep: %w", err)
+	}
+	skRes, err := hs.Finalize(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: sketch query finalize: %w", err)
+	}
+	skQueryRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if top := skRes.Sketch.HeavyHitters(8); len(top) != 8 {
+				b.Fatal("short ranking")
+			}
+		}
+	})
+	report.Entries = append(report.Entries,
+		entryFrom(fmt.Sprintf("sketch-query-topk-%d/p256", skLayout.Domain), skLayout.Domain, skQueryRes))
 
 	return json.MarshalIndent(report, "", "  ")
 }

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sketch"
+	"repro/internal/vdp"
+)
+
+// The heavy-hitters experiment measures the verifiable count-min release
+// end to end: a population whose items follow a skewed (head + uniform
+// tail) distribution streams committed one-hot contributions into a
+// SketchSession with the privacy-budget ledger enabled, the session
+// finalizes into a noisy sketch, and the query layer ranks the domain. The
+// sweep reports wall times for the three phases (batched admission,
+// finalize, query), the top-k recall of the true heavy hitters, and the
+// worst point-query error against the count-min + noise bound — the
+// utility story for the sketch mode, alongside the cost story.
+
+// HHConfig sets the heavy-hitters workload.
+type HHConfig struct {
+	Clients int // total contributions per epoch
+	Rows    int // count-min depth d
+	Width   int // count-min width w (= ΠBin bins per row)
+	Domain  int // item universe size
+	Hot     int // number of true heavy hitters in the head
+	K       int // ranking depth queried
+	Batch   int // admission frame size
+	Coins   int // nb for the deployment
+	Workers int // engine parallelism
+}
+
+// hhConfigFor returns the workload at a given scale.
+func hhConfigFor(s Scale) HHConfig {
+	switch s {
+	case Paper:
+		return HHConfig{Clients: 4_000, Rows: 4, Width: 32, Domain: 1024, Hot: 8, K: 16, Batch: 128, Coins: 8, Workers: 8}
+	case Standard:
+		return HHConfig{Clients: 1_000, Rows: 4, Width: 32, Domain: 128, Hot: 6, K: 12, Batch: 64, Coins: 8, Workers: 8}
+	default:
+		return HHConfig{Clients: 160, Rows: 4, Width: 16, Domain: 48, Hot: 4, K: 8, Batch: 64, Coins: 6, Workers: 4}
+	}
+}
+
+// hhItem deterministically assigns client i an item: the first 60% of the
+// population splits evenly across the Hot head items, the tail walks the
+// rest of the domain round-robin.
+func hhItem(cfg HHConfig, i int) int {
+	head := cfg.Clients * 6 / 10
+	if i < head {
+		return i % cfg.Hot
+	}
+	return cfg.Hot + (i-head)%(cfg.Domain-cfg.Hot)
+}
+
+// HHResult holds one heavy-hitters run.
+type HHResult struct {
+	Config   HHConfig
+	Submit   time.Duration // batched admission of all contributions
+	Finalize time.Duration // per-row finalize + sketch assembly
+	Query    time.Duration // HeavyHitters(K) over the full domain
+	Recall   float64       // fraction of true head items in the top K
+	MaxErr   float64       // worst |estimate - true count| over the head
+	Bound    float64       // the sketch's advertised additive error bound
+	Charged  int           // clients debited by the budget ledger
+}
+
+// HeavyHittersAtScale runs the heavy-hitters experiment.
+func HeavyHittersAtScale(s Scale) (*HHResult, error) {
+	cfg := hhConfigFor(s)
+	pub, err := vdp.Setup(vdp.Config{Provers: 1, Bins: cfg.Width, Coins: cfg.Coins})
+	if err != nil {
+		return nil, fmt.Errorf("heavyhitters: setup: %w", err)
+	}
+	layout := sketch.Layout{Rows: cfg.Rows, Width: cfg.Width, Domain: cfg.Domain}
+	budget := &vdp.BudgetConfig{EpochCost: 1_000_000, Total: 10_000_000}
+	hs, err := vdp.NewSketchSession(pub, layout, vdp.SessionOptions{Parallelism: cfg.Workers, Budget: budget})
+	if err != nil {
+		return nil, fmt.Errorf("heavyhitters: session: %w", err)
+	}
+	ctx := context.Background()
+
+	trueCounts := make([]int, cfg.Domain)
+	contribs := make([]*vdp.SketchContribution, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		item := hhItem(cfg, i)
+		trueCounts[item]++
+		if contribs[i], err = hs.NewContribution(i, item); err != nil {
+			return nil, fmt.Errorf("heavyhitters: client %d: %w", i, err)
+		}
+	}
+
+	res := &HHResult{Config: cfg}
+	res.Submit, err = timeIt(func() error {
+		for at := 0; at < len(contribs); at += cfg.Batch {
+			end := at + cfg.Batch
+			if end > len(contribs) {
+				end = len(contribs)
+			}
+			verdicts, err := hs.SubmitBatch(ctx, contribs[at:end])
+			if err != nil {
+				return err
+			}
+			for i, v := range verdicts {
+				if v != nil {
+					return fmt.Errorf("client %d refused: %w", at+i, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("heavyhitters: submit: %w", err)
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		if hs.BudgetSpent(i) > 0 {
+			res.Charged++
+		}
+	}
+
+	var sres *vdp.SketchResult
+	res.Finalize, err = timeIt(func() error {
+		sres, err = hs.Finalize(ctx)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("heavyhitters: finalize: %w", err)
+	}
+
+	var top []vdp.ItemEstimate
+	res.Query, _ = timeIt(func() error {
+		top = sres.Sketch.HeavyHitters(cfg.K)
+		return nil
+	})
+	res.Bound = sres.Sketch.ErrorBound()
+	inTop := make(map[int]bool, len(top))
+	for _, it := range top {
+		inTop[it.Item] = true
+	}
+	hits := 0
+	for item := 0; item < cfg.Hot; item++ {
+		if inTop[item] {
+			hits++
+		}
+		est, _, err := sres.Sketch.PointQuery(item)
+		if err != nil {
+			return nil, err
+		}
+		if diff := est - float64(trueCounts[item]); diff > res.MaxErr {
+			res.MaxErr = diff
+		} else if -diff > res.MaxErr {
+			res.MaxErr = -diff
+		}
+	}
+	res.Recall = float64(hits) / float64(cfg.Hot)
+	return res, nil
+}
+
+// Format renders the run like EXPERIMENTS.md's heavy-hitter table.
+func (r *HHResult) Format() string {
+	var b strings.Builder
+	cfg := r.Config
+	fmt.Fprintf(&b, "Verifiable heavy hitters: %d clients, %d×%d sketch, domain %d, budget ledger on\n",
+		cfg.Clients, cfg.Rows, cfg.Width, cfg.Domain)
+	fmt.Fprintf(&b, "%-28s %12s\n", "phase", "wall time")
+	fmt.Fprintf(&b, "%-28s %12s\n", "batched admission", fmtDuration(r.Submit))
+	fmt.Fprintf(&b, "%-28s %12s\n", "finalize + assemble", fmtDuration(r.Finalize))
+	fmt.Fprintf(&b, "%-28s %12s\n", fmt.Sprintf("HeavyHitters(%d)", cfg.K), fmtDuration(r.Query))
+	fmt.Fprintf(&b, "top-%d recall of %d true hitters: %.0f%%   max head error: %.1f (bound %.1f)   clients charged: %d\n",
+		cfg.K, cfg.Hot, 100*r.Recall, r.MaxErr, r.Bound, r.Charged)
+	return b.String()
+}

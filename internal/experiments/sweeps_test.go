@@ -153,3 +153,25 @@ func TestSweepConfigScales(t *testing.T) {
 		}
 	}
 }
+
+func TestHeavyHittersSweepSmoke(t *testing.T) {
+	res, err := HeavyHittersAtScale(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submit <= 0 || res.Finalize <= 0 {
+		t.Fatalf("non-positive phase times: submit=%v finalize=%v", res.Submit, res.Finalize)
+	}
+	if res.Recall < 1 {
+		t.Errorf("quick-scale recall %.2f, want 1.0 (the head dominates the error bound by construction)", res.Recall)
+	}
+	if res.MaxErr > res.Bound {
+		t.Errorf("max head error %.1f exceeds the advertised bound %.1f", res.MaxErr, res.Bound)
+	}
+	if res.Charged != res.Config.Clients {
+		t.Errorf("ledger charged %d clients, want all %d", res.Charged, res.Config.Clients)
+	}
+	if out := res.Format(); !strings.Contains(out, "recall") {
+		t.Fatalf("heavy-hitter table missing the recall line:\n%s", out)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/dp"
 	"repro/internal/field"
 	"repro/internal/morra"
 	"repro/internal/pedersen"
@@ -347,26 +348,29 @@ func Run(cfg Config, choices []int, malice map[int]ServerMalice, rnd io.Reader) 
 		var cs *sketch.ClientShares
 		var err error
 		if cfg.Bins == 1 {
-			// A 1-bin "one-hot" degenerates to a bit; share it directly.
-			v := f.Zero()
-			if choice != 0 {
-				v = f.One()
-			}
-			cs, err = sketch.ShareVector(skp, []*field.Element{v}, rnd)
+			// A 1-bin "one-hot" degenerates to a bit; share the claimed
+			// value as-is and let the sketch check below enforce b ∈ {0,1}
+			// (clamping here would silently legalize malformed clients).
+			cs, err = sketch.ShareVector(skp, []*field.Element{f.FromInt64(int64(choice))}, rnd)
 		} else {
 			cs, err = sketch.ShareOneHot(skp, choice, rnd)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("client %d: %w", i, err)
 		}
-		if cfg.Bins > 1 {
-			ok, err := sketch.ValidateClient(skp, cs, rnd)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue // invalid client dropped (silently, as in PRIO)
-			}
+		var ok bool
+		if cfg.Bins == 1 {
+			// The degenerate 1-bin submission is a bit, not a one-hot
+			// vector; check b ∈ {0,1} with the quadratic sketch test.
+			ok, err = sketch.ValidateClientBit(skp, cs, rnd)
+		} else {
+			ok, err = sketch.ValidateClient(skp, cs, rnd)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue // invalid client dropped (silently, as in PRIO)
 		}
 		for s := range servers {
 			if err := servers[s].Absorb(cs.Shares[s]); err != nil {
@@ -413,14 +417,15 @@ func Run(cfg Config, choices []int, malice map[int]ServerMalice, rnd io.Reader) 
 	}
 
 	rel := &Release{Raw: make([]int64, cfg.Bins), Estimate: make([]float64, cfg.Bins)}
-	mean := float64(2*cfg.Coins) / 2 // two servers' Binomial(nb, ½) noises
 	for j := 0; j < cfg.Bins; j++ {
 		raw, ok := sums[j].Int64()
 		if !ok {
 			return nil, fmt.Errorf("hybrid: bin %d aggregate does not fit in int64", j)
 		}
 		rel.Raw[j] = raw
-		rel.Estimate[j] = float64(raw) - mean
+		// Two servers each add an independent Binomial(nb, ½) noise; the
+		// debias formula is dp's, not a local recomputation.
+		rel.Estimate[j] = dp.DebiasBinomial(raw, cfg.Coins, 2)
 	}
 	return rel, nil
 }

@@ -148,6 +148,9 @@ type ServerSketch struct {
 
 // ComputeSketch evaluates a server's sketch shares honestly.
 func ComputeSketch(ch *Challenge, shares []*field.Element) (*ServerSketch, error) {
+	if len(shares) == 0 || len(ch.R) == 0 {
+		return nil, fmt.Errorf("sketch: empty share or challenge vector")
+	}
 	if len(shares) != len(ch.R) {
 		return nil, fmt.Errorf("sketch: share vector has %d coordinates, want %d", len(shares), len(ch.R))
 	}
@@ -160,12 +163,24 @@ func ComputeSketch(ch *Challenge, shares []*field.Element) (*ServerSketch, error
 }
 
 // VerifySketches combines the two servers' sketch shares and applies the
-// one-hot test: (z0+z1)² = (z0*+z1*) and (w0+w1) = 1.
-func VerifySketches(f *field.Field, s0, s1 *ServerSketch) bool {
+// one-hot test: (z0+z1)² = (z0*+z1*) and (w0+w1) = 1. The sketches must be
+// computed over f — a sketch from a different field is a caller error, not
+// an invalid client, and is reported as such.
+func VerifySketches(f *field.Field, s0, s1 *ServerSketch) (bool, error) {
+	if f == nil || s0 == nil || s1 == nil {
+		return false, fmt.Errorf("sketch: nil field or server sketch")
+	}
+	for i, s := range []*ServerSketch{s0, s1} {
+		for _, e := range []*field.Element{s.Z, s.Z2, s.W} {
+			if e == nil || !f.Equal(e.Field()) {
+				return false, fmt.Errorf("sketch: server %d sketch is not over the expected field", i)
+			}
+		}
+	}
 	z := s0.Z.Add(s1.Z)
 	z2 := s0.Z2.Add(s1.Z2)
 	w := s0.W.Add(s1.W)
-	return z.Square().Equal(z2) && w.IsOne()
+	return z.Square().Equal(z2) && w.IsOne(), nil
 }
 
 // ValidateClient is the honest two-server validation flow for one client.
@@ -182,7 +197,36 @@ func ValidateClient(p Params, cs *ClientShares, rnd io.Reader) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return VerifySketches(p.F, s0, s1), nil
+	return VerifySketches(p.F, s0, s1)
+}
+
+// ValidateClientBit validates a degenerate 1-bin submission, where the
+// shared value is a bit b ∈ {0,1} rather than a one-hot vector. The full
+// one-hot test would wrongly reject an honest b = 0 (w = 1 fails), so only
+// the quadratic part applies: z = r·b and z* = r²·b satisfy z² = z* exactly
+// when b² = b, i.e. b ∈ {0,1}, except with probability O(1/q) over r.
+func ValidateClientBit(p Params, cs *ClientShares, rnd io.Reader) (bool, error) {
+	if err := p.Validate(); err != nil {
+		return false, err
+	}
+	if p.M != 1 {
+		return false, fmt.Errorf("sketch: ValidateClientBit needs M = 1, got %d", p.M)
+	}
+	ch, err := NewChallenge(p, rnd)
+	if err != nil {
+		return false, err
+	}
+	s0, err := ComputeSketch(ch, cs.Shares[0])
+	if err != nil {
+		return false, err
+	}
+	s1, err := ComputeSketch(ch, cs.Shares[1])
+	if err != nil {
+		return false, err
+	}
+	z := s0.Z.Add(s1.Z)
+	z2 := s0.Z2.Add(s1.Z2)
+	return z.Square().Equal(z2), nil
 }
 
 // ExclusionAttack mounts Figure 1(a): server 1 is corrupted and evaluates
@@ -213,7 +257,7 @@ func ExclusionAttack(p Params, cs *ClientShares, rnd io.Reader) (clientAccepted 
 	if err != nil {
 		return false, err
 	}
-	return VerifySketches(p.F, s0, s1), nil
+	return VerifySketches(p.F, s0, s1)
 }
 
 // CollusionAttack mounts Figure 1(b): the client submits shares of an
@@ -247,5 +291,5 @@ func CollusionAttack(p Params, illegal []*field.Element, rnd io.Reader) (clientA
 		Z2: decoyZ2.Sub(s0.Z2),
 		W:  f.One().Sub(s0.W),
 	}
-	return VerifySketches(p.F, s0, s1), nil
+	return VerifySketches(p.F, s0, s1)
 }

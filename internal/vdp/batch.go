@@ -235,6 +235,32 @@ func (s *Session) SubmitBatch(ctx context.Context, subs []*ClientSubmission) ([]
 			verdicts[i] = fmt.Errorf("%w: duplicate submission from client %d", ErrClientReject, sub.Public.ID)
 			continue
 		}
+		if s.ledger != nil && !s.ledger.canCharge(epoch, sub.Public.ID) {
+			// Over budget: the member is refused with an attributable verdict
+			// (see Session.refuseOverBudgetLocked) — submission and refusal
+			// records land back to back in this batch's commit window, the ID
+			// stays reserved off-board, and nothing is charged.
+			id := sub.Public.ID
+			refusal := budgetRefusalError(id, s.ledger.spent[id], s.ledger.cfg.EpochCost, s.ledger.cfg.Total)
+			cl := &sessionClient{public: sub.Public, payloads: sub.Payloads, decided: true, reject: refusal}
+			if recs != nil {
+				if aerr = s.appendRecordOrdered(RecordSubmission, epoch, recs[i]); aerr != nil {
+					break
+				}
+				if aerr = s.appendRecordOrdered(RecordVerdict, epoch, encodeVerdict(id, refusal, false)); aerr != nil {
+					// The submission landed without its verdict: hand the
+					// member to the generic unwind, which may withdraw it.
+					cl.decided, cl.reject = false, nil
+					s.byID[id] = cl
+					admitted = append(admitted, cl)
+					break
+				}
+			}
+			s.byID[id] = cl
+			s.rejected[id] = refusal
+			verdicts[i] = refusal
+			continue
+		}
 		if recs != nil {
 			if aerr = s.appendRecordOrdered(RecordSubmission, epoch, recs[i]); aerr != nil {
 				break
@@ -245,6 +271,17 @@ func (s *Session) SubmitBatch(ctx context.Context, subs []*ClientSubmission) ([]
 		s.order = append(s.order, cl)
 		admitted = append(admitted, cl)
 		admittedIdx = append(admittedIdx, i)
+		if s.ledger != nil {
+			// Charge the member right behind its submission record, in the
+			// same commit window (see Submit). A failed append leaves the
+			// member in the generic unwind set below.
+			if payload, commit := s.ledger.prepareCharge(epoch, sub.Public.ID); payload != nil {
+				if aerr = s.appendRecordOrdered(RecordBudgetCharge, epoch, payload); aerr != nil {
+					break
+				}
+				commit()
+			}
+		}
 	}
 	if aerr != nil {
 		// The store failed mid-batch: members already written are reserved

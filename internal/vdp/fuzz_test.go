@@ -195,3 +195,67 @@ func FuzzDecodeSnapshotRecord(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBudgetCharge: a charge record is chain evidence — the resumed
+// session, the offline audit, and the live tail all hash the raw payload
+// into the ledger head, so the decoder must accept exactly the canonical
+// encoding and nothing else.
+func FuzzDecodeBudgetCharge(f *testing.F) {
+	f.Add(encodeBudgetCharge(7, 2, 1_000_000, 3_000_000, ledgerGenesis()))
+	f.Add(encodeBudgetCharge(0, 0, 1, 1, bytes.Repeat([]byte{0xcd}, 32)))
+	f.Add(encodeBudgetCharge(1, 1, 2, 2, ledgerGenesis())[:11]) // torn tail
+	f.Add([]byte{WireVersion, 0, 0, 0, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		id, epoch, amount, cum, prev, err := decodeBudgetCharge(b)
+		if err != nil {
+			return
+		}
+		if len(prev) != 32 {
+			t.Fatalf("accepted charge with a %d-byte chain digest", len(prev))
+		}
+		if enc := encodeBudgetCharge(id, epoch, amount, cum, prev); !bytes.Equal(enc, b) {
+			t.Fatalf("accepted charge is not canonical: %x re-encodes to %x", b, enc)
+		}
+	})
+}
+
+// FuzzDecodeSketchQuery: the query frame arrives straight off a socket in
+// the vdpserver query endpoint.
+func FuzzDecodeSketchQuery(f *testing.F) {
+	f.Add(EncodeSketchQuery(&SketchQuery{Kind: SketchQueryPoint, Arg: 7}))
+	f.Add(EncodeSketchQuery(&SketchQuery{Kind: SketchQueryTopK, Arg: 0}))
+	f.Add([]byte{WireVersion, 0, 0, 0, 5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		q, err := DecodeSketchQuery(b)
+		if err != nil {
+			return
+		}
+		if enc := EncodeSketchQuery(q); !bytes.Equal(enc, b) {
+			t.Fatalf("accepted query is not canonical: %x re-encodes to %x", b, enc)
+		}
+	})
+}
+
+// FuzzDecodeItemEstimates: the query reply is parsed by vdpclient from
+// whatever the far end sent.
+func FuzzDecodeItemEstimates(f *testing.F) {
+	f.Add(EncodeItemEstimates([]ItemEstimate{{Item: 5, Estimate: 12.5, Bound: 3.25}}))
+	f.Add(EncodeItemEstimates(nil))
+	f.Add([]byte{WireVersion, 0, 0, 0, 2, 0, 0, 0, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		items, err := DecodeItemEstimates(b)
+		if err != nil {
+			return
+		}
+		for _, it := range items {
+			// NaN re-encodes bit-exactly (we compare bytes, not values).
+			_ = it
+		}
+		if enc := EncodeItemEstimates(items); !bytes.Equal(enc, b) {
+			t.Fatalf("accepted reply is not canonical: %x re-encodes to %x", b, enc)
+		}
+	})
+}

@@ -1,0 +1,567 @@
+package vdp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/dp"
+	"repro/internal/sketch"
+)
+
+// Verifiable heavy hitters over streaming telemetry.
+//
+// A SketchSession releases a count-min sketch instead of a single histogram:
+// the layout's Rows independent hash rows are Rows independent ΠBin
+// instances, each with bin count M = layout.Width. A client reporting item x
+// submits one committed one-hot vector per row — bucket layout.Cell(r, x) in
+// row r — built, proved, verified, logged, sealed, and audited by exactly
+// the machinery a plain Session uses, so every cell of the released sketch
+// carries the full verifiable-DP guarantee: committed inputs, Σ-OR
+// well-formedness proofs, prover-supplied binomial noise flipped by public
+// Morra coins, and a Line-13 product check per row.
+//
+// The rows ride the sharded-session infrastructure sideways: where a
+// ShardedSession partitions *clients* across segments (ShardOf pins each ID
+// to one shard), a SketchSession partitions the *statistic* — every client
+// appears on every row, same ID, different one-hot position. Durable sketch
+// sessions therefore use a store.SegmentedLog with one segment per row, and
+// Finalize binds the epoch with the same merged-seal manifest record,
+// shards = Rows. The deliberate asymmetry: the privacy-budget ledger lives
+// on row 0 only. One admission = one charge, covering the client's whole
+// multi-row contribution (the rows are one mechanism invocation, not Rows
+// of them — the per-row noise compositions are accounted in the epoch cost
+// the operator configures). Row 0 is always submitted first and acts as the
+// budget gate: a client the ledger refuses never reaches rows 1..Rows-1.
+//
+// Querying the release is plain count-min arithmetic on DP estimates:
+// PointQuery reads the minimum debiased estimate across rows, HeavyHitters
+// enumerates the (bounded) item domain, and both attach the error bound
+// dp.CountMinBound — the classic e·N/w overcount term plus a 3σ noise term.
+
+// SketchContribution is one client's complete input to a sketch epoch: one
+// ΠBin submission per layout row, in row order, all for the same client ID.
+type SketchContribution struct {
+	ClientID int
+	Rows     []*ClientSubmission
+}
+
+// NewSketchContribution builds a contribution client-side: item's one-hot
+// position in row r is layout.Cell(r, item), each row an independent ΠBin
+// submission drawing fresh commitment randomness from rnd.
+func (p *Public) NewSketchContribution(layout sketch.Layout, clientID, item int, rnd io.Reader) (*SketchContribution, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if p.Bins() != layout.Width {
+		return nil, fmt.Errorf("%w: layout width %d but the protocol has %d bins", ErrBadConfig, layout.Width, p.Bins())
+	}
+	if item < 0 || item >= layout.Domain {
+		return nil, fmt.Errorf("%w: item %d outside domain [0, %d)", ErrBadConfig, item, layout.Domain)
+	}
+	c := &SketchContribution{ClientID: clientID, Rows: make([]*ClientSubmission, layout.Rows)}
+	for r := 0; r < layout.Rows; r++ {
+		sub, err := p.NewClientSubmission(clientID, layout.Cell(r, item), rnd)
+		if err != nil {
+			return nil, err
+		}
+		c.Rows[r] = sub
+	}
+	return c, nil
+}
+
+// SketchSession runs one ΠBin Session per count-min row under a single
+// lifecycle: Submit fans a contribution across the rows (row 0 first, as
+// the budget gate), Finalize seals every row and assembles the released
+// NoisySketch, and the epoch is pinned by one merged transcript digest.
+type SketchSession struct {
+	pub    *Public
+	layout sketch.Layout
+	opts   SessionOptions
+	rows   []*Session
+
+	mu      sync.Mutex
+	state   sessionState
+	epoch   int
+	resumed bool
+}
+
+// validateSketchOptions checks the option combinations every sketch
+// constructor shares.
+func validateSketchOptions(pub *Public, layout sketch.Layout, opts SessionOptions) error {
+	if err := layout.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if pub.Bins() != layout.Width {
+		return fmt.Errorf("%w: layout width %d but the protocol has %d bins", ErrBadConfig, layout.Width, pub.Bins())
+	}
+	if opts.Shards != 0 {
+		return fmt.Errorf("%w: a sketch session's rows occupy the shard axis; SessionOptions.Shards must stay 0", ErrBadConfig)
+	}
+	if opts.Store != nil {
+		return fmt.Errorf("%w: a sketch session stores its rows in SessionOptions.Segmented, not Store", ErrBadConfig)
+	}
+	if err := opts.Budget.validate(); err != nil {
+		return err
+	}
+	if opts.Segmented != nil && opts.Segmented.Shards() != layout.Rows {
+		return fmt.Errorf("%w: segmented log holds %d segments but the layout has %d rows", ErrBadConfig, opts.Segmented.Shards(), layout.Rows)
+	}
+	return nil
+}
+
+// NewSketchSession opens a sketch session over pub. The protocol's bin
+// count must equal layout.Width — each row is one ΠBin instance over the
+// row's buckets. A durable sketch session sets opts.Segmented with one
+// segment per layout row (all empty; recover history with
+// ResumeSketchSession). opts.Budget, when set, charges each client once per
+// epoch — on row 0, at admission — for its whole multi-row contribution.
+func NewSketchSession(pub *Public, layout sketch.Layout, opts SessionOptions) (*SketchSession, error) {
+	if err := validateSketchOptions(pub, layout, opts); err != nil {
+		return nil, err
+	}
+	if opts.Segmented != nil && !opts.Segmented.Empty() {
+		return nil, fmt.Errorf("%w: segmented board log already holds records; use ResumeSketchSession to recover it", ErrBadConfig)
+	}
+	root, err := newRandSource(opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+	hs := &SketchSession{pub: pub, layout: layout, opts: opts}
+	per := perShardWorkers(opts.Parallelism, layout.Rows)
+	for r := 0; r < layout.Rows; r++ {
+		so := subSessionOptions(opts, per)
+		if r > 0 {
+			so.Budget = nil // one charge per client, carried by row 0
+		}
+		if opts.Segmented != nil {
+			so.Store = opts.Segmented.Segment(r)
+		}
+		hs.rows = append(hs.rows, newSessionFromSource(NewEngine(pub, per), so, root.forkShard(r, layout.Rows)))
+	}
+	return hs, nil
+}
+
+// Layout returns the session's count-min layout.
+func (hs *SketchSession) Layout() sketch.Layout { return hs.layout }
+
+// Rows returns the row count.
+func (hs *SketchSession) Rows() int { return len(hs.rows) }
+
+// Row returns row r's underlying Session.
+func (hs *SketchSession) Row(r int) *Session { return hs.rows[r] }
+
+// Epoch returns the current epoch index.
+func (hs *SketchSession) Epoch() int {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	return hs.epoch
+}
+
+// Resumed reports whether the session was recovered from a board log.
+func (hs *SketchSession) Resumed() bool { return hs.resumed }
+
+// Finalized reports whether the current epoch has been sealed.
+func (hs *SketchSession) Finalized() bool {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	return hs.state == sessionFinalized
+}
+
+// LedgerDigest returns the budget ledger's chain head (the ledger lives on
+// row 0; nil when the session runs without a budget).
+func (hs *SketchSession) LedgerDigest() []byte { return hs.rows[0].LedgerDigest() }
+
+// BudgetSpent returns the client's lifetime spend in µε (0 without a
+// budget).
+func (hs *SketchSession) BudgetSpent(clientID int) uint64 { return hs.rows[0].BudgetSpent(clientID) }
+
+// NewContribution builds a contribution with the session's deterministic
+// client randomness — the local/testing counterpart of
+// Public.NewSketchContribution, mirroring Session.NewClientSubmission.
+func (hs *SketchSession) NewContribution(clientID, item int) (*SketchContribution, error) {
+	if item < 0 || item >= hs.layout.Domain {
+		return nil, fmt.Errorf("%w: item %d outside domain [0, %d)", ErrBadConfig, item, hs.layout.Domain)
+	}
+	c := &SketchContribution{ClientID: clientID, Rows: make([]*ClientSubmission, len(hs.rows))}
+	for r := range hs.rows {
+		sub, err := hs.rows[r].NewClientSubmission(clientID, hs.layout.Cell(r, item))
+		if err != nil {
+			return nil, err
+		}
+		c.Rows[r] = sub
+	}
+	return c, nil
+}
+
+// checkContribution validates a contribution's shape against the layout.
+func (hs *SketchSession) checkContribution(c *SketchContribution) error {
+	if c == nil || len(c.Rows) != len(hs.rows) {
+		return fmt.Errorf("%w: a contribution needs one submission per layout row (%d)", ErrBadConfig, len(hs.rows))
+	}
+	for r, sub := range c.Rows {
+		if sub == nil || sub.Public == nil {
+			return fmt.Errorf("%w: contribution row %d is empty", ErrBadConfig, r)
+		}
+		if sub.Public.ID != c.ClientID {
+			return fmt.Errorf("%w: contribution row %d carries client %d, want %d", ErrBadConfig, r, sub.Public.ID, c.ClientID)
+		}
+	}
+	return nil
+}
+
+// Submit admits one client's contribution. Row 0 goes first and is the
+// gate: its error — a budget refusal, a duplicate, or a proof rejection —
+// is returned verbatim (it is the client-facing verdict) and the remaining
+// rows never see the client. Once row 0 admits, rows 1..Rows-1 are
+// submitted in parallel; a rejection there is wrapped with its row index.
+// The budget charge, when configured, lands on row 0's board at admission,
+// and covers the whole contribution.
+func (hs *SketchSession) Submit(ctx context.Context, c *SketchContribution) error {
+	if err := hs.checkContribution(c); err != nil {
+		return err
+	}
+	hs.mu.Lock()
+	if hs.state != sessionOpen {
+		st := hs.state
+		hs.mu.Unlock()
+		return fmt.Errorf("%w: session is %s", ErrBadConfig, st)
+	}
+	hs.mu.Unlock()
+	if err := hs.rows[0].Submit(ctx, c.Rows[0]); err != nil {
+		return err
+	}
+	if len(hs.rows) == 1 {
+		return nil
+	}
+	return forEach(ctx, len(hs.rows)-1, len(hs.rows)-1, func(i int) error {
+		if err := hs.rows[i+1].Submit(ctx, c.Rows[i+1]); err != nil {
+			return fmt.Errorf("vdp: sketch row %d: %w", i+1, err)
+		}
+		return nil
+	})
+}
+
+// SubmitBatch admits many contributions at once, reusing each row's batched
+// admission pipeline (one Σ-OR batch verification, one group-commit fsync
+// per row). Row 0's batch runs first as the budget gate; only its
+// survivors are forwarded to rows 1..Rows-1, which run in parallel.
+// verdicts[i] is contribution i's outcome exactly as Session.SubmitBatch
+// reports it: nil for admitted, the client's attributable rejection
+// otherwise. err is reserved for infrastructure failures.
+func (hs *SketchSession) SubmitBatch(ctx context.Context, contribs []*SketchContribution) ([]error, error) {
+	for _, c := range contribs {
+		if err := hs.checkContribution(c); err != nil {
+			return nil, err
+		}
+	}
+	hs.mu.Lock()
+	if hs.state != sessionOpen {
+		st := hs.state
+		hs.mu.Unlock()
+		return nil, fmt.Errorf("%w: session is %s", ErrBadConfig, st)
+	}
+	hs.mu.Unlock()
+	verdicts := make([]error, len(contribs))
+	col := make([]*ClientSubmission, len(contribs))
+	for i, c := range contribs {
+		col[i] = c.Rows[0]
+	}
+	v0, err := hs.rows[0].SubmitBatch(ctx, col)
+	if err != nil {
+		return nil, err
+	}
+	var survivors []int
+	for i, v := range v0 {
+		verdicts[i] = v
+		if v == nil {
+			survivors = append(survivors, i)
+		}
+	}
+	if len(hs.rows) == 1 || len(survivors) == 0 {
+		return verdicts, nil
+	}
+	var mu sync.Mutex
+	ferr := forEach(ctx, len(hs.rows)-1, len(hs.rows)-1, func(i int) error {
+		r := i + 1
+		colR := make([]*ClientSubmission, len(survivors))
+		for j, c := range survivors {
+			colR[j] = contribs[c].Rows[r]
+		}
+		vr, err := hs.rows[r].SubmitBatch(ctx, colR)
+		if err != nil {
+			return fmt.Errorf("vdp: sketch row %d: %w", r, err)
+		}
+		mu.Lock()
+		for j, v := range vr {
+			if v != nil && verdicts[survivors[j]] == nil {
+				verdicts[survivors[j]] = fmt.Errorf("vdp: sketch row %d: %w", r, v)
+			}
+		}
+		mu.Unlock()
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	return verdicts, nil
+}
+
+// SketchResult is a finalized sketch epoch: the per-row protocol results,
+// the assembled query-ready sketch, the merged transcript digest pinning
+// the epoch, and the union of per-row client rejections.
+type SketchResult struct {
+	Rows            []*RunResult
+	Sketch          *NoisySketch
+	Digest          []byte
+	RejectedClients map[int]error
+}
+
+// Finalize seals every row in parallel and assembles the released sketch.
+// Crash-retry follows the sharded contract exactly: a row sealed by an
+// earlier attempt contributes its kept transcript, a failed merged-seal
+// manifest append reopens the session for an in-process retry, and a row
+// consumed by a protocol error spends the epoch.
+func (hs *SketchSession) Finalize(ctx context.Context) (*SketchResult, error) {
+	hs.mu.Lock()
+	if hs.state != sessionOpen {
+		st := hs.state
+		hs.mu.Unlock()
+		return nil, fmt.Errorf("%w: session is %s", ErrBadConfig, st)
+	}
+	hs.state = sessionFinalizing
+	epoch := hs.epoch
+	hs.mu.Unlock()
+
+	results := make([]*RunResult, len(hs.rows))
+	err := forEach(ctx, len(hs.rows), len(hs.rows), func(i int) error {
+		s := hs.rows[i]
+		if s.Finalized() {
+			t := s.SealedTranscript()
+			if t == nil {
+				return fmt.Errorf("%w: sketch row %d is finalized but its transcript is not recoverable", ErrBadConfig, i)
+			}
+			results[i] = &RunResult{Release: t.Release, Transcript: t, RejectedClients: s.Rejected()}
+			return nil
+		}
+		res, err := s.Finalize(ctx)
+		if err != nil {
+			return fmt.Errorf("sketch row %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		retryable := ctxErr(ctx) != nil
+		for _, s := range hs.rows {
+			if !s.Finalized() {
+				retryable = true
+			}
+		}
+		for _, s := range hs.rows {
+			if s.Finalized() && s.SealedTranscript() == nil {
+				retryable = false
+				break
+			}
+		}
+		hs.mu.Lock()
+		if retryable {
+			hs.state = sessionOpen
+		} else {
+			hs.state = sessionFinalized
+		}
+		hs.mu.Unlock()
+		return nil, err
+	}
+
+	out := &SketchResult{Rows: results, RejectedClients: make(map[int]error)}
+	ts := make([]*Transcript, len(results))
+	for i, res := range results {
+		ts[i] = res.Transcript
+		for id, rerr := range res.RejectedClients {
+			out.RejectedClients[id] = rerr
+		}
+	}
+	out.Sketch = hs.assembleSketch(results)
+	out.Digest = MergedTranscriptDigest(hs.pub, ts)
+
+	if hs.opts.Segmented != nil {
+		if err := appendMergedSeal(hs.opts.Segmented, epoch, len(hs.rows), out.Digest); err != nil {
+			// Rows sealed durably, manifest record missing: reopen so
+			// Finalize can be retried once the store recovers (the retry
+			// re-merges the kept transcripts to the identical digest).
+			hs.mu.Lock()
+			hs.state = sessionOpen
+			hs.mu.Unlock()
+			return nil, err
+		}
+	}
+	hs.mu.Lock()
+	hs.state = sessionFinalized
+	hs.mu.Unlock()
+	return out, nil
+}
+
+// assembleSketch lifts the per-row releases into one query-ready sketch.
+func (hs *SketchSession) assembleSketch(results []*RunResult) *NoisySketch {
+	ns := &NoisySketch{
+		Layout:   hs.layout,
+		Raw:      make([][]int64, len(results)),
+		Estimate: make([][]float64, len(results)),
+	}
+	for r, res := range results {
+		ns.Raw[r] = append([]int64(nil), res.Release.Raw...)
+		ns.Estimate[r] = append([]float64(nil), res.Release.Estimate...)
+		ns.Stddev = res.Release.Stddev
+		if n := int64(len(res.Transcript.Clients)); n > ns.Count {
+			ns.Count = n
+		}
+	}
+	return ns
+}
+
+// Reset reopens the session for the next epoch: a missing merged-seal
+// manifest record is healed first, then every row advances (skipping rows
+// an earlier partial Reset already advanced).
+func (hs *SketchSession) Reset() error {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if hs.state == sessionFinalizing {
+		return fmt.Errorf("%w: session is finalizing", ErrBadConfig)
+	}
+	if hs.opts.Segmented != nil {
+		if err := hs.healMergedSealLocked(); err != nil {
+			return err
+		}
+	}
+	for r, s := range hs.rows {
+		if s.Epoch() > hs.epoch {
+			continue
+		}
+		if err := s.Reset(); err != nil {
+			return fmt.Errorf("vdp: resetting sketch row %d: %w", r, err)
+		}
+	}
+	hs.epoch++
+	hs.state = sessionOpen
+	return nil
+}
+
+// Compact closes a finalized sketch epoch with per-row snapshot records;
+// see ShardedSession.Compact for the contract.
+func (hs *SketchSession) Compact() error {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if hs.state != sessionFinalized {
+		return fmt.Errorf("%w: only a finalized epoch can be compacted", ErrBadConfig)
+	}
+	if hs.opts.Segmented != nil {
+		if err := hs.healMergedSealLocked(); err != nil {
+			return err
+		}
+	}
+	for r, s := range hs.rows {
+		if s.Epoch() > hs.epoch {
+			continue
+		}
+		if err := s.Compact(); err != nil {
+			return fmt.Errorf("vdp: compacting sketch row %d: %w", r, err)
+		}
+	}
+	hs.epoch++
+	hs.state = sessionOpen
+	return nil
+}
+
+// healMergedSealLocked appends the current epoch's missing merged-seal
+// manifest record when every row is sealed with its transcript kept.
+// Callers hold hs.mu.
+func (hs *SketchSession) healMergedSealLocked() error {
+	ts := make([]*Transcript, len(hs.rows))
+	for i, s := range hs.rows {
+		if s.Epoch() != hs.epoch || !s.Finalized() {
+			return nil
+		}
+		if ts[i] = s.SealedTranscript(); ts[i] == nil {
+			return nil
+		}
+	}
+	seals, err := readMergedSeals(hs.opts.Segmented)
+	if err != nil {
+		return err
+	}
+	if _, ok := seals[hs.epoch]; ok {
+		return nil
+	}
+	return appendMergedSeal(hs.opts.Segmented, hs.epoch, len(hs.rows), MergedTranscriptDigest(hs.pub, ts))
+}
+
+// NoisySketch is the released count-min sketch: per-row verified noisy
+// counts (Raw), their debiased estimates, the shared per-cell noise stddev,
+// and the admitted-roster size the error bound is computed from (the
+// maximum across rows — conservative when a row rejected a client the
+// others kept).
+type NoisySketch struct {
+	Layout   sketch.Layout
+	Raw      [][]int64
+	Estimate [][]float64
+	Stddev   float64
+	Count    int64
+}
+
+// ErrorBound is the additive error ceiling every point query carries:
+// dp.CountMinBound's e·N/w overcount term plus three noise stddevs. Each
+// individual query holds with probability ≥ 1 - dp.CountMinFailureProb(d)
+// on the overcount term.
+func (ns *NoisySketch) ErrorBound() float64 {
+	return dp.CountMinBound(ns.Layout.Width, ns.Count, ns.Stddev)
+}
+
+// PointQuery estimates item's true count: the minimum debiased estimate
+// across the rows' cells, with the sketch's additive error bound.
+func (ns *NoisySketch) PointQuery(item int) (estimate, bound float64, err error) {
+	if item < 0 || item >= ns.Layout.Domain {
+		return 0, 0, fmt.Errorf("%w: item %d outside domain [0, %d)", ErrBadConfig, item, ns.Layout.Domain)
+	}
+	estimate = math.Inf(1)
+	for r := 0; r < ns.Layout.Rows; r++ {
+		if v := ns.Estimate[r][ns.Layout.Cell(r, item)]; v < estimate {
+			estimate = v
+		}
+	}
+	return estimate, ns.ErrorBound(), nil
+}
+
+// ItemEstimate is one ranked heavy-hitter candidate.
+type ItemEstimate struct {
+	Item     int
+	Estimate float64
+	Bound    float64
+}
+
+// HeavyHitters enumerates the item domain and returns the k largest
+// point-query estimates, descending (ties broken by ascending item).
+// k <= 0 or k > Domain returns the whole ranked domain. Any item whose
+// true count exceeds a reported estimate plus the bound would itself have
+// ranked — so with high probability the top-k contains every true hitter
+// above threshold + bound.
+func (ns *NoisySketch) HeavyHitters(k int) []ItemEstimate {
+	all := make([]ItemEstimate, ns.Layout.Domain)
+	for item := range all {
+		est, bound, _ := ns.PointQuery(item)
+		all[item] = ItemEstimate{Item: item, Estimate: est, Bound: bound}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Estimate != all[j].Estimate {
+			return all[i].Estimate > all[j].Estimate
+		}
+		return all[i].Item < all[j].Item
+	})
+	if k > 0 && k < len(all) {
+		all = all[:k]
+	}
+	return all
+}

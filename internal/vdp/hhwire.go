@@ -1,0 +1,111 @@
+package vdp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sketch query framing: the vdpclient -query / vdpserver query-serving wire
+// format. Queries and replies ride the same versioned little-frame
+// discipline as every other vdp codec — one leading version byte, u32
+// fields, length checks on decode — so the fuzz harness covers them like
+// the rest of the surface. Floats cross the wire as IEEE-754 bit patterns
+// (math.Float64bits) split into two u32s, matching the u64 convention the
+// budget ledger uses.
+
+// Query kinds.
+const (
+	// SketchQueryPoint asks for one item's estimate; Arg is the item.
+	SketchQueryPoint uint32 = 0
+	// SketchQueryTopK asks for the k heaviest items; Arg is k (0 = the
+	// whole ranked domain).
+	SketchQueryTopK uint32 = 1
+)
+
+// SketchQuery is a decoded query frame.
+type SketchQuery struct {
+	Kind uint32
+	Arg  int
+}
+
+// EncodeSketchQuery serializes a query frame.
+func EncodeSketchQuery(q *SketchQuery) []byte {
+	var w wireWriter
+	w.version()
+	w.u32(q.Kind)
+	w.u32(uint32(q.Arg))
+	return w.b
+}
+
+// DecodeSketchQuery parses a query frame.
+func DecodeSketchQuery(b []byte) (*SketchQuery, error) {
+	r := wireReader{b: b}
+	r.version()
+	kind := r.u32()
+	arg := r.u32()
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	if kind != SketchQueryPoint && kind != SketchQueryTopK {
+		return nil, fmt.Errorf("vdp: sketch query has unknown kind %d", kind)
+	}
+	if arg > maxWireDim {
+		return nil, fmt.Errorf("vdp: sketch query argument %d exceeds the %d cap", arg, maxWireDim)
+	}
+	return &SketchQuery{Kind: kind, Arg: int(arg)}, nil
+}
+
+// writeU64 appends v as two u32s, high word first.
+func (w *wireWriter) writeU64(v uint64) {
+	w.u32(uint32(v >> 32))
+	w.u32(uint32(v))
+}
+
+// readU64 consumes two u32s, high word first.
+func (r *wireReader) readU64() uint64 {
+	hi := r.u32()
+	lo := r.u32()
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+// EncodeItemEstimates serializes a query reply: the ranked item estimates
+// with their shared error bound.
+func EncodeItemEstimates(items []ItemEstimate) []byte {
+	var w wireWriter
+	w.version()
+	w.u32(uint32(len(items)))
+	for _, it := range items {
+		w.u32(uint32(it.Item))
+		w.writeU64(math.Float64bits(it.Estimate))
+		w.writeU64(math.Float64bits(it.Bound))
+	}
+	return w.b
+}
+
+// DecodeItemEstimates parses a query reply.
+func DecodeItemEstimates(b []byte) ([]ItemEstimate, error) {
+	r := wireReader{b: b}
+	r.version()
+	n := r.u32()
+	if n > maxWireDim {
+		return nil, fmt.Errorf("vdp: sketch reply claims %d items, cap is %d", n, maxWireDim)
+	}
+	// 20 bytes per item: reject the claim before allocating for it.
+	if uint64(len(b)) < 5+20*uint64(n) {
+		return nil, fmt.Errorf("vdp: sketch reply claims %d items but is %d bytes", n, len(b))
+	}
+	items := make([]ItemEstimate, 0, n)
+	for i := uint32(0); i < n; i++ {
+		item := r.u32()
+		est := math.Float64frombits(r.readU64())
+		bound := math.Float64frombits(r.readU64())
+		if r.err != nil {
+			break
+		}
+		items = append(items, ItemEstimate{Item: int(item), Estimate: est, Bound: bound})
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}

@@ -56,6 +56,14 @@ type SessionOptions struct {
 	// ResumeShardedSession accept it; it is the sharded counterpart of
 	// Store, and the two are mutually exclusive.
 	Segmented *store.SegmentedLog
+	// Budget enables the per-client privacy-budget ledger: every client's
+	// first admission in an epoch appends a digest-chained
+	// RecordBudgetCharge debiting EpochCost µε from its lifetime Total, and
+	// a client whose next charge would not fit is refused with an
+	// attributable board verdict. Sharded sessions charge on the client's
+	// home shard (ShardOf pins every client to one segment, so each
+	// segment's chain is complete for its clients). Nil disables the ledger.
+	Budget *BudgetConfig
 }
 
 // sessionState is the Submit/Finalize/Reset lifecycle position.
@@ -117,7 +125,8 @@ type Session struct {
 	order    []*sessionClient
 	byID     map[int]*sessionClient
 	rejected map[int]error
-	sealedT  *Transcript // current epoch's sealed transcript, once finalized
+	sealedT  *Transcript   // current epoch's sealed transcript, once finalized
+	ledger   *budgetLedger // non-nil iff opts.Budget is set; guarded by mu
 }
 
 // NewSession opens a streaming session over pub. The options' Rand is read
@@ -131,6 +140,9 @@ func NewSession(pub *Public, opts SessionOptions) (*Session, error) {
 	}
 	if opts.Segmented != nil {
 		return nil, fmt.Errorf("%w: a segmented store belongs to a sharded session; use NewShardedSession", ErrBadConfig)
+	}
+	if err := opts.Budget.validate(); err != nil {
+		return nil, err
 	}
 	if err := ensureEmptyLog(opts.Store); err != nil {
 		return nil, err
@@ -167,7 +179,7 @@ func newSessionWithEngine(e *Engine, opts SessionOptions) (*Session, error) {
 // every shard an independent fork of one root seed without re-reading
 // SessionOptions.Rand per shard.
 func newSessionFromSource(e *Engine, opts SessionOptions, root *randSource) *Session {
-	return &Session{
+	s := &Session{
 		pub:      e.pub,
 		eng:      e,
 		opts:     opts,
@@ -176,6 +188,10 @@ func newSessionFromSource(e *Engine, opts SessionOptions, root *randSource) *Ses
 		byID:     make(map[int]*sessionClient),
 		rejected: make(map[int]error),
 	}
+	if opts.Budget != nil {
+		s.ledger = newBudgetLedger(opts.Budget)
+	}
+	return s
 }
 
 // Epoch returns the session's current epoch number (0 before the first
@@ -293,6 +309,13 @@ func (s *Session) Submit(ctx context.Context, sub *ClientSubmission) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: duplicate submission from client %d", ErrClientReject, sub.Public.ID)
 	}
+	if s.ledger != nil && !s.ledger.canCharge(s.epoch, sub.Public.ID) {
+		// The client's lifetime privacy budget cannot cover another epoch:
+		// refuse with an attributable, board-recorded verdict. The refusal is
+		// definitive (no verification runs), the submission never reaches the
+		// board order, and — unlike an admission — nothing is charged.
+		return s.refuseOverBudgetLocked(cl, subRec)
+	}
 	if subRec != nil {
 		// Ordered write inside the lock; the fsync is deferred to the
 		// group-commit below so concurrent Submits don't serialize on disk.
@@ -300,6 +323,21 @@ func (s *Session) Submit(ctx context.Context, sub *ClientSubmission) error {
 			// Not durable, not admitted: the reservation was never made.
 			s.mu.Unlock()
 			return err
+		}
+	}
+	if s.ledger != nil {
+		// Charge the epoch's budget right behind the submission record, in
+		// the same group-commit window. The ledger mutates only after the
+		// append succeeds, so a failing store never forks the chain.
+		if payload, commit := s.ledger.prepareCharge(s.epoch, sub.Public.ID); payload != nil {
+			if err := s.appendRecordOrdered(RecordBudgetCharge, s.epoch, payload); err != nil {
+				// The submission record may have landed without its charge;
+				// withdraw it so the log does not admit an uncharged client.
+				_ = s.appendRecord(RecordWithdraw, s.epoch, encodeWithdraw(sub.Public.ID))
+				s.mu.Unlock()
+				return err
+			}
+			commit()
 		}
 	}
 	s.byID[sub.Public.ID] = cl
@@ -409,6 +447,48 @@ func (s *Session) verify(ctx context.Context, sub *ClientSubmission) (verdict er
 		}
 	}
 	return nil, true, nil
+}
+
+// refuseOverBudgetLocked refuses a submission whose next epoch charge would
+// exceed the client's lifetime budget. Called with s.mu held (and releases
+// it): the submission record still lands on the log — the refusal must be
+// attributable, so resubmission attempts leave durable evidence — followed
+// by an off-board refusal verdict carrying the budget marker. The ID stays
+// reserved for the epoch (like a payload refusal) and is never charged.
+func (s *Session) refuseOverBudgetLocked(cl *sessionClient, subRec []byte) error {
+	id := cl.public.ID
+	refusal := budgetRefusalError(id, s.ledger.spent[id], s.ledger.cfg.EpochCost, s.ledger.cfg.Total)
+	if subRec != nil {
+		if err := s.appendRecordOrdered(RecordSubmission, s.epoch, subRec); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	cl.decided = true
+	cl.reject = refusal
+	s.byID[id] = cl
+	s.rejected[id] = refusal
+	epoch := s.epoch
+	s.mu.Unlock()
+
+	rollback := func() {
+		s.mu.Lock()
+		delete(s.byID, id)
+		delete(s.rejected, id)
+		_ = s.appendRecord(RecordWithdraw, epoch, encodeWithdraw(id))
+		s.mu.Unlock()
+	}
+	if subRec != nil {
+		if err := s.syncStore(); err != nil {
+			rollback()
+			return err
+		}
+	}
+	if err := s.appendRecord(RecordVerdict, epoch, encodeVerdict(id, refusal, false)); err != nil {
+		rollback()
+		return err
+	}
+	return refusal
 }
 
 // removeFromOrderLocked splices one client out of the submission order.

@@ -79,6 +79,9 @@ func NewShardedSession(pub *Public, opts SessionOptions) (*ShardedSession, error
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.Budget.validate(); err != nil {
+		return nil, err
+	}
 	if opts.Segmented != nil {
 		if !opts.Segmented.Empty() {
 			return nil, fmt.Errorf("%w: segmented board log already holds records; use ResumeShardedSession to recover it", ErrBadConfig)
@@ -116,6 +119,18 @@ func resolveShardCount(opts SessionOptions) (int, error) {
 		shards = 1
 	}
 	return shards, nil
+}
+
+// LedgerDigests returns every shard's budget-ledger chain head, in shard
+// order (nil per shard when the session runs without a budget). Clients are
+// pinned to shards by ShardOf, so each shard's chain is the complete charge
+// history of its own clients.
+func (ss *ShardedSession) LedgerDigests() [][]byte {
+	out := make([][]byte, len(ss.shards))
+	for i, s := range ss.shards {
+		out[i] = s.LedgerDigest()
+	}
+	return out
 }
 
 // perShardWorkers divides the total engine width across shards, at least one

@@ -31,6 +31,8 @@ import (
 //	RecordSealChunk   payload = index, total, piece (oversized seal split)
 //	RecordReset       payload = empty (epoch closed by Reset)
 //	RecordSnapshot    payload = epoch, TranscriptDigest (epoch compacted)
+//	RecordBudgetCharge payload = client, epoch, amount, cumulative, chain
+//	                   digest (privacy-budget debit; see ledger.go)
 //
 // Submission records are appended while the session's reservation lock is
 // held, so log order always equals board order — that is what makes the
@@ -357,6 +359,7 @@ type replayState struct {
 	seal      sealAssembly
 	order     []*replayedClient
 	byID      map[int]*replayedClient
+	charged   map[int]bool // clients with a budget-charge record this epoch
 }
 
 // removeFromOrder splices one replayed client out of the submission order,
@@ -383,7 +386,7 @@ func replayLog(pub *Public, log store.BoardLog) (*replayState, error) {
 // vouches for everything before it), and the state machine opens at
 // startEpoch. skipTo < 0 replays the whole log from epoch 0.
 func replayLogFrom(pub *Public, log store.BoardLog, skipTo, startEpoch int) (*replayState, error) {
-	st := &replayState{epoch: startEpoch, byID: make(map[int]*replayedClient)}
+	st := &replayState{epoch: startEpoch, byID: make(map[int]*replayedClient), charged: make(map[int]bool)}
 	i := -1
 	err := log.Replay(func(rec *store.Record) error {
 		i++
@@ -471,6 +474,28 @@ func replayLogFrom(pub *Public, log store.BoardLog, skipTo, startEpoch int) (*re
 				st.sealed = true
 				st.sealBytes = done
 			}
+		case RecordBudgetCharge:
+			if st.sealed {
+				return fmt.Errorf("vdp: board log record %d: budget charge after epoch %d was sealed", i, st.epoch)
+			}
+			id, chEpoch, _, _, _, err := decodeBudgetCharge(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("vdp: board log record %d: %w", i, err)
+			}
+			if chEpoch != st.epoch {
+				return fmt.Errorf("vdp: board log record %d: budget charge pins epoch %d, current epoch is %d",
+					i, chEpoch, st.epoch)
+			}
+			if _, ok := st.byID[id]; !ok {
+				// A session only charges a client whose submission record is
+				// already on the log (the charge follows it in the same
+				// commit window).
+				return fmt.Errorf("vdp: board log record %d: budget charge for unknown client %d", i, id)
+			}
+			if st.charged[id] {
+				return fmt.Errorf("vdp: board log record %d: client %d charged twice in epoch %d", i, id, st.epoch)
+			}
+			st.charged[id] = true
 		case RecordReset:
 			st.epoch++
 			st.sealed = false
@@ -478,6 +503,7 @@ func replayLogFrom(pub *Public, log store.BoardLog, skipTo, startEpoch int) (*re
 			st.seal = sealAssembly{}
 			st.order = nil
 			st.byID = make(map[int]*replayedClient)
+			st.charged = make(map[int]bool)
 		case RecordSnapshot:
 			if !st.sealed {
 				return fmt.Errorf("vdp: board log record %d: snapshot of epoch %d, which is not sealed", i, st.epoch)
@@ -505,6 +531,7 @@ func replayLogFrom(pub *Public, log store.BoardLog, skipTo, startEpoch int) (*re
 			st.seal = sealAssembly{}
 			st.order = nil
 			st.byID = make(map[int]*replayedClient)
+			st.charged = make(map[int]bool)
 		default:
 			return fmt.Errorf("vdp: board log record %d: unknown kind %d", i, rec.Kind)
 		}
@@ -577,20 +604,58 @@ func resumeSessionFromSource(ctx context.Context, pub *Public, opts SessionOptio
 		}
 		s.sealedT = t
 	}
+	if opts.Budget != nil {
+		if err := opts.Budget.validate(); err != nil {
+			return nil, err
+		}
+		// Rebuild the charge chain from the full log (charges are lifetime
+		// state, so the scan ignores snapshot boundaries) and re-verify every
+		// link against the configured policy. The resumed chain head is what
+		// LedgerDigest exposes — byte-identical to the crashed session's.
+		led, err := replayLedger(opts.Store, opts.Budget)
+		if err != nil {
+			return nil, err
+		}
+		s.ledger = led
+	}
 
 	for _, rc := range st.order {
+		id := rc.sub.Public.ID
 		cl := &sessionClient{public: rc.sub.Public, payloads: rc.sub.Payloads}
-		if !rc.decided && !opts.DeferVerification && !st.sealed {
-			// The crash hit between the submission and verdict appends (or
-			// the original session deferred). Re-verify with Submit's exact
-			// checks and persist the recovered verdict so the log converges.
-			verdict, onBoard, err := s.verify(ctx, rc.sub)
-			if err != nil {
-				return nil, fmt.Errorf("vdp: re-verifying client %d during resume: %w", rc.sub.Public.ID, err)
-			}
-			rc.decided, rc.reject, rc.onBoard = true, verdict, onBoard
-			if err := s.appendRecord(RecordVerdict, st.epoch, encodeVerdict(rc.sub.Public.ID, verdict, onBoard)); err != nil {
+		if !rc.decided && !st.sealed && s.ledger != nil && !s.ledger.canCharge(st.epoch, id) {
+			// The crash interrupted a budget refusal (submission record down,
+			// refusal verdict lost). Re-refuse exactly as the live session
+			// would have: verdict on the log, ID reserved off-board, no
+			// charge, no verification.
+			refusal := budgetRefusalError(id, s.ledger.spent[id], s.ledger.cfg.EpochCost, s.ledger.cfg.Total)
+			rc.decided, rc.reject, rc.onBoard = true, refusal, false
+			if err := s.appendRecord(RecordVerdict, st.epoch, encodeVerdict(id, refusal, false)); err != nil {
 				return nil, err
+			}
+		} else if !rc.decided && !st.sealed {
+			if s.ledger != nil && !st.charged[id] {
+				// An admitted client without a charge means the crash beat the
+				// charge append; converge by charging now, like the live
+				// admission would have.
+				if payload, commit := s.ledger.prepareCharge(st.epoch, id); payload != nil {
+					if err := s.appendRecord(RecordBudgetCharge, st.epoch, payload); err != nil {
+						return nil, err
+					}
+					commit()
+				}
+			}
+			if !opts.DeferVerification {
+				// The crash hit between the submission and verdict appends (or
+				// the original session deferred). Re-verify with Submit's exact
+				// checks and persist the recovered verdict so the log converges.
+				verdict, onBoard, err := s.verify(ctx, rc.sub)
+				if err != nil {
+					return nil, fmt.Errorf("vdp: re-verifying client %d during resume: %w", id, err)
+				}
+				rc.decided, rc.reject, rc.onBoard = true, verdict, onBoard
+				if err := s.appendRecord(RecordVerdict, st.epoch, encodeVerdict(id, verdict, onBoard)); err != nil {
+					return nil, err
+				}
 			}
 		}
 		cl.decided = rc.decided
@@ -644,7 +709,9 @@ func auditLogEpoch(ctx context.Context, pub *Public, log store.BoardLog, epoch, 
 		snap    []byte         // digest pinned by the epoch's snapshot, if compacted
 		pubs    map[int][]byte // client ID -> encoded ClientPublic from submissions
 		onBoard map[int]bool   // verdict-recorded board membership
-	}{pubs: make(map[int][]byte), onBoard: make(map[int]bool)}
+		charged map[int]bool   // budget-charge records seen this epoch
+		refused map[int]bool   // verdicts carrying the budget-refusal marker
+	}{pubs: make(map[int][]byte), onBoard: make(map[int]bool), charged: make(map[int]bool), refused: make(map[int]bool)}
 	var chunks sealAssembly
 	err := log.Replay(func(rec *store.Record) error {
 		if int(rec.Epoch) != epoch {
@@ -681,7 +748,7 @@ func auditLogEpoch(ctx context.Context, pub *Public, log store.BoardLog, epoch, 
 			}
 			er.pubs[id] = pub.EncodeClientPublic(sub.Public)
 		case RecordVerdict:
-			id, _, onBoard, err := decodeVerdict(rec.Payload)
+			id, reject, onBoard, err := decodeVerdict(rec.Payload)
 			if err != nil {
 				return fmt.Errorf("%w: board log verdict: %v", ErrAuditFail, err)
 			}
@@ -689,6 +756,9 @@ func auditLogEpoch(ctx context.Context, pub *Public, log store.BoardLog, epoch, 
 				return fmt.Errorf("%w: epoch %d holds a verdict for unknown client %d", ErrAuditFail, epoch, id)
 			}
 			er.onBoard[id] = onBoard
+			if reject != nil && !onBoard && isBudgetRefusalReason(reject.Error()) {
+				er.refused[id] = true
+			}
 		case RecordWithdraw:
 			id, err := decodeWithdraw(rec.Payload)
 			if err != nil {
@@ -716,6 +786,21 @@ func auditLogEpoch(ctx context.Context, pub *Public, log store.BoardLog, epoch, 
 			if done != nil {
 				er.seal = done
 			}
+		case RecordBudgetCharge:
+			id, chEpoch, _, _, _, err := decodeBudgetCharge(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("%w: board log budget charge: %v", ErrAuditFail, err)
+			}
+			if chEpoch != epoch {
+				return fmt.Errorf("%w: epoch %d holds a budget charge pinning epoch %d", ErrAuditFail, epoch, chEpoch)
+			}
+			if _, has := er.pubs[id]; !has {
+				return fmt.Errorf("%w: epoch %d charges unknown client %d", ErrAuditFail, epoch, id)
+			}
+			if er.charged[id] {
+				return fmt.Errorf("%w: epoch %d charges client %d twice", ErrAuditFail, epoch, id)
+			}
+			er.charged[id] = true
 		case RecordReset:
 			// The epoch-closing marker carries no evidence.
 		case RecordSnapshot:
@@ -743,6 +828,27 @@ func auditLogEpoch(ctx context.Context, pub *Public, log store.BoardLog, epoch, 
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Ledger cross-checks. The charge chain spans epochs (budgets are
+	// lifetime state), so its integrity is verified over the whole log — a
+	// cheap scan that decodes only charge records. Within the audited epoch,
+	// the charging policy must hold: a budget-refused client is never
+	// charged, and — whenever the ledger was active this epoch — every other
+	// decided client was charged exactly once at admission.
+	if _, lerr := replayLedger(log, nil); lerr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAuditFail, lerr)
+	}
+	for id := range er.refused {
+		if er.charged[id] {
+			return nil, fmt.Errorf("%w: epoch %d refused client %d over budget but charged it anyway", ErrAuditFail, epoch, id)
+		}
+	}
+	if len(er.charged) > 0 || len(er.refused) > 0 {
+		for id := range er.onBoard {
+			if !er.refused[id] && !er.charged[id] {
+				return nil, fmt.Errorf("%w: epoch %d decided client %d without a budget charge", ErrAuditFail, epoch, id)
+			}
+		}
 	}
 	if er.seal == nil {
 		return nil, fmt.Errorf("%w: epoch %d is not sealed in the board log", ErrAuditFail, epoch)

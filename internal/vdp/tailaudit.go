@@ -39,6 +39,14 @@ type TailOptions struct {
 	// amortizes the random-linear-combination batching better; any pending
 	// remainder is flushed when a verdict needs it or at seal time.
 	Window int
+	// Budget, when set, makes the tail enforce the session's charging policy
+	// in addition to replaying the charge chain: every admitted client must
+	// be charged EpochCost at admission, budget refusals must be genuine
+	// (the replayed spend really cannot afford another epoch), and no epoch
+	// seals with an uncharged roster client. Without it the tail still
+	// verifies chain integrity — any dropped, injected, or reordered charge
+	// is flagged — but cannot judge whether the policy itself was honoured.
+	Budget *BudgetConfig
 }
 
 // defaultTailWindow is the submission batch a tail verifies at once.
@@ -47,15 +55,16 @@ const defaultTailWindow = 64
 // tailClient is one roster-shadow entry: a submission the tail has seen,
 // with where it saw it (for error attribution) and what it concluded.
 type tailClient struct {
-	raw     []byte // the submission's encoded ClientPublic, as logged
-	pub     *ClientPublic
-	offset  int64 // submission record offset in the log
-	index   int   // submission record index
-	checked bool  // board proof decided by the batched Σ-OR check
-	valid   bool  // board proof verdict
-	decided bool  // a verdict record landed
-	reject  bool  // that verdict was a rejection
-	folded  bool  // share commitments folded into the running product
+	raw        []byte // the submission's encoded ClientPublic, as logged
+	pub        *ClientPublic
+	offset     int64 // submission record offset in the log
+	index      int   // submission record index
+	checked    bool  // board proof decided by the batched Σ-OR check
+	valid      bool  // board proof verdict
+	decided    bool  // a verdict record landed
+	reject     bool  // that verdict was a rejection
+	overBudget bool  // that verdict was a budget refusal (never verified)
+	folded     bool  // share commitments folded into the running product
 }
 
 // TailAuditor incrementally audits one board log (or one shard segment).
@@ -93,6 +102,11 @@ type TailAuditor struct {
 	sealAsm sealAssembly
 	digest  []byte
 	history map[int][]byte // sealed epoch -> verified digest
+	// ledger replays the budget-charge chain across epochs (budgets are
+	// lifetime state, so clearEpoch never touches it). Chain integrity is
+	// always enforced; policy checks additionally when TailOptions.Budget
+	// was provided.
+	ledger *budgetLedger
 }
 
 // NewTailAuditor creates a live auditor for a single board log. Feed it
@@ -113,6 +127,7 @@ func NewTailAuditor(pub *Public, opts TailOptions) *TailAuditor {
 		shardCount: 1,
 		byID:       make(map[int]*tailClient),
 		history:    make(map[int][]byte),
+		ledger:     newBudgetLedger(opts.Budget),
 	}
 }
 
@@ -219,6 +234,8 @@ func (a *TailAuditor) consume(rec *store.Record, off int64) error {
 		return a.consumeSubmission(rec, off)
 	case RecordVerdict:
 		return a.consumeVerdict(rec, off)
+	case RecordBudgetCharge:
+		return a.consumeCharge(rec, off)
 	case RecordWithdraw:
 		id, err := decodeWithdraw(rec.Payload)
 		if err != nil {
@@ -310,6 +327,31 @@ func (a *TailAuditor) consumeSubmission(rec *store.Record, off int64) error {
 	return nil
 }
 
+// consumeCharge replays one budget-charge record through the tail's ledger:
+// the chain link, cumulative arithmetic, and — when the tail knows the
+// policy — amount and cap are all re-verified, and the charge must name a
+// roster client of the live epoch that was not refused over budget.
+func (a *TailAuditor) consumeCharge(rec *store.Record, off int64) error {
+	id, chEpoch, _, _, _, err := decodeBudgetCharge(rec.Payload)
+	if err != nil {
+		return a.errAt(off, "budget charge: %v", err)
+	}
+	if chEpoch != a.epoch {
+		return a.errAt(off, "budget charge pins epoch %d, live epoch is %d", chEpoch, a.epoch)
+	}
+	rc, ok := a.byID[id]
+	if !ok {
+		return a.errAt(off, "budget charge for unknown client %d", id)
+	}
+	if rc.overBudget {
+		return a.errAt(off, "budget charge for client %d, which was refused over budget", id)
+	}
+	if err := a.ledger.apply(rec.Payload); err != nil {
+		return a.errAt(off, "%v", err)
+	}
+	return nil
+}
+
 func (a *TailAuditor) consumeVerdict(rec *store.Record, off int64) error {
 	id, reject, onBoard, err := decodeVerdict(rec.Payload)
 	if err != nil {
@@ -323,6 +365,29 @@ func (a *TailAuditor) consumeVerdict(rec *store.Record, off int64) error {
 		// A session writes exactly one verdict per admitted submission; a
 		// second one is an attempt to flip an already-public outcome.
 		return a.errAt(off, "second verdict for client %d", id)
+	}
+	if reject != nil && !onBoard && isBudgetRefusalReason(reject.Error()) {
+		// A budget refusal is decided before any verification runs, so the
+		// proof cross-check table below does not apply — the tail instead
+		// verifies the refusal's *justification* against its replayed ledger
+		// (when it knows the policy): a server claiming exhaustion for a
+		// client whose spend affords another epoch is suppressing data.
+		if a.ledger.cfg != nil {
+			if a.ledger.chargedInEpoch(a.epoch, id) {
+				return a.errAt(off, "client %d refused over budget after being charged this epoch", id)
+			}
+			if a.ledger.spent[id]+a.ledger.cfg.EpochCost <= a.ledger.cfg.Total {
+				return a.errAt(off, "client %d refused over budget, but its replayed spend (%d of %d µε) affords another epoch",
+					id, a.ledger.spent[id], a.ledger.cfg.Total)
+			}
+		}
+		rc.decided = true
+		rc.reject = true
+		rc.overBudget = true
+		// Off-board like a payload refusal: the ID stays reserved, the
+		// public part never joins the roster shadow or the Σ-OR window.
+		a.drop(rc)
+		return nil
 	}
 	if !rc.checked {
 		if err := a.flushPending(); err != nil {
@@ -452,6 +517,11 @@ func (a *TailAuditor) verifySeal(sealBytes []byte, off int64) error {
 	for _, cl := range a.order {
 		if !cl.decided {
 			a.fold(cl)
+		}
+		if a.ledger.cfg != nil && !a.ledger.chargedInEpoch(a.epoch, cl.pub.ID) {
+			// Policy: admission always charges. A roster client reaching the
+			// seal uncharged means the curator gave away a free epoch.
+			return a.errAt(off, "epoch %d seals with roster client %d uncharged", a.epoch, cl.pub.ID)
 		}
 	}
 	sp, err := a.pub.splitSealedTranscript(sealBytes)
@@ -585,6 +655,16 @@ func (a *TailAuditor) Digest() []byte {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.digest
+}
+
+// LedgerDigest returns the tail's replayed budget-ledger chain head — the
+// genesis digest before any charge. When the followed session runs a
+// budget, this must equal Session.LedgerDigest byte for byte; a mismatch
+// means the two replayed different charge streams.
+func (a *TailAuditor) LedgerDigest() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ledger.digest()
 }
 
 // VerifiedDigest returns the verified digest of a sealed epoch the tail has

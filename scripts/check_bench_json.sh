@@ -7,8 +7,14 @@
 # a batch benchmark that forgot its size, a cluster entry without its node
 # count) fails before a malformed BENCH_<n>.json gets recorded.
 #
+# Entry names must also be unique: the sketch entries added for BENCH_9.json
+# (sketch-submit-batch, sketch-finalize, sketch-query-topk) share the
+# registry with the crypto hot-path entries, and a copy-pasted duplicate
+# name would make one snapshot silently shadow the other in any tooling
+# that keys on it.
+#
 # Usage: vdpbench -json | check_bench_json.sh
-#        check_bench_json.sh BENCH_6.json
+#        check_bench_json.sh BENCH_9.json
 set -eu
 
 input="${1:--}"
@@ -34,6 +40,10 @@ if doc.get("schema") != "vdp-bench/3":
 entries = doc.get("benchmarks")
 if not entries:
     fail("no benchmark entries")
+names = [e.get("name", "<unnamed>") for e in entries]
+dupes = sorted({n for n in names if names.count(n) > 1})
+if dupes:
+    fail(f"duplicate entry names: {', '.join(dupes)}")
 for e in entries:
     name = e.get("name", "<unnamed>")
     for key in ("name", "n", "ns_per_op", "us_per_op", "allocs_per_op",
