@@ -4,7 +4,7 @@
 // Usage:
 //
 //	vdpbench [-scale quick|standard|paper] [-parallel 1,2,4,8] [-shards 1,2,4,8] [-nodes 1,2,3]
-//	         [-only table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding,flood,cluster,hh]
+//	         [-only table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding,flood,cluster,failover,hh]
 //	vdpbench -json   > BENCH_<pr>.json
 //
 // The default runs every experiment at quick scale (seconds). Standard
@@ -33,7 +33,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick|standard|paper")
-	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding,flood,cluster,hh")
+	onlyFlag := flag.String("only", "", "comma-separated subset: table1,figure3,figure4,table2,micro,dperror,parallel,durability,sharding,flood,cluster,failover,hh")
 	parallelFlag := flag.String("parallel", "", "comma-separated worker counts for the engine sweep (default 1,2,4,8)")
 	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the sharding sweep (default 1,2,4,8)")
 	nodesFlag := flag.String("nodes", "", "comma-separated node counts for the cluster sweep (default scale-dependent)")
@@ -100,6 +100,7 @@ func main() {
 		{"cluster", func() (interface{ Format() string }, error) {
 			return experiments.ClusterSweepAtScale(scale, nodeCounts)
 		}},
+		{"failover", func() (interface{ Format() string }, error) { return experiments.FailoverAtScale(scale) }},
 		{"hh", func() (interface{ Format() string }, error) { return experiments.HeavyHittersAtScale(scale) }},
 	}
 

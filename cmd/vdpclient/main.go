@@ -45,6 +45,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -460,7 +461,7 @@ func auditSharded(pub *vdp.Public, dir string, epoch int, timeout time.Duration)
 func followCluster(pub *vdp.Public, addrs []string, epochs int, interval time.Duration, opts transport.ClientOptions) {
 	backends := make([]*cluster.Backend, len(addrs))
 	for i, addr := range addrs {
-		backends[i] = cluster.NewBackend(strings.TrimSpace(addr), i, opts)
+		backends[i] = cluster.NewBackend(cluster.SplitReplicaSpec(addr), i, opts)
 	}
 	f, err := cluster.NewTailFollower(pub, backends, vdp.TailOptions{})
 	if err != nil {
@@ -471,7 +472,15 @@ func followCluster(pub *vdp.Public, addrs []string, epochs int, interval time.Du
 	for {
 		n, err := f.Poll()
 		if err != nil {
-			log.Fatalf("live audit FAILED: %v", err)
+			// Evidence failures (bad proof, rewritten history, forked seal)
+			// are fatal; a node being down is not — the cluster may be mid
+			// failover, so keep polling and let the follower switch replicas.
+			if errors.Is(err, vdp.ErrAuditFail) {
+				log.Fatalf("live audit FAILED: %v", err)
+			}
+			fmt.Printf("live audit: shard unreachable (%v), retrying\n", err)
+			time.Sleep(interval)
+			continue
 		}
 		if n > 0 {
 			recs := f.Records()
@@ -484,7 +493,11 @@ func followCluster(pub *vdp.Public, addrs []string, epochs int, interval time.Du
 		for {
 			epoch, digest, ready, err := f.VerifyNext()
 			if err != nil {
-				log.Fatalf("live audit FAILED: %v", err)
+				if errors.Is(err, vdp.ErrAuditFail) {
+					log.Fatalf("live audit FAILED: %v", err)
+				}
+				fmt.Printf("live audit: shard unreachable (%v), retrying\n", err)
+				break
 			}
 			if !ready {
 				break

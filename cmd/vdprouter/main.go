@@ -22,7 +22,12 @@
 // "unavailable" verdict (their connections stay up and other shards keep
 // admitting); a background probe pulls the node back into rotation when it
 // returns, and a node restarted from its -store-dir recovers its shard
-// independently via the recorded board log.
+// independently via the recorded board log. A -backends entry may also name
+// a replica pair "primary~standby" (the primary runs with -standby, the
+// standby with -replica-of): the primary mirrors every log record to the
+// standby before acking, and when the primary dies the router promotes the
+// standby through a fenced handshake — the shard keeps admitting with no
+// operator action, and the stale primary can never acknowledge again.
 //
 // With -audit the router instead plays the cross-node auditor: it fetches
 // the merged seal from every node (all must agree), pulls each node's
@@ -37,6 +42,12 @@
 //	vdpserver -addr 127.0.0.1:7103 -shard-index 2 -shard-count 3 -store-dir /var/lib/vdp/n2 -bins 2 -coins 32
 //	vdprouter -addr 127.0.0.1:7001 -backends 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 -clients 64 -bins 2 -coins 32
 //	vdprouter -backends 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 -bins 2 -coins 32 -audit
+//
+// Replicated (shard 0 gets a standby on :7111):
+//
+//	vdpserver -addr 127.0.0.1:7111 -shard-index 0 -shard-count 3 -replica-of 127.0.0.1:7101 -store-dir /var/lib/vdp/s0 -bins 2 -coins 32
+//	vdpserver -addr 127.0.0.1:7101 -shard-index 0 -shard-count 3 -standby 127.0.0.1:7111 -store-dir /var/lib/vdp/n0 -bins 2 -coins 32
+//	vdprouter -addr 127.0.0.1:7001 -backends 127.0.0.1:7101~127.0.0.1:7111,127.0.0.1:7102,127.0.0.1:7103 -clients 64 -bins 2 -coins 32
 package main
 
 import (
@@ -59,7 +70,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7001", "client-facing listen address")
-		backends = flag.String("backends", "", "comma-separated node addresses in shard order (node i serves shard i)")
+		backends = flag.String("backends", "", "comma-separated shard replica sets in shard order: each entry is a node address or a primary~standby pair")
 		clients  = flag.Int("clients", 3, "accepted submissions across all shards before finalizing")
 		bins     = flag.Int("bins", 1, "histogram bins (must match the nodes)")
 		coins    = flag.Int("coins", 64, "noise coins nb (must match the nodes)")

@@ -116,6 +116,8 @@ func main() {
 		shards   = flag.Int("shards", 1, "independent board shards (client IDs are consistent-hashed across them)")
 		shardIdx = flag.Int("shard-index", -1, "cluster node mode: serve this shard of -shard-count behind a vdprouter")
 		shardCnt = flag.Int("shard-count", 0, "cluster node mode: total shards in the cluster (requires -shard-index)")
+		standby  = flag.String("standby", "", "cluster node mode: mirror every log record to the standby at this address before acking")
+		replica  = flag.String("replica-of", "", "cluster standby mode: run as the warm standby of the primary at this address (no admissions until promoted)")
 		ledger   = flag.String("ledger", "", "privacy-budget ledger policy \"epochEps,totalEps\" (e.g. 0.5,2; empty = no ledger)")
 		sketchSp = flag.String("sketch", "", "heavy-hitters mode: serve a RxWxD count-min sketch (e.g. 4x16x1024; overrides -bins with W)")
 		serveQ   = flag.Duration("serve-queries", 0, "sketch mode: keep answering -query frames this long after the release (0 = exit)")
@@ -165,8 +167,18 @@ func main() {
 		if *sketchSp != "" {
 			log.Fatalf("-sketch cannot be combined with cluster node mode (-shard-index/-shard-count)")
 		}
-		runNode(ctx, pub, *addr, *storeDir, budget, *shardIdx, *shardCnt, *grace)
+		if *standby != "" && *replica != "" {
+			log.Fatalf("-standby and -replica-of are mutually exclusive: a process is a primary or a standby, not both")
+		}
+		if *replica != "" {
+			runStandby(ctx, pub, *addr, *storeDir, budget, *shardIdx, *shardCnt, *replica, *grace)
+			return
+		}
+		runNode(ctx, pub, *addr, *storeDir, budget, *shardIdx, *shardCnt, *standby, *grace)
 		return
+	}
+	if *standby != "" || *replica != "" {
+		log.Fatalf("-standby/-replica-of require cluster node mode (-shard-index/-shard-count)")
 	}
 	if *sketchSp != "" {
 		// Heavy-hitters mode: the board is a SketchSession (one sub-session

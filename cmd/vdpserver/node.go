@@ -20,6 +20,45 @@ import (
 // single surviving node can attest the cluster-level seal.
 const mergedLogName = "merged.log"
 
+// mirrorOptions are the primary→standby replication client settings: short
+// legs with a couple of retries, so a bounced standby costs a redial, not a
+// wedged admission path.
+func mirrorOptions(grace time.Duration) transport.ClientOptions {
+	return transport.ClientOptions{
+		Timeout: 10 * time.Second,
+		Retry:   transport.RetryPolicy{Retries: 3, Backoff: 50 * time.Millisecond, MaxBackoff: grace},
+	}
+}
+
+// openNodeLogs opens (or creates) a cluster replica's two durable logs —
+// board and merged-seal sidecar — under storeDir, falling back to in-memory
+// logs when storeDir is empty. The layout is identical for primaries and
+// standbys, so a promoted standby's directory is a valid node directory.
+func openNodeLogs(storeDir string) (board, seal store.BoardLog, durable bool, closeAll func()) {
+	if storeDir == "" {
+		return store.NewMemLog(), store.NewMemLog(), false, func() {}
+	}
+	if err := os.MkdirAll(storeDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	boardLog, err := store.OpenFileLog(filepath.Join(storeDir, boardLogName))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tb := boardLog.Truncated(); tb > 0 {
+		log.Printf("board log: discarded %d torn-tail bytes from an interrupted append", tb)
+	}
+	sealLog, err := store.OpenFileLog(filepath.Join(storeDir, mergedLogName))
+	if err != nil {
+		boardLog.Close()
+		log.Fatal(err)
+	}
+	return boardLog, sealLog, true, func() {
+		boardLog.Close()
+		sealLog.Close()
+	}
+}
+
 // runNode serves one shard of a multi-node cluster: a single-shard session
 // seeded with shard shardIndex's substream of the cluster's deterministic
 // seed derivation (so K nodes merge to the same digest as one ShardedSession
@@ -29,68 +68,83 @@ const mergedLogName = "merged.log"
 // any particular accepted count does not stop the server, and shutdown
 // leaves an open epoch on disk exactly where ResumeShardSession can pick it
 // up.
-func runNode(ctx context.Context, pub *vdp.Public, addr, storeDir string, budget *vdp.BudgetConfig, shardIndex, shardCount int, grace time.Duration) {
-	var (
-		boardLog *store.FileLog
-		sealLog  *store.FileLog
-		sess     *vdp.Session
-		err      error
-	)
-	if storeDir == "" {
-		sess, err = vdp.NewShardSession(pub, vdp.SessionOptions{Budget: budget}, shardIndex, shardCount)
+//
+// With standbyAddr set the node is a replica-set primary: both logs are
+// wrapped in store.ReplicatedLog, whose mirror hook ships every record to
+// the standby before the covering verdict is acknowledged. A submission that
+// cannot be mirrored is not acknowledged — synchronous replication is the
+// point — so with the standby down, admissions fail until it returns or the
+// router promotes it.
+func runNode(ctx context.Context, pub *vdp.Public, addr, storeDir string, budget *vdp.BudgetConfig, shardIndex, shardCount int, standbyAddr string, grace time.Duration) {
+	boardInner, sealInner, durable, closeLogs := openNodeLogs(storeDir)
+	defer closeLogs()
+
+	blog, slog := boardInner, sealInner
+	var repl *cluster.Replicator
+	if standbyAddr != "" {
+		repl = cluster.NewReplicator(standbyAddr, shardIndex, shardCount, mirrorOptions(grace))
+		defer repl.Close()
+		var err error
+		blog, err = store.NewReplicatedLog(boardInner, repl.Mirror(cluster.ReplLogBoard))
 		if err != nil {
 			log.Fatal(err)
 		}
-	} else {
-		if err := os.MkdirAll(storeDir, 0o755); err != nil {
-			log.Fatal(err)
-		}
-		boardLog, err = store.OpenFileLog(filepath.Join(storeDir, boardLogName))
+		slog, err = store.NewReplicatedLog(sealInner, repl.Mirror(cluster.ReplLogSeal))
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer boardLog.Close()
-		if tb := boardLog.Truncated(); tb > 0 {
-			log.Printf("board log: discarded %d torn-tail bytes from an interrupted append", tb)
-		}
-		sealLog, err = store.OpenFileLog(filepath.Join(storeDir, mergedLogName))
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer sealLog.Close()
-		opts := vdp.SessionOptions{Store: boardLog, Budget: budget}
-		if boardLog.Len() == 0 {
-			sess, err = vdp.NewShardSession(pub, opts, shardIndex, shardCount)
-			if err != nil {
-				log.Fatal(err)
-			}
-		} else {
-			sess, err = vdp.ResumeShardSession(ctx, pub, opts, shardIndex, shardCount)
-			if err != nil {
-				log.Fatalf("recovering board log: %v", err)
-			}
-			// Standalone recovery Resets a sealed epoch to open the next one;
-			// a cluster node must not — the merged seal may still be in
-			// flight, and the router's roll-forward (or an explicit
-			// node-reset) is the only sanctioned turnover.
-			if sess.Finalized() {
-				log.Printf("recovered board log: epoch %d sealed locally; awaiting the router's merge/reset", sess.Epoch())
-			} else {
-				log.Printf("recovered board log: resuming epoch %d with %d submissions (%d rejected)",
-					sess.Epoch(), sess.Submitted(), len(sess.Rejected()))
+		// Best-effort catch-up of pre-existing records; a standby that is not
+		// up yet just means the first acknowledged admission pays for it.
+		for _, l := range []store.BoardLog{blog, slog} {
+			if f, ok := l.(interface{ Flush() error }); ok {
+				if err := f.Flush(); err != nil {
+					log.Printf("standby %s not caught up yet: %v", standbyAddr, err)
+					break
+				}
 			}
 		}
 	}
 
-	var blog, slog store.BoardLog
-	if boardLog != nil {
-		blog = boardLog
+	var (
+		sess *vdp.Session
+		err  error
+	)
+	opts := vdp.SessionOptions{Store: blog, Budget: budget}
+	if !durable && repl == nil {
+		opts.Store = nil // plain in-memory board, no log to keep
 	}
-	if sealLog != nil {
-		slog = sealLog
+	empty := true
+	if c, ok := blog.(interface{ Len() int }); ok {
+		empty = c.Len() == 0
+	}
+	if opts.Store == nil || empty {
+		sess, err = vdp.NewShardSession(pub, opts, shardIndex, shardCount)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		sess, err = vdp.ResumeShardSession(ctx, pub, opts, shardIndex, shardCount)
+		if err != nil {
+			log.Fatalf("recovering board log: %v", err)
+		}
+		// Standalone recovery Resets a sealed epoch to open the next one;
+		// a cluster node must not — the merged seal may still be in
+		// flight, and the router's roll-forward (or an explicit
+		// node-reset) is the only sanctioned turnover.
+		if sess.Finalized() {
+			log.Printf("recovered board log: epoch %d sealed locally; awaiting the router's merge/reset", sess.Epoch())
+		} else {
+			log.Printf("recovered board log: resuming epoch %d with %d submissions (%d rejected)",
+				sess.Epoch(), sess.Submitted(), len(sess.Rejected()))
+		}
+	}
+
+	var nodeBoard, nodeSeal store.BoardLog
+	if durable || repl != nil {
+		nodeBoard, nodeSeal = blog, slog
 	}
 	node, err := cluster.NewNode(ctx, pub, sess, cluster.NodeConfig{
-		Shard: shardIndex, Shards: shardCount, BoardLog: blog, SealLog: slog,
+		Shard: shardIndex, Shards: shardCount, BoardLog: nodeBoard, SealLog: nodeSeal,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -151,8 +205,12 @@ func runNode(ctx context.Context, pub *vdp.Public, addr, storeDir string, budget
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("verifiable-dp cluster node listening on %s (shard %d of %d, M=%d, nb=%d, store=%s)",
-		srv.Addr(), shardIndex, shardCount, pub.Bins(), pub.Coins(), storeDesc(storeDir))
+	mirror := "none"
+	if repl != nil {
+		mirror = standbyAddr
+	}
+	log.Printf("verifiable-dp cluster node listening on %s (shard %d of %d, M=%d, nb=%d, store=%s, standby=%s)",
+		srv.Addr(), shardIndex, shardCount, pub.Bins(), pub.Coins(), storeDesc(storeDir), mirror)
 
 	<-ctx.Done()
 	log.Printf("signal received: shutting down shard %d", shardIndex)
@@ -167,5 +225,108 @@ func runNode(ctx context.Context, pub *vdp.Public, addr, storeDir string, budget
 		log.Printf("shard %d exiting mid-epoch; epoch %d is resumable from %s", shardIndex, sess.Epoch(), storeDir)
 	} else {
 		log.Printf("shard %d exiting mid-epoch; in-memory board discarded", shardIndex)
+	}
+}
+
+// runStandby serves one shard's warm replica: it applies the primary's
+// replicate-append stream to its own logs (same on-disk layout as a node, so
+// the directory stays audit-able and restart-able) and serves the read-side
+// RPCs so followers can keep tailing through a failover. It takes no
+// admissions until the router promotes it — at which point it fences the old
+// primary, resumes the shard session from the mirror, and serves the full
+// node protocol, submissions included. primaryAddr is not dialed; the
+// primary connects to us, the flag documents the pairing in logs and ps
+// output.
+func runStandby(ctx context.Context, pub *vdp.Public, addr, storeDir string, budget *vdp.BudgetConfig, shardIndex, shardCount int, primaryAddr string, grace time.Duration) {
+	board, seal, _, closeLogs := openNodeLogs(storeDir)
+	defer closeLogs()
+
+	sb, err := cluster.NewStandby(ctx, pub, cluster.StandbyConfig{
+		Shard: shardIndex, Shards: shardCount, Board: board, Seal: seal,
+		SessionOpts: vdp.SessionOptions{Budget: budget},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		mu       sync.Mutex
+		accepted int
+	)
+	handler := func(f *transport.Frame) ([]*transport.Frame, error) {
+		if cluster.IsRPC(f.Kind) {
+			wasPromoted := sb.Promoted()
+			reply := sb.Handle(f)
+			if !wasPromoted && sb.Promoted() {
+				log.Printf("shard %d standby PROMOTED: now serving as the shard's node (%d mirrored records)",
+					shardIndex, sb.MirroredRecords())
+			}
+			return reply, nil
+		}
+		node := sb.Node()
+		if node == nil {
+			return nil, fmt.Errorf("shard %d standby does not take submissions until promoted", shardIndex)
+		}
+		switch f.Kind {
+		case "submit":
+			sub, err := pub.DecodeSubmitPayload(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if err := node.Submit(ctx, sub); err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			accepted++
+			n := accepted
+			mu.Unlock()
+			log.Printf("shard %d (promoted standby): accepted client %d (%d since promotion)", shardIndex, sub.Public.ID, n)
+			return []*transport.Frame{{Kind: "ack", Payload: []byte("accepted")}}, nil
+		case "submit-batch":
+			subs, err := pub.DecodeSubmissionBatch(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			verdicts, err := node.SubmitBatch(ctx, subs)
+			if err != nil {
+				return nil, err
+			}
+			ok := 0
+			for _, v := range verdicts {
+				if v == nil {
+					ok++
+				}
+			}
+			mu.Lock()
+			accepted += ok
+			n := accepted
+			mu.Unlock()
+			log.Printf("shard %d (promoted standby): accepted batch of %d: %d admitted, %d rejected (%d since promotion)",
+				shardIndex, len(subs), ok, len(subs)-ok, n)
+			reply := vdp.EncodeBatchVerdicts(vdp.VerdictsFor(subs, verdicts))
+			return []*transport.Frame{{Kind: "batch-verdicts", Payload: reply}}, nil
+		default:
+			return nil, fmt.Errorf("unexpected frame kind %q", f.Kind)
+		}
+	}
+
+	srv, err := transport.Listen(addr, handler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("verifiable-dp standby listening on %s (shard %d of %d, mirror of %s, store=%s)",
+		srv.Addr(), shardIndex, shardCount, primaryAddr, storeDesc(storeDir))
+
+	<-ctx.Done()
+	log.Printf("signal received: shutting down shard %d standby", shardIndex)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), grace)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("listener drain: %v", err)
+	}
+	if sb.Promoted() {
+		log.Printf("shard %d exiting as the promoted node; store %s is resumable as a node directory", shardIndex, storeDesc(storeDir))
+	} else {
+		log.Printf("shard %d standby exiting with %d mirrored records", shardIndex, sb.MirroredRecords())
 	}
 }

@@ -157,7 +157,27 @@ func (n *Node) Status() *NodeStatus {
 		Finalized:    n.sess.Finalized(),
 		MergedSealed: merged,
 		Durable:      n.boardLog != nil,
+		LogLen:       boardLen(n.boardLog),
 	}
+}
+
+// boardLen reports a log's record count when it can (FileLog, MemLog and
+// ReplicatedLog all count; an exotic BoardLog without Len reports 0, which
+// only weakens the promotion fence, never blocks it). A ReplicatedLog
+// reports its acked (mirrored) prefix, not its total: records the standby
+// never confirmed must not raise the fence, or a primary dying mid-sync
+// would wedge promotion on history nobody acknowledged.
+func boardLen(log store.BoardLog) int {
+	if log == nil {
+		return 0
+	}
+	if c, ok := log.(interface{ Acked() int }); ok {
+		return c.Acked()
+	}
+	if c, ok := log.(interface{ Len() int }); ok {
+		return c.Len()
+	}
+	return 0
 }
 
 // Handle serves one cluster RPC frame and always produces exactly one reply
@@ -265,12 +285,18 @@ func (n *Node) transcript(epoch int) *transport.Frame {
 }
 
 func (n *Node) shipLog() *transport.Frame {
-	if n.boardLog == nil {
-		return errFrame("cluster: shard %d keeps no board log", n.shard)
+	return shipLogFrame(n.shard, n.boardLog)
+}
+
+// shipLogFrame builds a KindLog reply from a board log; shared by nodes and
+// unpromoted standbys (which serve their mirrored log to followers).
+func shipLogFrame(shard int, log store.BoardLog) *transport.Frame {
+	if log == nil {
+		return errFrame("cluster: shard %d keeps no board log", shard)
 	}
-	recs, err := n.boardLog.Snapshot()
+	recs, err := log.Snapshot()
 	if err != nil {
-		return errFrame("cluster: shard %d board log: %v", n.shard, err)
+		return errFrame("cluster: shard %d board log: %v", shard, err)
 	}
 	payload, err := encodeLogReply(recs)
 	if err != nil {

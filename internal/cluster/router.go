@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,14 +39,19 @@ type Config struct {
 	// Pub is the shared protocol public parameters (same -clients/-bins/-eps
 	// derivation as the nodes).
 	Pub *vdp.Public
-	// Backends lists node addresses in shard order: Backends[i] must serve
-	// shard i of len(Backends). Verified against each node's own claim by
-	// CheckTopology.
+	// Backends lists shard replica sets in shard order: Backends[i] serves
+	// shard i of len(Backends). Each entry is either a single node address
+	// or a "primary~standby" pair; with a pair configured, the router
+	// promotes the standby when the primary fails. Verified against each
+	// node's own claim by CheckTopology.
 	Backends []string
 	// Timeout bounds each backend round-trip leg; Retry governs backend
 	// dials and idempotent-RPC retries.
 	Timeout time.Duration
 	Retry   transport.RetryPolicy
+	// Dial overrides how backend connections are opened (nil = TCP); the
+	// chaos harness injects transport.FaultPlan wrappers here.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 	// Target, when positive, closes Done() once that many submissions have
 	// been accepted across all shards.
 	Target int
@@ -59,16 +66,32 @@ func New(cfg Config) (*Router, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("cluster: router needs at least one backend")
 	}
-	opts := transport.ClientOptions{Timeout: cfg.Timeout, Retry: cfg.Retry}
+	opts := transport.ClientOptions{Timeout: cfg.Timeout, Retry: cfg.Retry, Dial: cfg.Dial}
 	r := &Router{
 		pub:    cfg.Pub,
 		target: cfg.Target,
 		done:   make(chan struct{}),
 	}
-	for i, addr := range cfg.Backends {
-		r.backends = append(r.backends, newBackend(addr, i, opts))
+	for i, spec := range cfg.Backends {
+		addrs := SplitReplicaSpec(spec)
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("cluster: backend %d has an empty address spec", i)
+		}
+		r.backends = append(r.backends, newBackend(addrs, i, opts))
 	}
 	return r, nil
+}
+
+// SplitReplicaSpec parses one -backends entry: replica addresses separated
+// by '~', primary first, empty parts dropped.
+func SplitReplicaSpec(spec string) []string {
+	var out []string
+	for _, a := range strings.Split(spec, "~") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Shards returns the cluster's shard count.
@@ -116,7 +139,9 @@ func (r *Router) Close() {
 
 // StartProbes launches a background health-probe loop: every interval, each
 // unhealthy backend gets a status probe, which (via Call's redial) pulls a
-// restarted node back into rotation. Returns after ctx is done.
+// restarted node back into rotation — and when the probe still fails and the
+// shard has a standby, the router fails the shard over, promoting the
+// standby. Returns after ctx is done.
 func (r *Router) StartProbes(ctx context.Context, interval time.Duration) {
 	go func() {
 		ticker := time.NewTicker(interval)
@@ -130,13 +155,60 @@ func (r *Router) StartProbes(ctx context.Context, interval time.Duration) {
 					if b.Healthy() {
 						continue
 					}
-					if reply, err := b.Call(&transport.Frame{Kind: KindStatus}); err == nil {
-						_ = replyErr(reply, KindStatus) // health is tracked by Call itself
+					if _, err := r.probe(b); err == nil {
+						continue
+					}
+					if b.HasStandby() {
+						_ = b.Failover(len(r.backends)) // next tick retries on failure
 					}
 				}
 			}
 		}
 	}()
+}
+
+// probe runs one status round trip against a backend's active replica,
+// recording the decoded status as fencing context.
+func (r *Router) probe(b *Backend) (*NodeStatus, error) {
+	reply, err := b.Call(&transport.Frame{Kind: KindStatus})
+	if err == nil {
+		err = replyErr(reply, KindStatus)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st, err := decodeStatus(reply.Payload)
+	if err != nil {
+		return nil, err
+	}
+	b.noteStatus(st)
+	return st, nil
+}
+
+// submitShard performs one non-idempotent submit round trip with failover:
+// if the active replica fails the submit, it is probed once (distinguishing
+// a dropped connection from a dead node — a live node just costs the client
+// a retry), and only a dead primary with a standby triggers promotion, after
+// which the submit is replayed once. The replay is safe precisely because
+// duplicate screening happens before anything touches the board: if the
+// original submit did land, the replay is rejected as a duplicate without
+// leaving a record, the same contract a client-side retry relies on.
+func (r *Router) submitShard(sh int, f *transport.Frame) (*transport.Frame, error) {
+	b := r.backends[sh]
+	reply, err := b.Submit(f)
+	if err == nil {
+		return reply, nil
+	}
+	if _, perr := r.probe(b); perr == nil {
+		return nil, err // replica alive: surface the failure, client retries
+	}
+	if !b.HasStandby() {
+		return nil, err
+	}
+	if ferr := b.Failover(len(r.backends)); ferr != nil {
+		return nil, fmt.Errorf("%v (failover: %v)", err, ferr)
+	}
+	return b.Submit(f)
 }
 
 // Handler returns the client-facing frame handler: the same protocol a
@@ -169,7 +241,7 @@ func (r *Router) routeSubmit(f *transport.Frame) ([]*transport.Frame, error) {
 		return nil, err
 	}
 	shard := vdp.ShardOf(id, len(r.backends))
-	reply, err := r.backends[shard].Submit(&transport.Frame{
+	reply, err := r.submitShard(shard, &transport.Frame{
 		Kind:    "submit-batch",
 		Sender:  f.Sender,
 		Payload: vdp.EncodeRawSubmissionBatch([][]byte{rec}),
@@ -184,8 +256,13 @@ func (r *Router) routeSubmit(f *transport.Frame) ([]*transport.Frame, error) {
 		return errorReply("shard %d: unexpected reply kind %q", shard, reply.Kind), nil
 	}
 	vs, err := vdp.DecodeBatchVerdicts(reply.Payload)
-	if err != nil || len(vs) != 1 {
-		return errorReply("shard %d: malformed verdict reply: %v", shard, err), nil
+	if err != nil || len(vs) != 1 || vs[0].ID != id {
+		// A well-formed reply carrying the wrong client's verdict means the
+		// node connection's reply stream desynced (e.g. a duplicated frame
+		// queued a stale reply); drop the connection so the next round trip
+		// redials in sync.
+		r.backends[shard].Close()
+		return errorReply("shard %d: desynced or malformed verdict reply: %v", shard, err), nil
 	}
 	if !vs[0].Accepted {
 		return errorReply("%s", vs[0].Reason), nil
@@ -228,7 +305,7 @@ func (r *Router) routeBatch(f *transport.Frame) ([]*transport.Frame, error) {
 					out[i] = vdp.BatchVerdict{ID: ids[i], Reason: reason}
 				}
 			}
-			reply, err := r.backends[sh].Submit(&transport.Frame{
+			reply, err := r.submitShard(sh, &transport.Frame{
 				Kind:    "submit-batch",
 				Sender:  f.Sender,
 				Payload: vdp.EncodeRawSubmissionBatch(groups[sh]),
@@ -243,8 +320,18 @@ func (r *Router) routeBatch(f *transport.Frame) ([]*transport.Frame, error) {
 			}
 			vs, err := vdp.DecodeBatchVerdicts(reply.Payload)
 			if reply.Kind != "batch-verdicts" || err != nil || len(vs) != len(indices[sh]) {
+				r.backends[sh].Close() // possibly a stale queued reply: redial in sync
 				fill(fmt.Sprintf("shard %d returned a malformed verdict reply", sh))
 				return
+			}
+			for j, i := range indices[sh] {
+				if vs[j].ID != ids[i] {
+					// Right shape, wrong clients: a desynced reply stream
+					// answering with the previous batch's verdicts.
+					r.backends[sh].Close()
+					fill(fmt.Sprintf("shard %d returned a desynced verdict reply", sh))
+					return
+				}
 			}
 			for j, i := range indices[sh] {
 				out[i] = vs[j]
@@ -268,7 +355,8 @@ func errorReply(format string, args ...any) []*transport.Frame {
 }
 
 // Statuses queries every backend's status, in shard order. All backends
-// must be reachable.
+// must be reachable: a shard whose active replica has died is failed over
+// (promoting its standby) and re-queried once before the error surfaces.
 func (r *Router) Statuses() ([]*NodeStatus, error) {
 	sts := make([]*NodeStatus, len(r.backends))
 	errs := make([]error, len(r.backends))
@@ -277,15 +365,17 @@ func (r *Router) Statuses() ([]*NodeStatus, error) {
 		wg.Add(1)
 		go func(i int, b *Backend) {
 			defer wg.Done()
-			reply, err := b.Call(&transport.Frame{Kind: KindStatus})
-			if err == nil {
-				err = replyErr(reply, KindStatus)
+			st, err := r.probe(b)
+			if err != nil && b.HasStandby() {
+				if ferr := b.Failover(len(r.backends)); ferr == nil {
+					st, err = r.probe(b)
+				}
 			}
 			if err != nil {
-				errs[i] = fmt.Errorf("shard %d (%s): %w", i, b.Addr, err)
+				errs[i] = fmt.Errorf("shard %d (%s): %w", i, b.Addr(), err)
 				return
 			}
-			sts[i], errs[i] = decodeStatus(reply.Payload)
+			sts[i] = st
 		}(i, b)
 	}
 	wg.Wait()
@@ -315,7 +405,7 @@ func (r *Router) CheckTopology() ([]*NodeStatus, error) {
 		for i, st := range sts {
 			if st.Shard != i || st.Shards != k {
 				return nil, fmt.Errorf("cluster: backend %d (%s) identifies as shard %d of %d, want shard %d of %d",
-					i, r.backends[i].Addr, st.Shard, st.Shards, i, k)
+					i, r.backends[i].Addr(), st.Shard, st.Shards, i, k)
 			}
 			if st.Epoch > maxEpoch {
 				maxEpoch = st.Epoch

@@ -19,8 +19,10 @@ import (
 // the router's persistent backend connection.
 
 // rpcVersion is the cluster RPC format version, the leading byte of every
-// RPC payload this package encodes.
-const rpcVersion = 1
+// RPC payload this package encodes. Version 2 added the replication RPCs
+// (replicate-append, node-promote) and the status reply's standby flag and
+// log length.
+const rpcVersion = 2
 
 // Frame kinds of the cluster RPC. Requests flow router → node; each reply
 // reuses the request kind with an "-ok" suffix, or KindError on failure.
@@ -46,6 +48,19 @@ const (
 	KindMergedGet = "node-merged-get"
 	// KindReset opens the node's next epoch after a merged seal.
 	KindReset = "node-reset"
+	// KindPromote asks a standby to take over its shard: it fences further
+	// replication first, resumes a session from the mirrored log, and only
+	// then validates the router's epoch and log-length expectations — so a
+	// promotion attempt that fails validation still leaves the stale primary
+	// unable to ack anything (no split brain, only an operator decision).
+	KindPromote = "node-promote"
+	// KindReplicate streams board-log records from a shard primary to its
+	// standby, before the primary acknowledges the covered verdicts.
+	KindReplicate = "replicate-append"
+	// KindReplicateGap is the standby's "I am behind start" reply to
+	// KindReplicate, carrying its actual record count so the primary can
+	// re-ship from there.
+	KindReplicateGap = "replicate-gap"
 	// KindError is the RPC-level failure reply; the payload is the message.
 	KindError = "node-error"
 
@@ -54,7 +69,9 @@ const (
 
 // IsRPC reports whether a frame kind belongs to the cluster RPC, so a
 // backend's frame handler can split cluster traffic from client traffic.
-func IsRPC(kind string) bool { return strings.HasPrefix(kind, "node-") }
+func IsRPC(kind string) bool {
+	return strings.HasPrefix(kind, "node-") || strings.HasPrefix(kind, "replicate-")
+}
 
 // okKind is the success-reply kind for a request kind.
 func okKind(req string) string { return req + replySuffix }
@@ -191,12 +208,19 @@ type NodeStatus struct {
 	// Durable reports whether the node persists a board log (and can
 	// therefore serve KindLog for a log-grade cross-node audit).
 	Durable bool
+	// Standby reports an unpromoted standby replica: it mirrors its
+	// primary's log but serves no admissions until promoted.
+	Standby bool
+	// LogLen is the node's board-log record count (the mirrored count on a
+	// standby) — the "last offset" the promotion handshake fences on.
+	LogLen int
 }
 
 const (
 	statusFlagFinalized = 1 << iota
 	statusFlagMergedSealed
 	statusFlagDurable
+	statusFlagStandby
 )
 
 func encodeStatus(st *NodeStatus) []byte {
@@ -207,6 +231,7 @@ func encodeStatus(st *NodeStatus) []byte {
 	w.u32(uint32(st.Epoch))
 	w.u32(uint32(st.Submitted))
 	w.u32(uint32(st.Accepted))
+	w.u32(uint32(st.LogLen))
 	var flags byte
 	if st.Finalized {
 		flags |= statusFlagFinalized
@@ -216,6 +241,9 @@ func encodeStatus(st *NodeStatus) []byte {
 	}
 	if st.Durable {
 		flags |= statusFlagDurable
+	}
+	if st.Standby {
+		flags |= statusFlagStandby
 	}
 	w.u8(flags)
 	return w.b
@@ -230,6 +258,7 @@ func decodeStatus(b []byte) (*NodeStatus, error) {
 		Epoch:     int(r.u32()),
 		Submitted: int(r.u32()),
 		Accepted:  int(r.u32()),
+		LogLen:    int(r.u32()),
 	}
 	flags := r.u8()
 	if err := r.finish(); err != nil {
@@ -238,6 +267,7 @@ func decodeStatus(b []byte) (*NodeStatus, error) {
 	st.Finalized = flags&statusFlagFinalized != 0
 	st.MergedSealed = flags&statusFlagMergedSealed != 0
 	st.Durable = flags&statusFlagDurable != 0
+	st.Standby = flags&statusFlagStandby != 0
 	return st, nil
 }
 
@@ -348,6 +378,128 @@ func encodeLogReply(recs []*store.Record) ([]byte, error) {
 			len(w.b), transport.MaxFrameSize)
 	}
 	return w.b, nil
+}
+
+// Replication log IDs: one replicate-append stream carries both of a node's
+// durable logs, tagged per frame.
+const (
+	// ReplLogBoard tags the shard's board log.
+	ReplLogBoard uint8 = 0
+	// ReplLogSeal tags the merged-seal sidecar.
+	ReplLogSeal uint8 = 1
+)
+
+// encodeReplicate serializes a KindReplicate request: the sender's shard
+// coordinates (so a standby refuses a misdirected stream), the log being
+// mirrored, the 0-based index of the first record, and the records in
+// store.EncodeRecord framing.
+func encodeReplicate(shard, shards int, logID uint8, start int, recs []*store.Record) ([]byte, error) {
+	var w rpcWriter
+	w.version()
+	w.u32(uint32(shard))
+	w.u32(uint32(shards))
+	w.u8(logID)
+	w.u32(uint32(start))
+	w.u32(uint32(len(recs)))
+	for _, rec := range recs {
+		w.b = append(w.b, store.EncodeRecord(rec)...)
+	}
+	if len(w.b) > transport.MaxFrameSize {
+		return nil, fmt.Errorf("cluster: replicate batch of %d records is %d bytes, exceeding the %d-byte frame limit",
+			len(recs), len(w.b), transport.MaxFrameSize)
+	}
+	return w.b, nil
+}
+
+func decodeReplicate(b []byte) (shard, shards int, logID uint8, start int, recs []*store.Record, err error) {
+	r := rpcReader{b: b}
+	r.version()
+	shard = int(r.u32())
+	shards = int(r.u32())
+	logID = r.u8()
+	start = int(r.u32())
+	n := int(r.u32())
+	if r.err != nil {
+		return 0, 0, 0, 0, nil, r.err
+	}
+	rest := r.rest()
+	recs = make([]*store.Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec, used, derr := store.DecodeRecord(rest)
+		if derr != nil {
+			return 0, 0, 0, 0, nil, fmt.Errorf("cluster: replicate record %d: %w", i, derr)
+		}
+		recs = append(recs, rec)
+		rest = rest[used:]
+	}
+	if len(rest) != 0 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("cluster: %d trailing bytes after %d replicate records", len(rest), n)
+	}
+	return shard, shards, logID, start, recs, nil
+}
+
+// encodeReplicateOK serializes the standby's success reply: the mirrored
+// log's new record count.
+func encodeReplicateOK(logID uint8, newLen int) []byte {
+	var w rpcWriter
+	w.version()
+	w.u8(logID)
+	w.u32(uint32(newLen))
+	return w.b
+}
+
+func decodeReplicateOK(b []byte) (logID uint8, newLen int, err error) {
+	r := rpcReader{b: b}
+	r.version()
+	logID = r.u8()
+	newLen = int(r.u32())
+	if err := r.finish(); err != nil {
+		return 0, 0, err
+	}
+	return logID, newLen, nil
+}
+
+// encodeReplicateGap serializes the standby's "behind start" reply: its
+// actual record count, so the primary rewinds its mirror point.
+func encodeReplicateGap(logID uint8, have int) []byte {
+	return encodeReplicateOK(logID, have)
+}
+
+func decodeReplicateGap(b []byte) (logID uint8, have int, err error) {
+	return decodeReplicateOK(b)
+}
+
+// promoteAnyEpoch is the KindPromote epoch sentinel for "no expectation".
+const promoteAnyEpoch = ^uint32(0)
+
+// encodePromoteReq serializes a KindPromote request: the epoch the router
+// last observed on the shard (-1 = no expectation) and the minimum board-log
+// record count the promoted standby must hold — the last-offset fence that
+// keeps a lagging mirror from rewriting acknowledged history.
+func encodePromoteReq(expectedEpoch, minLogLen int) []byte {
+	var w rpcWriter
+	w.version()
+	if expectedEpoch < 0 {
+		w.u32(promoteAnyEpoch)
+	} else {
+		w.u32(uint32(expectedEpoch))
+	}
+	w.u32(uint32(minLogLen))
+	return w.b
+}
+
+func decodePromoteReq(b []byte) (expectedEpoch, minLogLen int, err error) {
+	r := rpcReader{b: b}
+	r.version()
+	raw := r.u32()
+	minLogLen = int(r.u32())
+	if err := r.finish(); err != nil {
+		return 0, 0, err
+	}
+	if raw == promoteAnyEpoch {
+		return -1, minLogLen, nil
+	}
+	return int(raw), minLogLen, nil
 }
 
 // decodeLogReply rebuilds a fetched board log as an in-memory BoardLog,

@@ -64,14 +64,18 @@ func (f *TailFollower) Merged() *vdp.MergedTailAuditor { return f.merged }
 // Poll fetches every node's board log and feeds the records appended since
 // the last poll into that shard's auditor, returning how many new records
 // were consumed. The log is append-only, so the per-node cursor only moves
-// forward; a node whose log shrank rewrote history and fails the tail.
+// forward; a node whose log shrank rewrote history and fails the tail with
+// an error wrapping vdp.ErrAuditFail — as do bad records, so callers can
+// tell evidence failures (fatal) from a node being down (retryable: errors
+// NOT wrapping vdp.ErrAuditFail may be retried on the next poll). When a
+// shard's active replica stops answering and the backend knows another, the
+// follower switches to it without promoting anything; the cursor carries
+// over safely because nodes ship only the mirrored (standby-acknowledged)
+// prefix of a replicated log, which every surviving replica has.
 func (f *TailFollower) Poll() (int, error) {
 	n := 0
 	for i, b := range f.backends {
-		reply, err := b.Call(&transport.Frame{Kind: KindLog})
-		if err == nil {
-			err = replyErr(reply, KindLog)
-		}
+		reply, err := f.fetchLog(b)
 		if err != nil {
 			return n, fmt.Errorf("cluster: fetching board log from shard %d: %w", i, err)
 		}
@@ -84,8 +88,8 @@ func (f *TailFollower) Poll() (int, error) {
 			return n, err
 		}
 		if len(recs) < f.cursor[i] {
-			return n, fmt.Errorf("cluster: shard %d board log shrank from %d to %d records — history was rewritten",
-				i, f.cursor[i], len(recs))
+			return n, fmt.Errorf("%w: shard %d board log shrank from %d to %d records — history was rewritten",
+				vdp.ErrAuditFail, i, f.cursor[i], len(recs))
 		}
 		a := f.merged.Shard(i)
 		for idx := f.cursor[i]; idx < len(recs); idx++ {
@@ -97,6 +101,32 @@ func (f *TailFollower) Poll() (int, error) {
 		}
 	}
 	return n, nil
+}
+
+// fetchLog runs one node-log round trip against a shard, switching to
+// another replica and retrying once when the active one stops answering.
+func (f *TailFollower) fetchLog(b *Backend) (*transport.Frame, error) {
+	reply, err := b.Call(&transport.Frame{Kind: KindLog})
+	if err == nil {
+		err = replyErr(reply, KindLog)
+	}
+	if err == nil {
+		return reply, nil
+	}
+	if !b.HasStandby() {
+		return nil, err
+	}
+	if serr := b.SwitchReplica(len(f.backends)); serr != nil {
+		return nil, err
+	}
+	reply, rerr := b.Call(&transport.Frame{Kind: KindLog})
+	if rerr == nil {
+		rerr = replyErr(reply, KindLog)
+	}
+	if rerr != nil {
+		return nil, rerr
+	}
+	return reply, nil
 }
 
 // VerifyNext tries to certify the next merged epoch. ready is false while
@@ -117,6 +147,9 @@ func (f *TailFollower) VerifyNext() (epoch int, digest []byte, ready bool, err e
 	// forked merge.
 	for i, b := range f.backends {
 		reply, cerr := b.Call(&transport.Frame{Kind: KindMergedGet, Payload: encodeMergedGetReq(epoch)})
+		if cerr != nil && b.HasStandby() && b.SwitchReplica(len(f.backends)) == nil {
+			reply, cerr = b.Call(&transport.Frame{Kind: KindMergedGet, Payload: encodeMergedGetReq(epoch)})
+		}
 		if cerr != nil {
 			return epoch, nil, false, fmt.Errorf("cluster: fetching merged seal from shard %d: %w", i, cerr)
 		}
@@ -128,12 +161,12 @@ func (f *TailFollower) VerifyNext() (epoch int, digest []byte, ready bool, err e
 			return epoch, nil, false, fmt.Errorf("cluster: shard %d merged seal: %w", i, derr)
 		}
 		if gotEpoch != epoch || gotShards != len(f.backends) {
-			return epoch, nil, false, fmt.Errorf("cluster: shard %d returned a merged seal for epoch %d/%d shards, want %d/%d",
-				i, gotEpoch, gotShards, epoch, len(f.backends))
+			return epoch, nil, false, fmt.Errorf("%w: shard %d returned a merged seal for epoch %d/%d shards, want %d/%d",
+				vdp.ErrAuditFail, i, gotEpoch, gotShards, epoch, len(f.backends))
 		}
 		if !bytes.Equal(got, digest) {
-			return epoch, nil, false, fmt.Errorf("cluster: shard %d's merged seal for epoch %d disagrees with the live audit",
-				i, epoch)
+			return epoch, nil, false, fmt.Errorf("%w: shard %d's merged seal for epoch %d disagrees with the live audit",
+				vdp.ErrAuditFail, i, epoch)
 		}
 		if err := f.merged.SetMergedSeal(gotEpoch, gotShards, got); err != nil {
 			return epoch, nil, false, err

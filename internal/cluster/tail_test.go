@@ -16,7 +16,7 @@ import (
 func testBackends(addrs []string) []*Backend {
 	backends := make([]*Backend, len(addrs))
 	for i, addr := range addrs {
-		backends[i] = NewBackend(addr, i, transport.ClientOptions{Timeout: 10 * time.Second, Retry: testRetry()})
+		backends[i] = NewBackend(SplitReplicaSpec(addr), i, transport.ClientOptions{Timeout: 10 * time.Second, Retry: testRetry()})
 	}
 	return backends
 }

@@ -3,6 +3,7 @@ package dp
 import (
 	"bytes"
 	"math"
+	mathrand "math/rand"
 	"testing"
 )
 
@@ -394,5 +395,63 @@ func BenchmarkSampleBinomial(b *testing.B) {
 		if _, err := SampleBinomial(262144, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestCountMinBound pins the heavy-hitter error envelope: the overcount term
+// scales as e·total/width, the noise term as 3σ, and the per-query failure
+// probability decays as e^-rows.
+func TestCountMinBound(t *testing.T) {
+	// Noise-free: pure collision-inflation term, e·total/width.
+	got := CountMinBound(128, 1000, 0)
+	want := math.E * 1000.0 / 128.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CountMinBound(128, 1000, 0) = %v, want %v", got, want)
+	}
+	// Adding noise widens the envelope by exactly 3σ.
+	if d := CountMinBound(128, 1000, 5) - got; math.Abs(d-15) > 1e-9 {
+		t.Fatalf("noise term contributed %v, want 15 (3σ at σ=5)", d)
+	}
+	// Doubling the width halves the overcount term.
+	if w2 := CountMinBound(256, 1000, 0); math.Abs(w2-want/2) > 1e-9 {
+		t.Fatalf("CountMinBound(256, 1000, 0) = %v, want %v", w2, want/2)
+	}
+
+	if p := CountMinFailureProb(4); math.Abs(p-math.Exp(-4)) > 1e-12 {
+		t.Fatalf("CountMinFailureProb(4) = %v, want e^-4", p)
+	}
+	if p1, p2 := CountMinFailureProb(1), CountMinFailureProb(8); p2 >= p1 {
+		t.Fatalf("failure prob not decreasing in rows: %v vs %v", p1, p2)
+	}
+}
+
+// TestGeometricRelease pins the release path: the two-sided geometric noise
+// is integer-valued, centered, and actually drawn from the source (a seeded
+// stream reproduces its offsets).
+func TestGeometricRelease(t *testing.T) {
+	m, err := NewGeometricMechanism(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 2000
+	src := mathrand.New(mathrand.NewSource(7))
+	var sum int64
+	for i := 0; i < trials; i++ {
+		out, err := m.Release(100, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += out - 100
+	}
+	// Mean of the two-sided geometric is 0; at ε=1 its stddev is ~1.3, so
+	// the sample mean over 2000 trials stays well inside ±0.2.
+	if mean := float64(sum) / trials; math.Abs(mean) > 0.2 {
+		t.Fatalf("geometric noise mean %v, want ≈0", mean)
+	}
+	// Same seed, same stream.
+	a, _ := m.Release(0, mathrand.New(mathrand.NewSource(11)))
+	b, _ := m.Release(0, mathrand.New(mathrand.NewSource(11)))
+	if a != b {
+		t.Fatalf("seeded releases differ: %d vs %d", a, b)
 	}
 }

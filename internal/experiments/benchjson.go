@@ -268,6 +268,95 @@ func BenchJSON() ([]byte, error) {
 	report.Entries = append(report.Entries,
 		entryFromNodes(fmt.Sprintf("cluster-finalize-merge-%d/p256", boardClients), 1, clusterNodes, clusterFinalizeRes))
 
+	// replication-overhead: the same 64-client batched flood through a
+	// two-shard cluster, once with single-replica nodes and once with every
+	// ack synchronously mirrored to a standby (four processes: two primaries,
+	// two standbys). The per_item_ns delta between the pair is the price of
+	// the mirrored-before-acked durability guarantee.
+	const replShards = 2
+	const replBatch = 16
+	replBaselineRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			lc, err := BootCluster(ctx, pub, replShards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := FloodCluster(lc, pub, subs, replBatch); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			lc.Close()
+			b.StartTimer()
+		}
+	})
+	report.Entries = append(report.Entries,
+		entryFromNodes(fmt.Sprintf("replication-overhead-baseline-flood-%d/p256", boardClients),
+			boardClients, replShards, replBaselineRes))
+
+	replMirroredRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			rc, err := BootReplicaCluster(ctx, pub, replShards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := FloodReplicaCluster(rc, pub, subs, replBatch); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			rc.Close()
+			b.StartTimer()
+		}
+	})
+	report.Entries = append(report.Entries,
+		entryFromNodes(fmt.Sprintf("replication-overhead-mirrored-flood-%d/p256", boardClients),
+			boardClients, 2*replShards, replMirroredRes))
+
+	// failover-latency: kill one primary mid-epoch and time the next routed
+	// submission — the client-visible outage window, absorbing the router's
+	// failure detection, the fenced promotion handshake and the replay.
+	failID := boardClients
+	for vdp.ShardOf(failID, replShards) != 0 {
+		failID++
+	}
+	failSub, err := pub.NewClientSubmission(failID, 1, nil)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: failover client: %w", err)
+	}
+	failoverRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			rc, err := BootReplicaCluster(ctx, pub, replShards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := FloodReplicaCluster(rc, pub, subs[:replBatch], replBatch); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rc.Router.Statuses(); err != nil {
+				b.Fatal(err)
+			}
+			rc.KillPrimary(0)
+			b.StartTimer()
+			if err := submitThrough(rc.Client, pub, failSub); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if !rc.Promoted(0) {
+				b.Fatal("standby was not promoted")
+			}
+			rc.Close()
+			b.StartTimer()
+		}
+	})
+	report.Entries = append(report.Entries,
+		entryFromNodes("failover-latency/p256", 1, 2*replShards, failoverRes))
+
 	// tail-seal: the live auditor's seal step. The tail verified every
 	// submission on arrival, so sealing the epoch costs one roster byte-walk
 	// plus the K Line-13 checks against the rolling commitment product —

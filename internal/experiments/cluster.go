@@ -181,32 +181,7 @@ func nodeHandler(ctx context.Context, pub *vdp.Public, node *cluster.Node) trans
 // FloodCluster pushes subs through the cluster's client connection in
 // batch-sized submit-batch frames, failing on any rejected verdict.
 func FloodCluster(lc *loopCluster, pub *vdp.Public, subs []*vdp.ClientSubmission, batch int) error {
-	for off := 0; off < len(subs); off += batch {
-		end := off + batch
-		if end > len(subs) {
-			end = len(subs)
-		}
-		reply, err := lc.Client.RoundTrip(&transport.Frame{
-			Kind:    "submit-batch",
-			Payload: pub.EncodeSubmissionBatch(subs[off:end]),
-		})
-		if err != nil {
-			return err
-		}
-		if reply.Kind != "batch-verdicts" {
-			return fmt.Errorf("experiments: cluster flood reply %q: %s", reply.Kind, reply.Payload)
-		}
-		verdicts, err := vdp.DecodeBatchVerdicts(reply.Payload)
-		if err != nil {
-			return err
-		}
-		for _, v := range verdicts {
-			if !v.Accepted {
-				return fmt.Errorf("experiments: cluster rejected client %d: %s", v.ID, v.Reason)
-			}
-		}
-	}
-	return nil
+	return floodThrough(lc.Client, pub, subs, batch)
 }
 
 // ClusterSweep runs the experiment over cfg.NodeCounts.

@@ -118,6 +118,22 @@ func TestClusterSweepSmoke(t *testing.T) {
 	}
 }
 
+func TestFailoverSweepSmoke(t *testing.T) {
+	if _, err := FailoverSweep(FailoverConfig{}); err == nil {
+		t.Fatal("invalid failover config accepted")
+	}
+	res, err := FailoverSweep(FailoverConfig{Shards: 2, Clients: 8, Batch: 4, Coins: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlainFlood <= 0 || res.MirroredFlood <= 0 || res.Promote <= 0 || res.Finalize <= 0 || res.Audit <= 0 {
+		t.Fatalf("non-positive phase time: %+v", res)
+	}
+	if out := res.Format(); !strings.Contains(out, "failover") || !strings.Contains(out, "replication overhead") {
+		t.Fatalf("failover table missing its rows:\n%s", out)
+	}
+}
+
 // TestSweepConfigScales pins the named workloads: every experiment's scale
 // presets must be populated and must not shrink when the scale grows.
 func TestSweepConfigScales(t *testing.T) {
@@ -138,6 +154,9 @@ func TestSweepConfigScales(t *testing.T) {
 		}
 		if a, b := clusterConfigFor(lo), clusterConfigFor(hi); b.Clients < a.Clients || a.Clients < 1 {
 			t.Fatalf("cluster clients shrink from %s to %s", lo, hi)
+		}
+		if a, b := failoverConfigFor(lo), failoverConfigFor(hi); b.Clients < a.Clients || a.Clients < 1 {
+			t.Fatalf("failover clients shrink from %s to %s", lo, hi)
 		}
 		if a, b := dpErrorConfigFor(lo), dpErrorConfigFor(hi); len(b.Populations) < len(a.Populations) || len(a.Populations) < 1 {
 			t.Fatalf("dp-error sweep shrinks from %s to %s", lo, hi)

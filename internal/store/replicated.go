@@ -1,0 +1,198 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ReplicatedLog mirrors an inner BoardLog to a standby before records are
+// acknowledged: every Append (and every Sync after AppendNoSync group
+// commits) first lands in the inner log and then ships the not-yet-mirrored
+// suffix through a MirrorFunc. Only when the standby has confirmed the
+// records does the call return — so a verdict a primary acks is always
+// reconstructible from the standby, which is exactly the fencing invariant a
+// failover promotion relies on.
+//
+// Snapshot deliberately exposes only the mirrored (acked) prefix: external
+// readers — audit fetches, tail followers — must never observe a record the
+// standby could be missing, or a failover would look like rewritten history.
+// Replay exposes the full local log (it is the session's own recovery
+// surface; records a restarted primary holds beyond the mirror are pushed to
+// the standby by the next flush).
+type ReplicatedLog struct {
+	mu      sync.Mutex
+	inner   BoardLog
+	mirror  MirrorFunc
+	total   int       // records in the inner log
+	acked   int       // standby-confirmed prefix
+	pending []*Record // inner records [acked, total), nil when unknown
+}
+
+// MirrorFunc ships records [start, start+len(recs)) to the standby and
+// returns the standby's resulting record count. Returning a *MirrorGapError
+// reports that the standby holds fewer records than start — the caller
+// rewinds and re-ships from the standby's actual length.
+type MirrorFunc func(start int, recs []*Record) (int, error)
+
+// MirrorGapError reports a standby that is behind where the primary believed
+// the mirror stood; StandbyLen is the standby's actual record count.
+type MirrorGapError struct{ StandbyLen int }
+
+func (e *MirrorGapError) Error() string {
+	return fmt.Sprintf("store: standby log holds %d records, behind the mirrored prefix", e.StandbyLen)
+}
+
+// NewReplicatedLog wraps inner. Existing records count as unmirrored until
+// the first flush confirms them — a restarted primary re-ships (the standby
+// skips what it already holds, so the catch-up is idempotent).
+func NewReplicatedLog(inner BoardLog, mirror MirrorFunc) (*ReplicatedLog, error) {
+	n := 0
+	if err := inner.Replay(func(*Record) error { n++; return nil }); err != nil {
+		return nil, err
+	}
+	return &ReplicatedLog{inner: inner, mirror: mirror, total: n}, nil
+}
+
+// Flush mirrors every record the standby has not confirmed yet. Called at
+// boot to catch a standby up, and by Append/Sync before acknowledging.
+func (l *ReplicatedLog) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+// SetMirror repoints the log at a new mirror target (a replaced standby).
+// The acked count is deliberately kept: if the replacement is behind, the
+// next flush observes its MirrorGapError, rewinds once and re-ships.
+func (l *ReplicatedLog) SetMirror(m MirrorFunc) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.mirror = m
+}
+
+// Acked returns the standby-confirmed record count (the published prefix).
+func (l *ReplicatedLog) Acked() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.acked
+}
+
+// Len returns the inner log's record count.
+func (l *ReplicatedLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+func (l *ReplicatedLog) flushLocked() error {
+	rewound := false
+	for l.acked < l.total {
+		if l.pending == nil {
+			snap, err := l.inner.Snapshot()
+			if err != nil {
+				return err
+			}
+			if len(snap) != l.total {
+				return fmt.Errorf("store: replicated log counted %d records, snapshot holds %d", l.total, len(snap))
+			}
+			l.pending = snap[l.acked:]
+		}
+		n, err := l.mirror(l.acked, l.pending)
+		if err == nil {
+			if n < l.acked+len(l.pending) {
+				return fmt.Errorf("store: standby confirmed %d records, %d were mirrored", n, l.acked+len(l.pending))
+			}
+			l.acked += len(l.pending)
+			l.pending = nil
+			return nil
+		}
+		if gap, ok := err.(*MirrorGapError); ok && !rewound && gap.StandbyLen < l.acked && gap.StandbyLen >= 0 {
+			// The standby restarted behind our mirror point (its own torn
+			// tail, say): rewind once and re-ship from where it really is.
+			rewound = true
+			l.acked = gap.StandbyLen
+			l.pending = nil
+			continue
+		}
+		return err
+	}
+	return nil
+}
+
+// Append implements BoardLog: the record lands in the inner log, then the
+// unmirrored suffix is flushed to the standby before returning.
+func (l *ReplicatedLog) Append(rec *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.inner.Append(rec); err != nil {
+		return err
+	}
+	l.noteAppendLocked(rec)
+	return l.flushLocked()
+}
+
+// AppendNoSync implements the group-commit surface: the record is written
+// (unsynced when the inner log supports it) but not mirrored yet; the Sync
+// that ends the commit window ships the whole batch in one mirror call.
+func (l *ReplicatedLog) AppendNoSync(rec *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if gc, ok := l.inner.(interface{ AppendNoSync(*Record) error }); ok {
+		err = gc.AppendNoSync(rec)
+	} else {
+		err = l.inner.Append(rec)
+	}
+	if err != nil {
+		return err
+	}
+	l.noteAppendLocked(rec)
+	return nil
+}
+
+// Sync implements the group-commit surface: the inner log is made durable
+// first, then the batch is mirrored. Records are never acknowledged to the
+// standby before they are stable locally.
+func (l *ReplicatedLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if gc, ok := l.inner.(interface{ Sync() error }); ok {
+		if err := gc.Sync(); err != nil {
+			return err
+		}
+	}
+	return l.flushLocked()
+}
+
+func (l *ReplicatedLog) noteAppendLocked(rec *Record) {
+	l.total++
+	if l.pending != nil {
+		cp := &Record{Kind: rec.Kind, Epoch: rec.Epoch, Payload: append([]byte(nil), rec.Payload...)}
+		l.pending = append(l.pending, cp)
+	} else if l.acked == l.total-1 {
+		cp := &Record{Kind: rec.Kind, Epoch: rec.Epoch, Payload: append([]byte(nil), rec.Payload...)}
+		l.pending = []*Record{cp}
+	}
+}
+
+// Snapshot implements BoardLog, returning only the mirrored prefix (see the
+// type comment).
+func (l *ReplicatedLog) Snapshot() ([]*Record, error) {
+	l.mu.Lock()
+	acked := l.acked
+	l.mu.Unlock()
+	snap, err := l.inner.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if acked < len(snap) {
+		snap = snap[:acked]
+	}
+	return snap, nil
+}
+
+// Replay implements BoardLog over the full local log.
+func (l *ReplicatedLog) Replay(fn func(*Record) error) error { return l.inner.Replay(fn) }
+
+// Close implements BoardLog.
+func (l *ReplicatedLog) Close() error { return l.inner.Close() }

@@ -49,6 +49,10 @@ type SegmentedLog struct {
 	shards   int
 	manifest *FileLog
 	segments []*FileLog
+	// boards optionally front the segments with alternate BoardLogs (see
+	// SetBoard); writers go through Board, readers that need the raw file
+	// (tailing, offline audit) keep using Segment.
+	boards []BoardLog
 }
 
 // OpenSegmentedLog opens (or creates) the segmented board log under dir.
@@ -168,6 +172,28 @@ func (s *SegmentedLog) Shards() int { return s.shards }
 
 // Segment returns shard i's board log.
 func (s *SegmentedLog) Segment(i int) *FileLog { return s.segments[i] }
+
+// Board returns the BoardLog writers should use for shard i: the raw segment
+// unless SetBoard installed a front for it. Sub-sessions of a sharded store
+// write through Board, which is what lets a fault-injection harness slide a
+// FaultLog between a single shard and its file.
+func (s *SegmentedLog) Board(i int) BoardLog {
+	if s.boards != nil && s.boards[i] != nil {
+		return s.boards[i]
+	}
+	return s.segments[i]
+}
+
+// SetBoard fronts shard i's segment with an alternate BoardLog (nil restores
+// the raw segment). Install fronts before opening sessions over the store;
+// the crash-matrix tests use it to trip one shard's appends while the rest
+// of the store stays honest.
+func (s *SegmentedLog) SetBoard(i int, b BoardLog) {
+	if s.boards == nil {
+		s.boards = make([]BoardLog, len(s.segments))
+	}
+	s.boards[i] = b
+}
 
 // Manifest returns the manifest log. Protocol layers append their own
 // epoch-level records after the store's shard-count record; replayers must

@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Deterministic network fault injection. A FaultPlan wraps net.Conns so that
+// exactly one outbound frame — the Nth complete frame written through any
+// connection sharing the plan, counted across redials — suffers a configured
+// fault: dropped, delayed, severed mid-stream, or duplicated. The plan is the
+// wire-level sibling of store.FaultLog: the same one-shot Nth-operation trip,
+// the same splitmix64 seed derivation, so a chaos matrix can sweep seeds over
+// both layers with one vocabulary.
+
+// ConnFault selects how an injected network fault manifests at the trip point.
+type ConnFault uint8
+
+const (
+	// ConnDrop swallows the frame: the bytes vanish and the peer waits on a
+	// reply that never comes (surfacing as the caller's read deadline).
+	ConnDrop ConnFault = iota
+	// ConnDelay holds the frame for the plan's Delay before forwarding it —
+	// a stall, not a loss.
+	ConnDelay
+	// ConnSever closes the underlying connection mid-stream, after any bytes
+	// of earlier frames but before this frame is written.
+	ConnSever
+	// ConnDup writes the frame twice: the duplicated-delivery case a
+	// retransmitting network can produce.
+	ConnDup
+
+	connFaultKinds = 4
+)
+
+// String names the fault for test output.
+func (k ConnFault) String() string {
+	switch k {
+	case ConnDrop:
+		return "drop"
+	case ConnDelay:
+		return "delay"
+	case ConnSever:
+		return "sever"
+	case ConnDup:
+		return "dup"
+	default:
+		return fmt.Sprintf("conn-fault-%d", uint8(k))
+	}
+}
+
+// ConnFaultFromSeed derives a deterministic (kind, trip) plan from a seed,
+// mirroring store.FaultFromSeed: the splitmix64 finalizer spreads consecutive
+// seeds across the plan space. trip is always < maxTrip.
+func ConnFaultFromSeed(seed uint64, maxTrip int) (ConnFault, int) {
+	z := seed
+	v := splitmix64(&z)
+	if maxTrip < 1 {
+		maxTrip = 1
+	}
+	return ConnFault(v % connFaultKinds), int((v / connFaultKinds) % uint64(maxTrip))
+}
+
+// FaultPlan injects one fault into a stream of frames. The frame counter and
+// the one-shot trip live on the plan, not the conn, so the count survives
+// redials: after a sever the victim's replacement connections pass through
+// clean, which is what lets a chaos run converge instead of re-faulting the
+// same retry forever.
+type FaultPlan struct {
+	// Kind is the fault to inject; Trip the 0-based index of the outbound
+	// frame it fires on.
+	Kind ConnFault
+	Trip int
+	// Delay is how long a ConnDelay holds the frame (0 = 10ms).
+	Delay time.Duration
+
+	mu      sync.Mutex
+	seen    int
+	tripped bool
+}
+
+// Tripped reports whether the fault has fired.
+func (p *FaultPlan) Tripped() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tripped
+}
+
+// take counts one complete outbound frame and reports whether it trips.
+func (p *FaultPlan) take() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx := p.seen
+	p.seen++
+	if !p.tripped && idx == p.Trip {
+		p.tripped = true
+		return true
+	}
+	return false
+}
+
+// Wrap returns conn with the plan's fault armed on its write side. Reads are
+// untouched. Many conns may share one plan; its frame counter spans them all.
+func (p *FaultPlan) Wrap(conn net.Conn) net.Conn {
+	return &faultConn{Conn: conn, plan: p}
+}
+
+// Dialer returns a ClientOptions.Dial hook that wraps every dialed
+// connection in the plan — the seam for injecting faults on one hop of a
+// cluster (client→router, router→node, primary→standby).
+func (p *FaultPlan) Dialer() func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return p.Wrap(conn), nil
+	}
+}
+
+// errSevered is what a write returns when the plan severs the connection, so
+// the caller's retry machinery sees an ordinary broken conn.
+var errSevered = fmt.Errorf("transport: connection severed by fault injection")
+
+// faultConn applies a FaultPlan to a connection's write side. It buffers the
+// outbound byte stream just enough to find frame boundaries (the frame header
+// is self-describing), so faults land on whole frames regardless of how the
+// writer chunks its Writes.
+type faultConn struct {
+	net.Conn
+	plan *FaultPlan
+
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = append(c.buf, b...)
+	for {
+		n, ok, err := frameLen(c.buf)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return len(b), nil // incomplete frame: wait for more bytes
+		}
+		frame := c.buf[:n]
+		if err := c.emit(frame); err != nil {
+			return 0, err
+		}
+		c.buf = append(c.buf[:0], c.buf[n:]...)
+	}
+}
+
+// emit forwards one complete frame, applying the fault if this is the trip.
+func (c *faultConn) emit(frame []byte) error {
+	if !c.plan.take() {
+		_, err := c.Conn.Write(frame)
+		return err
+	}
+	switch c.plan.Kind {
+	case ConnDrop:
+		return nil
+	case ConnDelay:
+		d := c.plan.Delay
+		if d <= 0 {
+			d = 10 * time.Millisecond
+		}
+		time.Sleep(d)
+		_, err := c.Conn.Write(frame)
+		return err
+	case ConnSever:
+		c.Conn.Close()
+		return errSevered
+	case ConnDup:
+		if _, err := c.Conn.Write(frame); err != nil {
+			return err
+		}
+		_, err := c.Conn.Write(frame)
+		return err
+	default:
+		return fmt.Errorf("transport: unknown conn fault %d", c.plan.Kind)
+	}
+}
+
+// frameLen parses a frame header from the front of b and returns the whole
+// frame's length. ok is false while b is too short to hold the full frame.
+// Layout (see WriteFrame): u32 kindLen | kind | i64 sender | u32 payloadLen |
+// payload.
+func frameLen(b []byte) (n int, ok bool, err error) {
+	if len(b) < 4 {
+		return 0, false, nil
+	}
+	kindLen := binary.BigEndian.Uint32(b[:4])
+	if kindLen > 255 {
+		return 0, false, fmt.Errorf("transport: fault conn saw kind length %d", kindLen)
+	}
+	hdr := 4 + int(kindLen) + 8 + 4
+	if len(b) < hdr {
+		return 0, false, nil
+	}
+	payloadLen := binary.BigEndian.Uint32(b[hdr-4 : hdr])
+	if payloadLen > MaxFrameSize {
+		return 0, false, ErrFrameTooLarge
+	}
+	total := hdr + int(payloadLen)
+	if len(b) < total {
+		return 0, false, nil
+	}
+	return total, true, nil
+}

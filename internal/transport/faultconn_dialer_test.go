@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestConnFaultString(t *testing.T) {
+	want := map[ConnFault]string{
+		ConnDrop:     "drop",
+		ConnDelay:    "delay",
+		ConnSever:    "sever",
+		ConnDup:      "dup",
+		ConnFault(9): "conn-fault-9",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("ConnFault(%d).String() = %q, want %q", uint8(k), k.String(), s)
+		}
+	}
+}
+
+// TestFaultPlanDialer pins the dial-hook seam: a connection dialed through
+// the plan carries the fault on its write side, so the trip frame vanishes
+// while later frames flow through untouched.
+func TestFaultPlanDialer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	got := make(chan *Frame, 2)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			close(got)
+			return
+		}
+		defer conn.Close()
+		for {
+			f, err := ReadFrame(conn)
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- f
+		}
+	}()
+
+	plan := &FaultPlan{Kind: ConnDrop, Trip: 0}
+	conn, err := plan.Dialer()(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if err := WriteFrame(conn, &Frame{Kind: "dropped", Payload: []byte("a")}); err != nil {
+		t.Fatalf("write trip frame: %v", err)
+	}
+	if err := WriteFrame(conn, &Frame{Kind: "kept", Payload: []byte("b")}); err != nil {
+		t.Fatalf("write follow-up frame: %v", err)
+	}
+	select {
+	case f, ok := <-got:
+		if !ok {
+			t.Fatal("server read failed before any frame arrived")
+		}
+		if f.Kind != "kept" {
+			t.Fatalf("first delivered frame is %q, want the post-trip %q", f.Kind, "kept")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for the surviving frame")
+	}
+	if !plan.Tripped() {
+		t.Fatal("plan did not report the trip")
+	}
+}

@@ -138,7 +138,7 @@ func NewSketchSession(pub *Public, layout sketch.Layout, opts SessionOptions) (*
 			so.Budget = nil // one charge per client, carried by row 0
 		}
 		if opts.Segmented != nil {
-			so.Store = opts.Segmented.Segment(r)
+			so.Store = opts.Segmented.Board(r)
 		}
 		hs.rows = append(hs.rows, newSessionFromSource(NewEngine(pub, per), so, root.forkShard(r, layout.Rows)))
 	}

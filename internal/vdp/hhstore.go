@@ -49,7 +49,7 @@ func ResumeSketchSession(ctx context.Context, pub *Public, layout sketch.Layout,
 		if r > 0 {
 			so.Budget = nil
 		}
-		so.Store = seg.Segment(r)
+		so.Store = seg.Board(r)
 		s, err := resumeSessionFromSource(ctx, pub, so, root.forkShard(r, layout.Rows))
 		if err != nil {
 			return nil, fmt.Errorf("vdp: resuming sketch row %d: %w", r, err)

@@ -96,7 +96,7 @@ func NewShardedSession(pub *Public, opts SessionOptions) (*ShardedSession, error
 	for i := 0; i < shards; i++ {
 		so := subSessionOptions(opts, per)
 		if opts.Segmented != nil {
-			so.Store = opts.Segmented.Segment(i)
+			so.Store = opts.Segmented.Board(i)
 		}
 		ss.shards = append(ss.shards, newSessionFromSource(NewEngine(pub, per), so, root.forkShard(i, shards)))
 	}

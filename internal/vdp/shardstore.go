@@ -138,7 +138,7 @@ func ResumeShardedSession(ctx context.Context, pub *Public, opts SessionOptions)
 	maxEpoch := 0
 	for i := 0; i < shards; i++ {
 		so := subSessionOptions(opts, per)
-		so.Store = seg.Segment(i)
+		so.Store = seg.Board(i)
 		s, err := resumeSessionFromSource(ctx, pub, so, root.forkShard(i, shards))
 		if err != nil {
 			return nil, fmt.Errorf("vdp: resuming shard %d: %w", i, err)

@@ -152,4 +152,133 @@ while [ "$i" -lt "$NODES" ]; do
     i=$((i + 1))
 done
 
-say "cluster smoke passed: $CLIENTS clients across $NODES nodes, merged, audited"
+# ---------------------------------------------------------------------------
+# Failover lane: two shards as primary~standby replica pairs, every ack
+# mirrored to the standby before the client hears it. Halfway through the
+# flood shard 0's primary is killed — no operator action follows: the router
+# must promote the standby through the fenced handshake and keep admitting,
+# the live follower must ride the replica switch and still certify the
+# merged epoch, and the promoted standby's durable store must pass the
+# offline audit as an ordinary node directory.
+# ---------------------------------------------------------------------------
+RSHARDS=2
+RCLIENTS=$((CLIENTS / 2))
+[ "$RCLIENTS" -lt 8 ] && RCLIENTS=8
+RBATCH=$((RCLIENTS / 4))
+
+say "failover lane: booting $RSHARDS replica pairs (primary~standby, mirrored acks)"
+RSPECS=""
+i=0
+while [ "$i" -lt "$RSHARDS" ]; do
+    pport=$((7420 + i))
+    sport=$((7430 + i))
+    mkdir -p "$WORK/rpr$i" "$WORK/rsb$i"
+    "$BIN/vdpserver" -addr "127.0.0.1:$sport" -store-dir "$WORK/rsb$i" \
+        -shard-index "$i" -shard-count "$RSHARDS" \
+        -replica-of "127.0.0.1:$pport" \
+        -bins "$BINS" -coins "$COINS" >"$WORK/rsb$i.log" 2>&1 &
+    PIDS="$PIDS $!"
+    wait_port "$sport"
+    "$BIN/vdpserver" -addr "127.0.0.1:$pport" -store-dir "$WORK/rpr$i" \
+        -shard-index "$i" -shard-count "$RSHARDS" \
+        -standby "127.0.0.1:$sport" \
+        -bins "$BINS" -coins "$COINS" >"$WORK/rpr$i.log" 2>&1 &
+    pid=$!
+    PIDS="$PIDS $pid"
+    [ "$i" -eq 0 ] && RPR0_PID=$pid
+    wait_port "$pport"
+    RSPECS="${RSPECS:+$RSPECS,}127.0.0.1:$pport~127.0.0.1:$sport"
+    i=$((i + 1))
+done
+
+say "failover lane: booting router in front of $RSPECS"
+"$BIN/vdprouter" -addr 127.0.0.1:7401 -backends "$RSPECS" \
+    -clients "$RCLIENTS" -bins "$BINS" -coins "$COINS" \
+    -retries 5 -backoff 50ms -probe 200ms >"$WORK/rrouter.log" 2>&1 &
+RROUTER_PID=$!
+PIDS="$PIDS $RROUTER_PID"
+wait_port 7401
+
+say "failover lane: live audit tail against the replica pairs"
+"$BIN/vdpclient" -follow "$RSPECS" -follow-epochs 1 \
+    -bins "$BINS" -coins "$COINS" -retries 3 -backoff 50ms \
+    >"$WORK/rfollow.log" 2>&1 &
+RFOLLOW_PID=$!
+PIDS="$PIDS $RFOLLOW_PID"
+
+say "failover lane: flooding $RCLIENTS submissions, killing shard 0's primary mid-flood"
+id=0
+killed=0
+while [ "$id" -lt "$RCLIENTS" ]; do
+    if [ "$killed" -eq 0 ] && [ "$id" -ge $((RCLIENTS / 2)) ]; then
+        # SIGKILL: a crash, not a drain — a SIGTERM'd primary keeps answering
+        # (with errors) through its grace window, which is maintenance, not
+        # the failure this lane drills.
+        kill -9 "$RPR0_PID" 2>/dev/null || true
+        killed=1
+        echo "-- killed shard 0 primary (pid $RPR0_PID) after $id submissions"
+    fi
+    n=$RBATCH
+    [ $((id + n)) -gt "$RCLIENTS" ] && n=$((RCLIENTS - id))
+    "$BIN/vdpclient" -addr 127.0.0.1:7401 -id "$id" -batch "$n" \
+        -choice $((id % BINS)) -bins "$BINS" -coins "$COINS" \
+        -retries 5 -backoff 100ms
+    id=$((id + n))
+done
+
+say "failover lane: waiting for the router to finalize across the failover"
+rrouter_ok=0
+for _ in $(seq 1 300); do
+    if ! kill -0 "$RROUTER_PID" 2>/dev/null; then rrouter_ok=1; break; fi
+    sleep 0.1
+done
+if [ "$rrouter_ok" -ne 1 ] || ! wait "$RROUTER_PID"; then
+    echo "router did not finalize across the failover" >&2
+    cat "$WORK/rrouter.log" >&2
+    exit 1
+fi
+grep -E "merged transcript audit: PASSED" "$WORK/rrouter.log" || {
+    echo "failover router log missing merged-audit line" >&2
+    cat "$WORK/rrouter.log" >&2
+    exit 1
+}
+
+say "failover lane: requiring promotion evidence from the standby"
+grep -E "standby PROMOTED" "$WORK/rsb0.log" || {
+    echo "shard 0's standby was never promoted" >&2
+    cat "$WORK/rsb0.log" >&2
+    exit 1
+}
+if grep -E "standby PROMOTED" "$WORK/rsb1.log" >/dev/null 2>&1; then
+    echo "the healthy shard's standby was promoted too" >&2
+    exit 1
+fi
+
+say "failover lane: waiting for the live audit tail (it rode through the failover)"
+rfollow_ok=0
+for _ in $(seq 1 300); do
+    if ! kill -0 "$RFOLLOW_PID" 2>/dev/null; then rfollow_ok=1; break; fi
+    sleep 0.1
+done
+if [ "$rfollow_ok" -ne 1 ] || ! wait "$RFOLLOW_PID"; then
+    echo "live audit tail did not certify the failed-over epoch" >&2
+    cat "$WORK/rfollow.log" >&2
+    exit 1
+fi
+grep -E "live audit: merged epoch 0 PASSED" "$WORK/rfollow.log" || {
+    echo "failover follow log missing live-audit certification line" >&2
+    cat "$WORK/rfollow.log" >&2
+    exit 1
+}
+
+say "failover lane: cross-node audit across the surviving topology"
+# Shard 0 is now served by its promoted standby; the audit lists it directly.
+"$BIN/vdprouter" -backends "127.0.0.1:7430,127.0.0.1:7421" \
+    -bins "$BINS" -coins "$COINS" -audit | tee "$WORK/raudit.log"
+grep -q "cross-node audit: PASSED" "$WORK/raudit.log"
+
+say "failover lane: offline audit of the promoted standby's durable store"
+"$BIN/vdpclient" -audit-store "$WORK/rsb0" -bins "$BINS" -coins "$COINS"
+"$BIN/vdpclient" -audit-store "$WORK/rpr1" -bins "$BINS" -coins "$COINS"
+
+say "cluster smoke passed: $CLIENTS clients across $NODES nodes, merged, audited; failover lane promoted shard 0's standby mid-flood with zero lost submissions"
